@@ -1,0 +1,102 @@
+// Design ablations called out in DESIGN.md §6 (beyond the paper's own
+// tables): each LayerGCN design decision is toggled independently on the
+// MOOC stand-in.
+//
+//   1. cosine refinement  vs none (LightGCN-style)  vs fixed-alpha (GCNII)
+//   2. ego layer dropped (Eq. 9) vs included
+//   3. sum vs mean readout
+//   4. DegreeDrop vs DropEdge vs Mixed vs none
+//   5. inference on the full graph vs on the pruned graph
+
+#include <cstdio>
+
+#include "core/api.h"
+#include "experiments/env.h"
+#include "util/table_printer.h"
+
+using namespace layergcn;
+
+namespace {
+
+eval::RankingMetrics Run(const data::Dataset& ds,
+                         const core::LayerGcnOptions& options,
+                         train::TrainConfig cfg) {
+  core::LayerGcn model(options);
+  return train::FitRecommender(&model, ds, cfg).test_metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Ablation: LayerGCN design decisions (MOOC)", env);
+  const data::Dataset ds =
+      data::MakeBenchmarkDataset("mooc", env.Scale(0.5, 1.0), env.seed);
+  std::printf("%s\n", ds.Summary().c_str());
+
+  train::TrainConfig base;
+  base.seed = env.seed;
+  // 6 layers: deep enough that over-smoothing bites (Fig. 6), so the value
+  // of each anti-smoothing design choice is visible.
+  base.num_layers = 6;
+  base.max_epochs = env.Epochs(45, 200);
+  base.early_stop_patience = env.full ? 50 : base.max_epochs;
+  base.edge_drop_ratio = 0.1;
+  if (!env.full) {
+    base.embedding_dim = 32;
+    base.batch_size = 1024;
+  }
+
+  util::TablePrinter table("LayerGCN design ablations");
+  table.SetHeader({"variant", "R@20", "N@20"});
+  auto add = [&](const std::string& label, const eval::RankingMetrics& m) {
+    table.AddRow({label, util::TablePrinter::Num(m.recall.at(20)),
+                  util::TablePrinter::Num(m.ndcg.at(20))});
+    std::printf("  %-34s done\n", label.c_str());
+    std::fflush(stdout);
+  };
+
+  add("paper defaults", Run(ds, {}, base));
+  {
+    core::LayerGcnOptions o;
+    o.refinement = core::Refinement::kNone;
+    add("1. refinement: none", Run(ds, o, base));
+  }
+  {
+    core::LayerGcnOptions o;
+    o.refinement = core::Refinement::kFixedAlpha;
+    o.fixed_alpha = 0.2f;
+    add("1. refinement: fixed alpha=0.2", Run(ds, o, base));
+  }
+  {
+    core::LayerGcnOptions o;
+    o.include_ego_layer = true;
+    add("2. readout includes ego layer", Run(ds, o, base));
+  }
+  {
+    core::LayerGcnOptions o;
+    o.readout = core::Readout::kMean;
+    add("3. readout: mean", Run(ds, o, base));
+  }
+  {
+    train::TrainConfig cfg = base;
+    cfg.edge_drop_kind = graph::EdgeDropKind::kDropEdge;
+    add("4. pruning: DropEdge", Run(ds, {}, cfg));
+    cfg.edge_drop_kind = graph::EdgeDropKind::kMixed;
+    add("4. pruning: Mixed", Run(ds, {}, cfg));
+    cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+    cfg.edge_drop_ratio = 0.0;
+    add("4. pruning: none (w/o Dropout)", Run(ds, {}, cfg));
+  }
+  {
+    core::LayerGcnOptions o;
+    o.inference_on_full_graph = false;
+    add("5. inference on pruned graph", Run(ds, o, base));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the paper-default row leads; disabling the cosine\n"
+      "refinement or re-including the ego layer costs accuracy; inference\n"
+      "on the pruned graph under-performs full-graph inference.\n");
+  return 0;
+}

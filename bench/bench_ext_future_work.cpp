@@ -1,0 +1,97 @@
+// Extension experiments beyond the paper's evaluation — the two directions
+// its §VI names as future work, implemented in this library:
+//
+//   1. Self-supervised signals: LayerGCN-SSL (two-view DegreeDrop
+//      contrastive InfoNCE, SGL/SelfCF style) vs plain LayerGCN.
+//   2. Content-based settings: LayerGCN with synthetic content features,
+//      in both §II-B integration modes (ego fusion / late fusion),
+//      with informative vs pure-noise features as a control.
+
+#include <cstdio>
+
+#include "core/api.h"
+#include "experiments/env.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+using namespace layergcn;
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner(
+      "Extensions (paper SVI future work): SSL and content features", env);
+
+  // Content experiments need the generator's latent clusters, so build the
+  // dataset from GenerateInteractionsWithClusters directly.
+  const data::SyntheticConfig gen =
+      data::GamesLikeConfig(env.Scale(0.5, 1.0));
+  const data::SyntheticOutput out =
+      data::GenerateInteractionsWithClusters(gen, env.seed);
+  const data::Dataset ds = data::ChronologicalSplitDataset(
+      gen.name, gen.num_users, gen.num_items, out.interactions);
+  std::printf("%s\n", ds.Summary().c_str());
+
+  train::TrainConfig cfg;
+  cfg.seed = env.seed;
+  cfg.num_layers = 4;
+  cfg.max_epochs = env.Epochs(35, 200);
+  cfg.early_stop_patience = env.full ? 50 : cfg.max_epochs;
+  cfg.edge_drop_ratio = 0.1;
+  if (!env.full) {
+    cfg.embedding_dim = 32;
+    cfg.batch_size = 1024;
+  }
+
+  util::TablePrinter table("Extension comparison [games]");
+  table.SetHeader({"variant", "R@20", "N@20", "best epoch"});
+  auto add = [&](const std::string& label, train::Recommender* model) {
+    const train::TrainResult r = train::FitRecommender(model, ds, cfg);
+    table.AddRow({label,
+                  util::TablePrinter::Num(r.test_metrics.recall.at(20)),
+                  util::TablePrinter::Num(r.test_metrics.ndcg.at(20)),
+                  std::to_string(r.best_epoch)});
+    std::printf("  %-34s done\n", label.c_str());
+    std::fflush(stdout);
+  };
+
+  {
+    core::LayerGcn base;
+    add("LayerGCN (paper)", &base);
+  }
+  for (float lambda : {5e-5f, 2e-4f, 1e-3f}) {
+    core::SslOptions ssl_opts;
+    ssl_opts.weight = lambda;
+    core::LayerGcnSsl ssl(ssl_opts);
+    add(util::StrFormat("LayerGCN-SSL (lambda=%.0e)", lambda), &ssl);
+  }
+
+  // Content features: cluster-informed vs pure noise (control).
+  std::vector<int> clusters = out.user_clusters;
+  clusters.insert(clusters.end(), out.item_clusters.begin(),
+                  out.item_clusters.end());
+  const int feature_dim = 16;
+  const tensor::Matrix informative = data::MakeClusterFeatures(
+      clusters, gen.num_clusters, feature_dim, /*noise=*/0.3, env.seed + 1);
+  const tensor::Matrix noise_only = data::MakeClusterFeatures(
+      std::vector<int>(clusters.size(), 0), 1, feature_dim, /*noise=*/1.0,
+      env.seed + 2);
+  {
+    core::LayerGcnContent m(informative, core::ContentMode::kEgoFusion);
+    add("+content, ego fusion (informative)", &m);
+  }
+  {
+    core::LayerGcnContent m(informative, core::ContentMode::kLateFusion);
+    add("+content, late fusion (informative)", &m);
+  }
+  {
+    core::LayerGcnContent m(noise_only, core::ContentMode::kEgoFusion);
+    add("+content, ego fusion (noise ctrl)", &m);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: small SSL weights are neutral-to-mildly-positive at\n"
+      "this scale (contrastive signals matter more on large sparse graphs;\n"
+      "see SslOptions' scale note); informative content roughly matches\n"
+      "plain LayerGCN while pure-noise content must not help (control).\n");
+  return 0;
+}

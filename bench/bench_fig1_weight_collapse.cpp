@@ -1,0 +1,72 @@
+// Fig. 1 — the recommendation dilemma: learnable layer weights in LightGCN
+// collapse onto the ego layer.
+//
+// Trains the learnable-layer-weight LightGCN variant (softmax-normalized
+// weights over X⁰..X⁴) on the MOOC stand-in and prints the weight
+// trajectory per epoch; the ego layer's (layer-0) weight should dominate.
+
+#include <cstdio>
+
+#include "core/api.h"
+#include "experiments/env.h"
+#include "models/lightgcn.h"
+#include "util/table_printer.h"
+
+using namespace layergcn;
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner(
+      "Fig. 1: LightGCN learnable layer weights collapse (MOOC)", env);
+  const data::Dataset ds =
+      data::MakeBenchmarkDataset("mooc", env.Scale(0.5, 1.0), env.seed);
+  std::printf("%s\n", ds.Summary().c_str());
+
+  train::TrainConfig cfg;
+  cfg.seed = env.seed;
+  cfg.num_layers = 4;
+  cfg.max_epochs = env.Epochs(120, 300);
+  cfg.early_stop_patience = cfg.max_epochs;  // run the full trajectory
+  cfg.edge_drop_ratio = 0.0;
+  cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+  if (!env.full) {
+    cfg.embedding_dim = 32;
+    cfg.batch_size = 1024;
+  }
+
+  models::LightGcn model(models::LightGcnReadout::kLearnableWeights);
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  std::printf("trained %d epochs; test %s\n", r.epochs_run,
+              r.test_metrics.ToString().c_str());
+
+  const auto& history = model.layer_weight_history();
+  util::TablePrinter table("Fig. 1 data: softmax layer weights per epoch");
+  table.SetHeader({"epoch", "w(ego X0)", "w(X1)", "w(X2)", "w(X3)",
+                   "w(X4)"});
+  const size_t stride = history.size() > 20 ? history.size() / 20 : 1;
+  for (size_t e = 0; e < history.size(); e += stride) {
+    std::vector<std::string> row{std::to_string(e + 2)};  // recorded from 2
+    for (double w : history[e]) row.push_back(util::TablePrinter::Num(w));
+    table.AddRow(row);
+  }
+  if (!history.empty()) {
+    std::vector<std::string> row{std::to_string(history.size() + 1)};
+    for (double w : history.back()) row.push_back(util::TablePrinter::Num(w));
+    table.AddRow(row);
+  }
+  table.Print();
+
+  if (!history.empty()) {
+    const auto& final_w = history.back();
+    double max_hidden = 0;
+    for (size_t l = 1; l < final_w.size(); ++l) {
+      max_hidden = std::max(max_hidden, final_w[l]);
+    }
+    std::printf(
+        "\nfinal ego-layer weight: %.4f, max hidden-layer weight: %.4f\n"
+        "Shape check vs paper Fig. 1: the ego weight should rise well above\n"
+        "the uniform 0.2 while hidden-layer weights decay.\n",
+        final_w[0], max_hidden);
+  }
+  return 0;
+}

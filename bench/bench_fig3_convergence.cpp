@@ -1,0 +1,143 @@
+// Fig. 3 — convergence of DegreeDrop vs DropEdge on MOOC.
+//
+// (a) Convergence epoch for dropout ratios 0.1..0.8 under both samplers.
+//     Convergence epoch := the first epoch whose validation Recall@20
+//     reaches 98% of the run's maximum (a saturation criterion that is
+//     robust to late one-in-a-thousand upticks; the paper's "best epoch"
+//     plays the same role under its early-stopping budget).
+// (b) Epoch-mean training loss curves at ratio 0.7 for both samplers.
+
+#include <cstdio>
+
+#include "core/api.h"
+#include "experiments/env.h"
+#include "experiments/runner.h"
+#include "util/table_printer.h"
+
+using namespace layergcn;
+
+namespace {
+
+// First epoch whose validation score reaches `target` (last epoch if never).
+int EpochToReach(const std::vector<std::pair<int, double>>& curve,
+                 double target) {
+  for (const auto& [epoch, score] : curve) {
+    if (score >= target) return epoch;
+  }
+  return curve.empty() ? 0 : curve.back().first;
+}
+
+// Best validation score on the curve.
+double CurveMax(const std::vector<std::pair<int, double>>& curve) {
+  double best = 0;
+  for (const auto& [epoch, score] : curve) best = std::max(best, score);
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Fig. 3: convergence, DegreeDrop vs DropEdge (MOOC)",
+                           env);
+  const data::Dataset ds =
+      data::MakeBenchmarkDataset("mooc", env.Scale(0.5, 1.0), env.seed);
+  std::printf("%s\n", ds.Summary().c_str());
+
+  train::TrainConfig base;
+  base.seed = env.seed;
+  base.max_epochs = env.Epochs(60, 300);
+  base.early_stop_patience = base.max_epochs;  // record the full curve
+  if (!env.full) {
+    base.embedding_dim = 32;
+    base.batch_size = 1024;
+  }
+
+  // ---- (a) convergence epoch vs dropout ratio ----
+  // Convergence epoch := first epoch whose validation R@20 reaches 95% of
+  // the *shared* target (the lower of the two samplers' best scores), so
+  // both samplers chase the same bar; averaged over two seeds to denoise.
+  util::TablePrinter table_a(
+      "Fig. 3(a) data: epochs to reach the shared validation target");
+  table_a.SetHeader({"ratio", "DropEdge", "DegreeDrop"});
+  double dropedge_total = 0, degreedrop_total = 0;
+  const std::vector<double> ratios = env.full
+                                         ? std::vector<double>{0.1, 0.2, 0.3,
+                                                               0.4, 0.5, 0.6,
+                                                               0.7, 0.8}
+                                         : std::vector<double>{0.1, 0.3, 0.5,
+                                                               0.7};
+  const int num_seeds = env.full ? 3 : 2;
+  for (double ratio : ratios) {
+    double conv[2] = {0, 0};
+    for (int s = 0; s < num_seeds; ++s) {
+      std::vector<std::pair<int, double>> curves[2];
+      int idx = 0;
+      for (graph::EdgeDropKind kind : {graph::EdgeDropKind::kDropEdge,
+                                       graph::EdgeDropKind::kDegreeDrop}) {
+        train::TrainConfig cfg = base;
+        cfg.seed = env.seed + static_cast<uint64_t>(s);
+        cfg.edge_drop_kind = kind;
+        cfg.edge_drop_ratio = ratio;
+        const auto row = experiments::RunModel("LayerGCN", ds, cfg);
+        curves[idx++] = row.result.valid_curve;
+      }
+      const double target =
+          0.95 * std::min(CurveMax(curves[0]), CurveMax(curves[1]));
+      conv[0] += EpochToReach(curves[0], target);
+      conv[1] += EpochToReach(curves[1], target);
+    }
+    conv[0] /= num_seeds;
+    conv[1] /= num_seeds;
+    dropedge_total += conv[0];
+    degreedrop_total += conv[1];
+    table_a.AddRow({util::TablePrinter::Num(ratio, 1),
+                    util::TablePrinter::Num(conv[0], 1),
+                    util::TablePrinter::Num(conv[1], 1)});
+    std::printf("  ratio %.1f done (DropEdge %.1f vs DegreeDrop %.1f)\n",
+                ratio, conv[0], conv[1]);
+    std::fflush(stdout);
+  }
+  table_a.Print();
+  std::printf(
+      "mean convergence epoch: DropEdge %.1f, DegreeDrop %.1f "
+      "(reduction %.0f%%)\n",
+      dropedge_total / ratios.size(), degreedrop_total / ratios.size(),
+      100.0 * (1.0 - degreedrop_total / std::max(dropedge_total, 1.0)));
+
+  // ---- (b) epoch-mean loss curves at ratio 0.7 ----
+  util::TablePrinter table_b(
+      "\nFig. 3(b) data: epoch-mean training loss, dropout ratio 0.7");
+  table_b.SetHeader({"epoch", "DropEdge loss", "DegreeDrop loss"});
+  std::vector<double> curves[2];
+  int idx = 0;
+  for (graph::EdgeDropKind kind : {graph::EdgeDropKind::kDropEdge,
+                                   graph::EdgeDropKind::kDegreeDrop}) {
+    train::TrainConfig cfg = base;
+    cfg.edge_drop_kind = kind;
+    cfg.edge_drop_ratio = 0.7;
+    cfg.max_epochs = env.Epochs(40, 100);
+    cfg.early_stop_patience = cfg.max_epochs;
+    const auto row = experiments::RunModel("LayerGCN", ds, cfg);
+    curves[idx++] = row.result.epoch_losses;
+  }
+  const size_t n = std::min(curves[0].size(), curves[1].size());
+  const size_t stride = n > 25 ? n / 25 : 1;
+  for (size_t e = 0; e < n; e += stride) {
+    table_b.AddRow({std::to_string(e + 1),
+                    util::TablePrinter::Num(curves[0][e], 5),
+                    util::TablePrinter::Num(curves[1][e], 5)});
+  }
+  table_b.Print();
+
+  double auc[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    for (size_t e = 0; e < n; ++e) auc[c] += curves[c][e];
+  }
+  std::printf(
+      "\nmean epoch loss over the run: DropEdge %.5f, DegreeDrop %.5f\n"
+      "Shape check vs paper Fig. 3: DegreeDrop should converge in fewer\n"
+      "epochs on average and its loss curve should descend faster.\n",
+      auc[0] / n, auc[1] / n);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 4 — cumulative distribution of item degrees, MOOC vs Yelp.
+//
+// Prints P(√degree <= x) over a grid of x (the paper plots the square root
+// of the degree on the x-axis, matching the √d terms of Eq. 5), plus an
+// ASCII rendering of both CDFs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/api.h"
+#include "experiments/env.h"
+#include "util/table_printer.h"
+
+using namespace layergcn;
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Fig. 4: item degree CDFs, MOOC vs Yelp", env);
+  const double scale = env.Scale(0.5, 1.0);
+
+  const data::Dataset mooc =
+      data::MakeBenchmarkDataset("mooc", scale, env.seed);
+  const data::Dataset yelp =
+      data::MakeBenchmarkDataset("yelp", scale, env.seed);
+  std::printf("%s\n%s\n", mooc.Summary().c_str(), yelp.Summary().c_str());
+
+  // Evaluate at sqrt-degree thresholds 1..20 (degree 1..400).
+  std::vector<double> sqrt_grid;
+  for (int x = 1; x <= 20; ++x) sqrt_grid.push_back(x);
+  std::vector<double> deg_grid;
+  for (double x : sqrt_grid) deg_grid.push_back(x * x);
+  const std::vector<double> mooc_cdf =
+      mooc.train_graph.ItemDegreeCdf(deg_grid);
+  const std::vector<double> yelp_cdf =
+      yelp.train_graph.ItemDegreeCdf(deg_grid);
+
+  util::TablePrinter table("Fig. 4 data: P(sqrt(item degree) <= x)");
+  table.SetHeader({"sqrt(degree)", "MOOC", "Yelp", "MOOC bar", "Yelp bar"});
+  auto bar = [](double v) { return std::string(
+      static_cast<size_t>(v * 30 + 0.5), '#'); };
+  for (size_t i = 0; i < sqrt_grid.size(); ++i) {
+    table.AddRow({util::TablePrinter::Num(sqrt_grid[i], 0),
+                  util::TablePrinter::Num(mooc_cdf[i], 3),
+                  util::TablePrinter::Num(yelp_cdf[i], 3), bar(mooc_cdf[i]),
+                  bar(yelp_cdf[i])});
+  }
+  table.Print();
+
+  // Summary statistics mirroring the paper's reading of the figure.
+  const std::vector<double> top20 = mooc.train_graph.ItemDegreeCdf(
+      {static_cast<double>(mooc.num_interactions()) /
+       std::max(1, mooc.num_items) * 2.0});
+  std::printf(
+      "\nYelp P(sqrt(d) <= 3) = %.2f vs MOOC %.2f\n"
+      "Shape check vs paper Fig. 4: Yelp's CDF saturates almost immediately\n"
+      "(~90%% of items with rooted degree < ~10 in the paper), while MOOC's\n"
+      "rises slowly because items accumulate high degrees.\n",
+      yelp.train_graph.ItemDegreeCdf({9.0})[0],
+      mooc.train_graph.ItemDegreeCdf({9.0})[0]);
+  (void)top20;
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Course recommendation on a MOOC-style platform — the scenario that
+// motivates the paper's densest dataset (few courses, many learners, heavy
+// item degrees).
+//
+// Demonstrates:
+//   * building a Dataset from raw (user, item, timestamp) records,
+//   * why DegreeDrop matters on dense graphs: trains LayerGCN with and
+//     without degree-sensitive pruning and compares,
+//   * producing a per-learner course plan from the trained model.
+//
+//   ./course_recommendation [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+
+using namespace layergcn;
+
+namespace {
+
+// Synthesizes an enrollment log shaped like a young MOOC platform: ~100
+// courses, thousands of learners, strong popularity skew.
+std::vector<data::Interaction> MakeEnrollmentLog(uint64_t seed) {
+  data::SyntheticConfig cfg = data::MoocLikeConfig(/*scale=*/0.6);
+  return data::GenerateInteractions(cfg, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const data::SyntheticConfig shape = data::MoocLikeConfig(0.6);
+
+  // 1. Ingest the enrollment log (user, course, time) and split it
+  //    chronologically, exactly like a production retraining pipeline
+  //    would: past 70% trains, newest 20% tests.
+  std::vector<data::Interaction> log = MakeEnrollmentLog(seed);
+  data::Dataset dataset = data::ChronologicalSplitDataset(
+      "mooc-platform", shape.num_users, shape.num_items, std::move(log));
+  std::printf("enrollment data: %s\n", dataset.Summary().c_str());
+
+  // 2. Train LayerGCN twice: with DegreeDrop (paper's full model) and
+  //    without pruning, to see the effect on a dense graph.
+  train::TrainConfig cfg;
+  cfg.seed = seed;
+  cfg.embedding_dim = 32;
+  cfg.max_epochs = 40;
+  cfg.early_stop_patience = 15;
+
+  cfg.edge_drop_kind = graph::EdgeDropKind::kDegreeDrop;
+  cfg.edge_drop_ratio = 0.1;
+  core::LayerGcn with_drop;
+  const train::TrainResult r1 =
+      train::FitRecommender(&with_drop, dataset, cfg);
+
+  cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+  cfg.edge_drop_ratio = 0.0;
+  core::LayerGcn without_drop;
+  const train::TrainResult r2 =
+      train::FitRecommender(&without_drop, dataset, cfg);
+
+  std::printf("LayerGCN (DegreeDrop): best epoch %d, %s\n", r1.best_epoch,
+              r1.test_metrics.ToString().c_str());
+  std::printf("LayerGCN (no pruning): best epoch %d, %s\n", r2.best_epoch,
+              r2.test_metrics.ToString().c_str());
+
+  // 3. Produce a course plan: for three active learners, recommend the
+  //    five courses they have not enrolled in yet.
+  std::printf("\ncourse plans (top-5 unenrolled courses per learner):\n");
+  int shown = 0;
+  for (int32_t u = 0; u < dataset.num_users && shown < 3; ++u) {
+    if (dataset.train_graph.UserDegree(u) < 3) continue;
+    ++shown;
+    tensor::Matrix scores = with_drop.ScoreUsers({u});
+    std::vector<bool> enrolled(static_cast<size_t>(dataset.num_items), false);
+    for (int32_t i : dataset.train_graph.user_items()[static_cast<size_t>(u)]) {
+      enrolled[static_cast<size_t>(i)] = true;
+    }
+    const auto plan =
+        eval::TopKIndices(scores.row(0), dataset.num_items, 5, &enrolled);
+    std::printf("  learner %-5d (enrolled in %d):", u,
+                dataset.train_graph.UserDegree(u));
+    for (int32_t c : plan) std::printf(" course-%d", c);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: train LayerGCN on a small synthetic dataset and print
+// held-out ranking quality plus a few example recommendations.
+//
+//   ./quickstart [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/api.h"
+
+using namespace layergcn;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. Build a dataset. Here: a synthetic MOOC-like interaction graph with
+  //    a chronological 70/10/20 split. To use your own data, see
+  //    data::LoadInteractions + data::ChronologicalSplitDataset.
+  data::Dataset dataset = data::MakeBenchmarkDataset("mooc", /*scale=*/0.5,
+                                                     seed);
+  std::printf("dataset: %s\n", dataset.Summary().c_str());
+
+  // 2. Configure training. TrainConfig defaults follow the paper (§V-A4):
+  //    64-dim embeddings, 4 layers, Adam, DegreeDrop edge pruning.
+  train::TrainConfig config;
+  config.seed = seed;
+  config.max_epochs = 60;
+  config.early_stop_patience = 15;
+  config.edge_drop_ratio = 0.1;
+
+  // 3. Train the paper's model.
+  core::LayerGcn model;
+  train::TrainOptions options;
+  options.verbose = false;
+  const train::TrainResult result =
+      train::FitRecommender(&model, dataset, config, options);
+
+  std::printf("trained %d epochs (best %d) in %.1fs\n", result.epochs_run,
+              result.best_epoch, result.train_seconds);
+  std::printf("test metrics: %s\n", result.test_metrics.ToString().c_str());
+
+  // 4. Recommend: top-5 unseen items for the first three test users.
+  eval::Evaluator evaluator(&dataset, {5});
+  const auto& users = dataset.test_users;
+  const int show = std::min<int>(3, static_cast<int>(users.size()));
+  for (int k = 0; k < show; ++k) {
+    const int32_t u = users[static_cast<size_t>(k)];
+    tensor::Matrix scores = model.ScoreUsers({u});
+    std::vector<bool> excluded(static_cast<size_t>(dataset.num_items), false);
+    for (int32_t i : dataset.train_graph.user_items()[static_cast<size_t>(u)]) {
+      excluded[static_cast<size_t>(i)] = true;
+    }
+    const std::vector<int32_t> top =
+        eval::TopKIndices(scores.row(0), dataset.num_items, 5, &excluded);
+    std::printf("user %d -> items:", u);
+    for (int32_t i : top) std::printf(" %d", i);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Retail (e-commerce) recommendation on a sparse long-tail catalog — the
+// Amazon-Games/Food scenario of the paper, plus a model-selection workflow:
+// compare LayerGCN against LightGCN and BPR on a validation split before
+// shipping, then export recommendations and catalog coverage stats.
+//
+//   ./retail_recommendation [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/api.h"
+
+using namespace layergcn;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+
+  // 1. A sparse retail interaction graph (long-tail item catalog).
+  data::Dataset dataset = data::MakeBenchmarkDataset("games", 0.6, seed);
+  std::printf("purchase data: %s\n", dataset.Summary().c_str());
+
+  // 2. Candidate models, all trained under the same budget; the winner is
+  //    picked by validation Recall@20 — never by test metrics.
+  train::TrainConfig cfg;
+  cfg.seed = seed;
+  cfg.embedding_dim = 32;
+  cfg.num_layers = 3;
+  cfg.batch_size = 1024;
+  cfg.max_epochs = 30;
+  cfg.early_stop_patience = 12;
+
+  std::map<std::string, std::unique_ptr<train::Recommender>> zoo;
+  std::map<std::string, double> valid_score;
+  for (const std::string name : {"BPR", "LightGCN", "LayerGCN"}) {
+    auto model = core::CreateModel(name);
+    const train::TrainConfig adapted = core::AdaptConfig(name, cfg);
+    const train::TrainResult r =
+        train::FitRecommender(model.get(), dataset, adapted);
+    std::printf("  %-9s valid R@20 = %.4f (best epoch %d)\n", name.c_str(),
+                r.best_valid_score, r.best_epoch);
+    valid_score[name] = r.best_valid_score;
+    zoo[name] = std::move(model);
+  }
+  std::string winner = "BPR";
+  for (const auto& [name, score] : valid_score) {
+    if (score > valid_score[winner]) winner = name;
+  }
+  std::printf("selected model: %s\n", winner.c_str());
+
+  // 3. Ship-time check: test metrics of the winner only.
+  const eval::RankingMetrics test = train::EvaluateRecommender(
+      zoo[winner].get(), dataset, {10, 20, 50}, eval::EvalSplit::kTest);
+  std::printf("test metrics: %s\n", test.ToString().c_str());
+
+  // 4. Catalog coverage: what fraction of the catalog appears in some
+  //    user's top-10? Long-tail-friendly models should cover more items.
+  std::set<int32_t> recommended;
+  const int sample_users = std::min<int>(300, dataset.num_users);
+  train::Recommender* model = zoo[winner].get();
+  model->PrepareEval();
+  for (int32_t u = 0; u < sample_users; ++u) {
+    tensor::Matrix scores = model->ScoreUsers({u});
+    std::vector<bool> owned(static_cast<size_t>(dataset.num_items), false);
+    for (int32_t i : dataset.train_graph.user_items()[static_cast<size_t>(u)]) {
+      owned[static_cast<size_t>(i)] = true;
+    }
+    for (int32_t i :
+         eval::TopKIndices(scores.row(0), dataset.num_items, 10, &owned)) {
+      recommended.insert(i);
+    }
+  }
+  std::printf(
+      "catalog coverage: %.1f%% of %d items appear in the top-10 of the "
+      "first %d users\n",
+      100.0 * static_cast<double>(recommended.size()) / dataset.num_items,
+      dataset.num_items, sample_users);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Public facade of the LayerGCN library.
+//
+// Downstream users can depend on this single header for the common
+// workflow:
+//
+//   #include "core/api.h"
+//   using namespace layergcn;
+//
+//   data::Dataset ds = data::MakeBenchmarkDataset("mooc", /*scale=*/1.0, 42);
+//   core::LayerGcn model;
+//   train::TrainConfig cfg;                  // paper defaults
+//   train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+//   tensor::Matrix scores = model.ScoreUsers({0, 1, 2});
+//
+// Individual headers remain available for finer-grained control.
+
+#ifndef LAYERGCN_CORE_API_H_
+#define LAYERGCN_CORE_API_H_
+
+#include "core/layergcn.h"          // IWYU pragma: export
+#include "core/layergcn_content.h"  // IWYU pragma: export
+#include "core/layergcn_ssl.h"      // IWYU pragma: export
+#include "core/model_factory.h"     // IWYU pragma: export
+#include "data/dataset.h"           // IWYU pragma: export
+#include "data/kcore.h"             // IWYU pragma: export
+#include "data/loader.h"            // IWYU pragma: export
+#include "data/split.h"             // IWYU pragma: export
+#include "data/synthetic.h"         // IWYU pragma: export
+#include "eval/evaluator.h"         // IWYU pragma: export
+#include "eval/metrics.h"           // IWYU pragma: export
+#include "eval/stats.h"             // IWYU pragma: export
+#include "graph/bipartite_graph.h"  // IWYU pragma: export
+#include "graph/edge_dropout.h"     // IWYU pragma: export
+#include "train/recommender.h"      // IWYU pragma: export
+#include "train/trainer.h"          // IWYU pragma: export
+
+#endif  // LAYERGCN_CORE_API_H_

@@ -1,0 +1,54 @@
+#include "core/layergcn.h"
+
+#include "tensor/ops.h"
+
+namespace layergcn::core {
+
+ag::Var LayerGcn::Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                            util::Rng* /*rng*/) {
+  // Paper §III-B1: train on the pruned Â_p, infer on the full Â. The
+  // inference_on_full_graph=false ablation evaluates on Â_p instead.
+  const bool use_training_graph =
+      training || !options_.inference_on_full_graph;
+  const sparse::CsrMatrix* adj = adjacency(use_training_graph);
+
+  std::vector<ag::Var> layers;
+  std::vector<double> mean_similarities;
+  ag::Var x = x0;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    ag::Var h = ag::SpMMSymmetric(adj, x);
+    switch (options_.refinement) {
+      case Refinement::kCosine: {
+        // Eq. 6-8: X^{l+1} = (cos(H, X⁰) + ε) ⊙_rows H.
+        ag::Var a = ag::RowwiseCosine(h, x0, options_.epsilon);
+        if (!training && options_.record_layer_similarities) {
+          mean_similarities.push_back(tensor::MeanAll(tape->value(a)));
+        }
+        x = ag::ScaleRows(h, ag::AddScalar(a, options_.epsilon));
+        break;
+      }
+      case Refinement::kNone:
+        x = h;
+        break;
+      case Refinement::kFixedAlpha:
+        // GCNII-style initial residual: X^{l+1} = (1−α)H + αX⁰.
+        x = ag::Add(ag::Scale(h, 1.f - options_.fixed_alpha),
+                    ag::Scale(x0, options_.fixed_alpha));
+        break;
+    }
+    layers.push_back(x);
+  }
+  if (options_.include_ego_layer) layers.insert(layers.begin(), x0);
+  if (!training && options_.record_layer_similarities &&
+      !mean_similarities.empty()) {
+    similarity_history_.push_back(std::move(mean_similarities));
+  }
+
+  ag::Var out = ag::AddN(layers);
+  if (options_.readout == Readout::kMean) {
+    out = ag::Scale(out, 1.f / static_cast<float>(layers.size()));
+  }
+  return out;
+}
+
+}  // namespace layergcn::core

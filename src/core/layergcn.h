@@ -1,0 +1,88 @@
+// LayerGCN — the paper's contribution (§III-B).
+//
+// Layer-refined graph convolution (Eqs. 6-8):
+//
+//   H       = Â_p X^l                      (linear propagation, pruned graph)
+//   a^{l+1} = cos(H, X⁰)  row-wise          (similarity with the ego layer)
+//   X^{l+1} = (a^{l+1} + ε) ⊙_rows H        (refinement)
+//
+// Readout (Eq. 9): X = Σ_{l=1..L} X^l — the ego layer is dropped because
+// its information is already refined into every hidden layer. Training uses
+// the degree-sensitively pruned Â_p (Eq. 5); inference uses the full Â.
+//
+// Every design decision is exposed as a flag so the ablation bench
+// (bench_ablation_design) can switch it off independently.
+
+#ifndef LAYERGCN_CORE_LAYERGCN_H_
+#define LAYERGCN_CORE_LAYERGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::core {
+
+/// Which per-layer refinement to apply after propagation.
+enum class Refinement {
+  kCosine,   // paper Eq. 6-8: scale rows by (cos(H, X⁰) + ε)
+  kNone,     // plain LightGCN-style propagation
+  kFixedAlpha,  // GCNII-style: X^{l+1} = (1−α) H + α X⁰ with fixed α
+};
+
+/// Readout over the hidden layers.
+enum class Readout {
+  kSum,   // paper Eq. 9
+  kMean,
+};
+
+/// LayerGCN hyper-parameters beyond the shared TrainConfig.
+struct LayerGcnOptions {
+  Refinement refinement = Refinement::kCosine;
+  Readout readout = Readout::kSum;
+  /// Include X⁰ in the readout (the paper drops it).
+  bool include_ego_layer = false;
+  /// ε of Eq. 6 (added to the similarity) and Eq. 8 (denominator guard).
+  float epsilon = 1e-8f;
+  /// α of the kFixedAlpha ablation.
+  float fixed_alpha = 0.2f;
+  /// Propagate over the full Â at inference (paper behavior). Disable to
+  /// measure the cost of evaluating on the pruned graph.
+  bool inference_on_full_graph = true;
+  /// Record the mean similarity a^l per layer every epoch (Fig. 5).
+  bool record_layer_similarities = false;
+};
+
+/// The layer-refined GCN recommender.
+class LayerGcn : public models::EmbeddingRecommender {
+ public:
+  explicit LayerGcn(const LayerGcnOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override {
+    // The paper distinguishes the full model from the no-pruning variant.
+    return "LayerGCN";
+  }
+
+  const LayerGcnOptions& options() const { return options_; }
+
+  /// Mean cosine similarity of each hidden layer with the ego layer,
+  /// recorded at each PrepareEval() when record_layer_similarities is set:
+  /// history[e][l] is layer l+1's mean a at evaluation e (Fig. 5).
+  const std::vector<std::vector<double>>& layer_similarity_history() const {
+    return similarity_history_;
+  }
+
+ protected:
+  bool UsesEdgeDropout() const override { return true; }
+  ag::Var Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                    util::Rng* rng) override;
+
+ private:
+  LayerGcnOptions options_;
+  std::vector<std::vector<double>> similarity_history_;
+};
+
+}  // namespace layergcn::core
+
+#endif  // LAYERGCN_CORE_LAYERGCN_H_

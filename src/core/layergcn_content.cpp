@@ -1,0 +1,34 @@
+#include "core/layergcn_content.h"
+
+#include "util/logging.h"
+
+namespace layergcn::core {
+
+void LayerGcnContent::InitExtraParams(const train::TrainConfig& config,
+                                      util::Rng* rng) {
+  LayerGcn::InitExtraParams(config, rng);
+  LAYERGCN_CHECK_EQ(features_.rows(), dataset_->train_graph.num_nodes())
+      << "feature matrix must cover every user and item node";
+  projection_ = train::Parameter("content_projection", features_.cols(),
+                                 config.embedding_dim);
+  projection_.InitXavier(rng);
+  extra_params_.push_back(&projection_);
+}
+
+ag::Var LayerGcnContent::Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                                   util::Rng* rng) {
+  ag::Var f = tape->Constant(features_);
+  ag::Var w = tape->Parameter(&projection_.value, &projection_.grad);
+  ag::Var projected = ag::MatMul(f, w);  // N x T
+
+  if (mode_ == ContentMode::kEgoFusion) {
+    // Fused ego layer propagates through the layer-refined GCN.
+    ag::Var fused_ego = ag::Add(x0, projected);
+    return LayerGcn::Propagate(tape, fused_ego, training, rng);
+  }
+  // Late fusion: pure-ID propagation, content appended at the output.
+  ag::Var id_final = LayerGcn::Propagate(tape, x0, training, rng);
+  return ag::ConcatCols({id_final, projected});
+}
+
+}  // namespace layergcn::core

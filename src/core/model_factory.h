@@ -1,0 +1,34 @@
+// Factory for every model in the paper's comparison (Table II), keyed by
+// the names used there.
+
+#ifndef LAYERGCN_CORE_MODEL_FACTORY_H_
+#define LAYERGCN_CORE_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/recommender.h"
+
+namespace layergcn::core {
+
+/// Instantiates a model by its Table II name. Supported:
+///   "BPR", "MultiVAE", "EHCF", "BUIR", "NGCF", "LR-GCCF", "LightGCN",
+///   "UltraGCN", "IMP-GCN", "LayerGCN" (full), "LayerGCN-noDrop"
+///   (w/o Dropout variant), "LightGCN-LearnW" (Fig. 1 variant),
+///   "LayerGCN-SSL" (self-supervised extension, paper §VI future work).
+/// Aborts on unknown names.
+std::unique_ptr<train::Recommender> CreateModel(const std::string& name);
+
+/// Adjusts shared config fields to each model's sensible defaults (e.g.
+/// LayerGCN-noDrop forces edge_drop_ratio = 0; non-pruning baselines ignore
+/// the dropout fields). Returns the adapted copy.
+train::TrainConfig AdaptConfig(const std::string& name,
+                               const train::TrainConfig& base);
+
+/// Table II model order (baselines first, LayerGCN variants last).
+std::vector<std::string> TableTwoModelNames();
+
+}  // namespace layergcn::core
+
+#endif  // LAYERGCN_CORE_MODEL_FACTORY_H_

@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::data {
+
+int64_t Dataset::num_valid() const {
+  int64_t n = 0;
+  for (const auto& v : valid_items) n += static_cast<int64_t>(v.size());
+  return n;
+}
+
+int64_t Dataset::num_test() const {
+  int64_t n = 0;
+  for (const auto& v : test_items) n += static_cast<int64_t>(v.size());
+  return n;
+}
+
+double Dataset::SparsityPercent() const {
+  const double cells =
+      static_cast<double>(num_users) * static_cast<double>(num_items);
+  if (cells == 0.0) return 100.0;
+  return 100.0 * (1.0 - static_cast<double>(num_interactions()) / cells);
+}
+
+std::string Dataset::Summary() const {
+  return util::StrFormat(
+      "%s: %d users, %d items, %lld train / %lld valid / %lld test "
+      "interactions, sparsity %.4f%%",
+      name.c_str(), num_users, num_items,
+      static_cast<long long>(num_train()),
+      static_cast<long long>(num_valid()),
+      static_cast<long long>(num_test()), SparsityPercent());
+}
+
+Dataset BuildDataset(std::string name, int32_t num_users, int32_t num_items,
+                     const std::vector<Interaction>& train,
+                     const std::vector<Interaction>& valid,
+                     const std::vector<Interaction>& test) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.num_users = num_users;
+  ds.num_items = num_items;
+
+  ds.train.reserve(train.size());
+  for (const Interaction& x : train) ds.train.emplace_back(x.user, x.item);
+  std::sort(ds.train.begin(), ds.train.end());
+  ds.train.erase(std::unique(ds.train.begin(), ds.train.end()),
+                 ds.train.end());
+
+  ds.train_graph = graph::BipartiteGraph(num_users, num_items, ds.train);
+
+  // Cold-start filtering: a held-out interaction is kept only if both its
+  // user and item occur in training (paper §V-A).
+  auto fill = [&](const std::vector<Interaction>& src,
+                  std::vector<std::vector<int32_t>>* items,
+                  std::vector<int32_t>* users) {
+    items->assign(static_cast<size_t>(num_users), {});
+    for (const Interaction& x : src) {
+      LAYERGCN_CHECK(x.user >= 0 && x.user < num_users);
+      LAYERGCN_CHECK(x.item >= 0 && x.item < num_items);
+      if (ds.train_graph.UserDegree(x.user) == 0) continue;
+      if (ds.train_graph.ItemDegree(x.item) == 0) continue;
+      // Ignore held-out pairs that also appear in training (already known).
+      if (ds.train_graph.HasInteraction(x.user, x.item)) continue;
+      (*items)[static_cast<size_t>(x.user)].push_back(x.item);
+    }
+    for (int32_t u = 0; u < num_users; ++u) {
+      auto& v = (*items)[static_cast<size_t>(u)];
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      if (!v.empty()) users->push_back(u);
+    }
+  };
+  fill(valid, &ds.valid_items, &ds.valid_users);
+  fill(test, &ds.test_items, &ds.test_users);
+  return ds;
+}
+
+}  // namespace layergcn::data

@@ -1,0 +1,72 @@
+// Interaction records and the split Dataset consumed by trainers/evaluators.
+
+#ifndef LAYERGCN_DATA_DATASET_H_
+#define LAYERGCN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace layergcn::data {
+
+/// One observed user-item interaction (implicit feedback) with a timestamp
+/// used only for chronological splitting.
+struct Interaction {
+  int32_t user = 0;
+  int32_t item = 0;
+  int64_t timestamp = 0;
+};
+
+/// A fully prepared dataset: chronologically split interactions, the
+/// training bipartite graph, and per-user ground-truth sets for validation
+/// and testing (cold-start users/items already removed from the held-out
+/// portions, per paper §V-A).
+struct Dataset {
+  std::string name;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+
+  /// Training interactions as (user, item) pairs (deduplicated).
+  std::vector<std::pair<int32_t, int32_t>> train;
+
+  /// Ground truth: valid_items[u] / test_items[u] hold the held-out items of
+  /// user u, sorted ascending; empty when the user has no held-out items.
+  std::vector<std::vector<int32_t>> valid_items;
+  std::vector<std::vector<int32_t>> test_items;
+
+  /// Bipartite graph over the training interactions only.
+  graph::BipartiteGraph train_graph;
+
+  /// Users with at least one validation (resp. test) item.
+  std::vector<int32_t> valid_users;
+  std::vector<int32_t> test_users;
+
+  int64_t num_train() const { return static_cast<int64_t>(train.size()); }
+  int64_t num_valid() const;
+  int64_t num_test() const;
+  int64_t num_interactions() const {
+    return num_train() + num_valid() + num_test();
+  }
+
+  /// 1 − |interactions| / (|U|·|I|), as percent — the Sparsity column of
+  /// paper Table I.
+  double SparsityPercent() const;
+
+  /// One-line summary for logs.
+  std::string Summary() const;
+};
+
+/// Assembles a Dataset from already-split interaction lists: builds the
+/// training graph, drops valid/test interactions whose user or item is
+/// cold-start (absent from training), and fills the ground-truth tables.
+Dataset BuildDataset(std::string name, int32_t num_users, int32_t num_items,
+                     const std::vector<Interaction>& train,
+                     const std::vector<Interaction>& valid,
+                     const std::vector<Interaction>& test);
+
+}  // namespace layergcn::data
+
+#endif  // LAYERGCN_DATA_DATASET_H_

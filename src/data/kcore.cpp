@@ -1,0 +1,52 @@
+#include "data/kcore.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace layergcn::data {
+
+std::vector<Interaction> KCoreFilter(std::vector<Interaction> interactions,
+                                     int user_k, int item_k) {
+  LAYERGCN_CHECK(user_k >= 0 && item_k >= 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_map<int32_t, int> udeg, ideg;
+    for (const Interaction& x : interactions) {
+      ++udeg[x.user];
+      ++ideg[x.item];
+    }
+    std::vector<Interaction> kept;
+    kept.reserve(interactions.size());
+    for (const Interaction& x : interactions) {
+      if (udeg[x.user] >= user_k && ideg[x.item] >= item_k) {
+        kept.push_back(x);
+      }
+    }
+    if (kept.size() != interactions.size()) changed = true;
+    interactions = std::move(kept);
+  }
+  return interactions;
+}
+
+std::vector<Interaction> CompactIds(const std::vector<Interaction>& in,
+                                    int32_t* num_users, int32_t* num_items) {
+  std::unordered_map<int32_t, int32_t> umap, imap;
+  std::vector<Interaction> out;
+  out.reserve(in.size());
+  for (const Interaction& x : in) {
+    auto [uit, unew] = umap.try_emplace(
+        x.user, static_cast<int32_t>(umap.size()));
+    auto [iit, inew] = imap.try_emplace(
+        x.item, static_cast<int32_t>(imap.size()));
+    (void)unew;
+    (void)inew;
+    out.push_back({uit->second, iit->second, x.timestamp});
+  }
+  *num_users = static_cast<int32_t>(umap.size());
+  *num_items = static_cast<int32_t>(imap.size());
+  return out;
+}
+
+}  // namespace layergcn::data

@@ -1,0 +1,26 @@
+// Iterative k-core filtering of interaction lists (paper §V-A: 5-core for
+// the Amazon datasets, 10-core for Yelp).
+
+#ifndef LAYERGCN_DATA_KCORE_H_
+#define LAYERGCN_DATA_KCORE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace layergcn::data {
+
+/// Repeatedly removes users with fewer than `user_k` interactions and items
+/// with fewer than `item_k` interactions until a fixed point. Ids are NOT
+/// remapped (use CompactIds for that).
+std::vector<Interaction> KCoreFilter(std::vector<Interaction> interactions,
+                                     int user_k, int item_k);
+
+/// Remaps user and item ids to dense 0..n-1 ranges (ordered by first
+/// appearance in the list) and reports the new universe sizes.
+std::vector<Interaction> CompactIds(const std::vector<Interaction>& in,
+                                    int32_t* num_users, int32_t* num_items);
+
+}  // namespace layergcn::data
+
+#endif  // LAYERGCN_DATA_KCORE_H_

@@ -1,0 +1,65 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::data {
+
+std::vector<Interaction> LoadInteractions(const std::string& path,
+                                          const LoaderOptions& options,
+                                          int32_t* num_users,
+                                          int32_t* num_items) {
+  std::ifstream in(path);
+  LAYERGCN_CHECK(in.good()) << "cannot open " << path;
+  std::unordered_map<std::string, int32_t> umap, imap;
+  std::vector<Interaction> out;
+  std::string line;
+  int64_t line_no = 0;
+  const int needed = std::max(
+      {options.user_column, options.item_column, options.timestamp_column});
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no <= options.skip_lines) continue;
+    if (util::Trim(line).empty()) continue;
+    const std::vector<std::string> fields =
+        util::Split(line, options.delimiter);
+    LAYERGCN_CHECK_GT(static_cast<int>(fields.size()), needed)
+        << path << ":" << line_no << ": expected at least " << needed + 1
+        << " fields";
+    const std::string user(util::Trim(fields[static_cast<size_t>(
+        options.user_column)]));
+    const std::string item(util::Trim(fields[static_cast<size_t>(
+        options.item_column)]));
+    int64_t ts = line_no;  // fall back to row order
+    if (options.timestamp_column >= 0) {
+      double ts_value = 0.0;
+      LAYERGCN_CHECK(util::ParseDouble(
+          fields[static_cast<size_t>(options.timestamp_column)], &ts_value))
+          << path << ":" << line_no << ": bad timestamp";
+      ts = static_cast<int64_t>(ts_value);
+    }
+    const auto [uit, _u] =
+        umap.try_emplace(user, static_cast<int32_t>(umap.size()));
+    const auto [iit, _i] =
+        imap.try_emplace(item, static_cast<int32_t>(imap.size()));
+    out.push_back({uit->second, iit->second, ts});
+  }
+  *num_users = static_cast<int32_t>(umap.size());
+  *num_items = static_cast<int32_t>(imap.size());
+  return out;
+}
+
+void SaveInteractions(const std::string& path,
+                      const std::vector<Interaction>& interactions) {
+  std::ofstream out(path);
+  LAYERGCN_CHECK(out.good()) << "cannot write " << path;
+  for (const Interaction& x : interactions) {
+    out << x.user << "," << x.item << "," << x.timestamp << "\n";
+  }
+}
+
+}  // namespace layergcn::data

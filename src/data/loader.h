@@ -1,0 +1,45 @@
+// Loading interaction tables from delimited text files.
+//
+// Accepts the common "user,item,timestamp" layout (e.g. exported MOOC /
+// Amazon / Yelp dumps). Raw string ids are supported: non-numeric user/item
+// fields are hashed into dense ids via CompactIds-style first-appearance
+// mapping.
+
+#ifndef LAYERGCN_DATA_LOADER_H_
+#define LAYERGCN_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace layergcn::data {
+
+/// Options for LoadInteractions.
+struct LoaderOptions {
+  char delimiter = ',';
+  int user_column = 0;
+  int item_column = 1;
+  /// Set to -1 if the file has no timestamp column; row order is then used
+  /// as the timestamp.
+  int timestamp_column = 2;
+  /// Number of header lines to skip.
+  int skip_lines = 0;
+};
+
+/// Parses `path`. User/item fields may be arbitrary strings; they are mapped
+/// to dense ids by first appearance, and the universe sizes are returned via
+/// num_users / num_items. Malformed rows abort with a descriptive error.
+std::vector<Interaction> LoadInteractions(const std::string& path,
+                                          const LoaderOptions& options,
+                                          int32_t* num_users,
+                                          int32_t* num_items);
+
+/// Writes interactions as "user,item,timestamp" lines (round-trips with
+/// LoadInteractions under default options).
+void SaveInteractions(const std::string& path,
+                      const std::vector<Interaction>& interactions);
+
+}  // namespace layergcn::data
+
+#endif  // LAYERGCN_DATA_LOADER_H_

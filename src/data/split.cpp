@@ -1,0 +1,85 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace layergcn::data {
+
+Split ChronologicalSplit(std::vector<Interaction> interactions,
+                         double train_frac, double valid_frac) {
+  LAYERGCN_CHECK(train_frac > 0.0 && valid_frac > 0.0 &&
+                 train_frac + valid_frac < 1.0)
+      << "bad split fractions " << train_frac << "/" << valid_frac;
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& a, const Interaction& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              if (a.user != b.user) return a.user < b.user;
+              return a.item < b.item;
+            });
+  const size_t n = interactions.size();
+  const size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+  const size_t n_valid =
+      static_cast<size_t>(valid_frac * static_cast<double>(n));
+  Split out;
+  out.train.assign(interactions.begin(),
+                   interactions.begin() + static_cast<int64_t>(n_train));
+  out.valid.assign(interactions.begin() + static_cast<int64_t>(n_train),
+                   interactions.begin() +
+                       static_cast<int64_t>(n_train + n_valid));
+  out.test.assign(interactions.begin() +
+                      static_cast<int64_t>(n_train + n_valid),
+                  interactions.end());
+  return out;
+}
+
+Dataset ChronologicalSplitDataset(std::string name, int32_t num_users,
+                                  int32_t num_items,
+                                  std::vector<Interaction> interactions,
+                                  double train_frac, double valid_frac) {
+  Split s = ChronologicalSplit(std::move(interactions), train_frac, valid_frac);
+  return BuildDataset(std::move(name), num_users, num_items, s.train, s.valid,
+                      s.test);
+}
+
+Split LeaveOneOutSplit(std::vector<Interaction> interactions) {
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& a, const Interaction& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.item < b.item;
+            });
+  Split out;
+  size_t begin = 0;
+  while (begin < interactions.size()) {
+    size_t end = begin;
+    while (end < interactions.size() &&
+           interactions[end].user == interactions[begin].user) {
+      ++end;
+    }
+    const size_t count = end - begin;
+    if (count >= 3) {
+      out.train.insert(out.train.end(),
+                       interactions.begin() + static_cast<int64_t>(begin),
+                       interactions.begin() + static_cast<int64_t>(end - 2));
+      out.valid.push_back(interactions[end - 2]);
+      out.test.push_back(interactions[end - 1]);
+    } else {
+      out.train.insert(out.train.end(),
+                       interactions.begin() + static_cast<int64_t>(begin),
+                       interactions.begin() + static_cast<int64_t>(end));
+    }
+    begin = end;
+  }
+  return out;
+}
+
+Dataset LeaveOneOutDataset(std::string name, int32_t num_users,
+                           int32_t num_items,
+                           std::vector<Interaction> interactions) {
+  Split s = LeaveOneOutSplit(std::move(interactions));
+  return BuildDataset(std::move(name), num_users, num_items, s.train, s.valid,
+                      s.test);
+}
+
+}  // namespace layergcn::data

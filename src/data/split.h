@@ -1,0 +1,49 @@
+// Chronological 70/10/20 splitting (paper §V-A, following Ji et al. [46]).
+
+#ifndef LAYERGCN_DATA_SPLIT_H_
+#define LAYERGCN_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace layergcn::data {
+
+/// Result of a three-way split.
+struct Split {
+  std::vector<Interaction> train;
+  std::vector<Interaction> valid;
+  std::vector<Interaction> test;
+};
+
+/// Sorts all interactions globally by (timestamp, user, item) and cuts the
+/// first `train_frac` into train, the next `valid_frac` into valid, and the
+/// remainder into test. Fractions must be positive and sum to < 1 for a
+/// non-empty test set. The secondary (user, item) key makes ties
+/// deterministic.
+Split ChronologicalSplit(std::vector<Interaction> interactions,
+                         double train_frac = 0.7, double valid_frac = 0.1);
+
+/// Convenience: split + BuildDataset in one call.
+Dataset ChronologicalSplitDataset(std::string name, int32_t num_users,
+                                  int32_t num_items,
+                                  std::vector<Interaction> interactions,
+                                  double train_frac = 0.7,
+                                  double valid_frac = 0.1);
+
+/// Leave-one-out split — the other protocol common in the CF literature
+/// (e.g. NCF, UltraGCN's ablations): per user, the chronologically last
+/// interaction goes to test and the second-to-last to validation; the rest
+/// train. Users with fewer than 3 interactions contribute everything to
+/// training. Ties on timestamps break by (user, item) like
+/// ChronologicalSplit.
+Split LeaveOneOutSplit(std::vector<Interaction> interactions);
+
+/// Convenience: leave-one-out split + BuildDataset.
+Dataset LeaveOneOutDataset(std::string name, int32_t num_users,
+                           int32_t num_items,
+                           std::vector<Interaction> interactions);
+
+}  // namespace layergcn::data
+
+#endif  // LAYERGCN_DATA_SPLIT_H_

@@ -1,0 +1,81 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace layergcn::data {
+
+DegreeStats ComputeDegreeStats(const std::vector<int32_t>& degrees) {
+  DegreeStats s;
+  if (degrees.empty()) return s;
+  std::vector<int32_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = static_cast<int64_t>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const double total =
+      std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  s.mean = total / static_cast<double>(sorted.size());
+  const size_t n = sorted.size();
+  s.median = n % 2 == 1 ? sorted[n / 2]
+                        : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  if (total > 0.0) {
+    // Gini over the sorted sequence: G = (2 Σ_i i·x_i)/(n Σ x) − (n+1)/n,
+    // with 1-based i over ascending x.
+    double weighted = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    }
+    s.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+    // Share of interactions on the top 10% highest-degree nodes.
+    const size_t top = std::max<size_t>(1, n / 10);
+    double top_sum = 0.0;
+    for (size_t i = n - top; i < n; ++i) top_sum += sorted[i];
+    s.top10_share = top_sum / total;
+  }
+  return s;
+}
+
+std::vector<int64_t> LogDegreeHistogram(const std::vector<int32_t>& degrees,
+                                        int64_t* zero_count) {
+  *zero_count = 0;
+  std::vector<int64_t> hist;
+  for (int32_t d : degrees) {
+    if (d <= 0) {
+      ++*zero_count;
+      continue;
+    }
+    const size_t bucket = static_cast<size_t>(
+        std::floor(std::log2(static_cast<double>(d))));
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+std::string GraphStats::ToString() const {
+  return util::StrFormat(
+      "density %.5f | user degree mean %.2f median %.1f gini %.3f | "
+      "item degree mean %.2f median %.1f gini %.3f top10-share %.2f",
+      density, user_degrees.mean, user_degrees.median, user_degrees.gini,
+      item_degrees.mean, item_degrees.median, item_degrees.gini,
+      item_degrees.top10_share);
+}
+
+GraphStats ComputeGraphStats(const graph::BipartiteGraph& graph) {
+  GraphStats s;
+  s.user_degrees = ComputeDegreeStats(graph.user_degrees());
+  s.item_degrees = ComputeDegreeStats(graph.item_degrees());
+  const double cells = static_cast<double>(graph.num_users()) *
+                       static_cast<double>(graph.num_items());
+  s.density = cells > 0.0 ? static_cast<double>(graph.num_edges()) / cells
+                          : 0.0;
+  return s;
+}
+
+}  // namespace layergcn::data

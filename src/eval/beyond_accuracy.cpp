@@ -1,0 +1,74 @@
+#include "eval/beyond_accuracy.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::eval {
+
+std::string BeyondAccuracyMetrics::ToString() const {
+  return util::StrFormat(
+      "coverage=%.3f avg_popularity=%.1f exposure_gini=%.3f", coverage,
+      avg_popularity, gini);
+}
+
+BeyondAccuracyMetrics EvaluateBeyondAccuracy(
+    const data::Dataset& dataset, const ScoreFn& score_fn,
+    const std::vector<int32_t>& users, int k, int64_t chunk_size) {
+  LAYERGCN_CHECK_GT(k, 0);
+  const int64_t num_items = dataset.num_items;
+  std::vector<int64_t> exposure(static_cast<size_t>(num_items), 0);
+  double popularity_sum = 0.0;
+  int64_t rec_count = 0;
+  const auto& user_items = dataset.train_graph.user_items();
+
+  for (size_t begin = 0; begin < users.size();
+       begin += static_cast<size_t>(chunk_size)) {
+    const size_t end =
+        std::min(users.size(), begin + static_cast<size_t>(chunk_size));
+    const std::vector<int32_t> chunk(users.begin() + static_cast<int64_t>(begin),
+                                     users.begin() + static_cast<int64_t>(end));
+    const tensor::Matrix scores = score_fn(chunk);
+    LAYERGCN_CHECK(scores.rows() == static_cast<int64_t>(chunk.size()) &&
+                   scores.cols() == num_items);
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      const int32_t u = chunk[r];
+      std::vector<bool> excluded(static_cast<size_t>(num_items), false);
+      for (int32_t i : user_items[static_cast<size_t>(u)]) {
+        excluded[static_cast<size_t>(i)] = true;
+      }
+      for (int32_t i : TopKIndices(scores.row(static_cast<int64_t>(r)),
+                                   num_items, k, &excluded)) {
+        ++exposure[static_cast<size_t>(i)];
+        popularity_sum += dataset.train_graph.ItemDegree(i);
+        ++rec_count;
+      }
+    }
+  }
+
+  BeyondAccuracyMetrics out;
+  if (rec_count == 0) return out;
+  int64_t covered = 0;
+  for (int64_t e : exposure) covered += (e > 0);
+  out.coverage =
+      static_cast<double>(covered) / static_cast<double>(num_items);
+  out.avg_popularity = popularity_sum / static_cast<double>(rec_count);
+
+  // Gini over exposure counts (ascending).
+  std::vector<int64_t> sorted = exposure;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    total += static_cast<double>(sorted[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  }
+  const double n = static_cast<double>(sorted.size());
+  if (total > 0.0) {
+    out.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return out;
+}
+
+}  // namespace layergcn::eval

@@ -1,0 +1,45 @@
+// Beyond-accuracy evaluation: catalog coverage and popularity bias of the
+// recommendation lists.
+//
+// Accuracy metrics alone reward recommending popular items; the
+// degree-sensitive pruning of LayerGCN is motivated partly by hub
+// over-smoothing, so these diagnostics show *what* a model recommends:
+//
+//   * coverage@K      — fraction of the catalog appearing in at least one
+//                       user's top-K,
+//   * avg_popularity  — mean training degree of recommended items (lower =
+//                       more long-tail exposure),
+//   * gini@K          — Gini coefficient of recommendation counts across
+//                       items (lower = exposure spread more evenly).
+
+#ifndef LAYERGCN_EVAL_BEYOND_ACCURACY_H_
+#define LAYERGCN_EVAL_BEYOND_ACCURACY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+
+namespace layergcn::eval {
+
+/// Beyond-accuracy summary of top-K recommendation lists.
+struct BeyondAccuracyMetrics {
+  double coverage = 0.0;        // in [0, 1]
+  double avg_popularity = 0.0;  // mean training item degree of recs
+  double gini = 0.0;            // exposure inequality across items
+
+  std::string ToString() const;
+};
+
+/// Computes the metrics over the top-K lists of the given users (training
+/// items excluded, all-ranking protocol). `score_fn` is the same callback
+/// the Evaluator uses.
+BeyondAccuracyMetrics EvaluateBeyondAccuracy(
+    const data::Dataset& dataset, const ScoreFn& score_fn,
+    const std::vector<int32_t>& users, int k, int64_t chunk_size = 512);
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_BEYOND_ACCURACY_H_

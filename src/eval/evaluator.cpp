@@ -1,0 +1,118 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace layergcn::eval {
+
+Evaluator::Evaluator(const data::Dataset* dataset, std::vector<int> ks,
+                     int64_t chunk_size)
+    : dataset_(dataset), ks_(std::move(ks)), chunk_size_(chunk_size) {
+  LAYERGCN_CHECK(dataset != nullptr);
+  LAYERGCN_CHECK(!ks_.empty());
+  LAYERGCN_CHECK_GT(chunk_size_, 0);
+  max_k_ = *std::max_element(ks_.begin(), ks_.end());
+}
+
+RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
+                                   EvalSplit split) const {
+  const auto& users = split == EvalSplit::kValidation ? dataset_->valid_users
+                                                      : dataset_->test_users;
+  const auto& truth = split == EvalSplit::kValidation ? dataset_->valid_items
+                                                      : dataset_->test_items;
+  RankingMetrics out;
+  for (int k : ks_) {
+    out.recall[k] = 0.0;
+    out.ndcg[k] = 0.0;
+  }
+  if (users.empty()) return out;
+
+  const auto& user_items = dataset_->train_graph.user_items();
+  const int64_t num_items = dataset_->num_items;
+
+  for (size_t begin = 0; begin < users.size();
+       begin += static_cast<size_t>(chunk_size_)) {
+    const size_t end =
+        std::min(users.size(), begin + static_cast<size_t>(chunk_size_));
+    const std::vector<int32_t> chunk(users.begin() + static_cast<int64_t>(begin),
+                                     users.begin() + static_cast<int64_t>(end));
+    const tensor::Matrix scores = score_fn(chunk);
+    LAYERGCN_CHECK(scores.rows() == static_cast<int64_t>(chunk.size()) &&
+                   scores.cols() == num_items)
+        << "score matrix must be |users| x num_items";
+
+    // Rank and accumulate per user; parallel over the chunk with per-thread
+    // partial sums folded in deterministically afterwards.
+    std::vector<std::vector<double>> recall_parts(
+        chunk.size(), std::vector<double>(ks_.size(), 0.0));
+    std::vector<std::vector<double>> ndcg_parts(
+        chunk.size(), std::vector<double>(ks_.size(), 0.0));
+    util::ParallelFor(0, static_cast<int64_t>(chunk.size()), [&](int64_t r) {
+      const int32_t u = chunk[static_cast<size_t>(r)];
+      // Exclude training items (all-ranking protocol).
+      std::vector<bool> excluded(static_cast<size_t>(num_items), false);
+      for (int32_t i : user_items[static_cast<size_t>(u)]) {
+        excluded[static_cast<size_t>(i)] = true;
+      }
+      const std::vector<int32_t> ranked =
+          TopKIndices(scores.row(r), num_items, max_k_, &excluded);
+      const auto& gt = truth[static_cast<size_t>(u)];
+      for (size_t ki = 0; ki < ks_.size(); ++ki) {
+        recall_parts[static_cast<size_t>(r)][ki] =
+            RecallAtK(ranked, gt, ks_[ki]);
+        ndcg_parts[static_cast<size_t>(r)][ki] = NdcgAtK(ranked, gt, ks_[ki]);
+      }
+    });
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      for (size_t ki = 0; ki < ks_.size(); ++ki) {
+        out.recall[ks_[ki]] += recall_parts[r][ki];
+        out.ndcg[ks_[ki]] += ndcg_parts[r][ki];
+      }
+    }
+  }
+  const double n = static_cast<double>(users.size());
+  for (int k : ks_) {
+    out.recall[k] /= n;
+    out.ndcg[k] /= n;
+  }
+  return out;
+}
+
+Evaluator::PerUser Evaluator::EvaluatePerUser(const ScoreFn& score_fn,
+                                              EvalSplit split, int k) const {
+  const auto& users = split == EvalSplit::kValidation ? dataset_->valid_users
+                                                      : dataset_->test_users;
+  const auto& truth = split == EvalSplit::kValidation ? dataset_->valid_items
+                                                      : dataset_->test_items;
+  const auto& user_items = dataset_->train_graph.user_items();
+  const int64_t num_items = dataset_->num_items;
+
+  PerUser out;
+  out.recall.resize(users.size());
+  out.ndcg.resize(users.size());
+  for (size_t begin = 0; begin < users.size();
+       begin += static_cast<size_t>(chunk_size_)) {
+    const size_t end =
+        std::min(users.size(), begin + static_cast<size_t>(chunk_size_));
+    const std::vector<int32_t> chunk(users.begin() + static_cast<int64_t>(begin),
+                                     users.begin() + static_cast<int64_t>(end));
+    const tensor::Matrix scores = score_fn(chunk);
+    util::ParallelFor(0, static_cast<int64_t>(chunk.size()), [&](int64_t r) {
+      const int32_t u = chunk[static_cast<size_t>(r)];
+      std::vector<bool> excluded(static_cast<size_t>(num_items), false);
+      for (int32_t i : user_items[static_cast<size_t>(u)]) {
+        excluded[static_cast<size_t>(i)] = true;
+      }
+      const std::vector<int32_t> ranked =
+          TopKIndices(scores.row(r), num_items, k, &excluded);
+      const auto& gt = truth[static_cast<size_t>(u)];
+      out.recall[begin + static_cast<size_t>(r)] = RecallAtK(ranked, gt, k);
+      out.ndcg[begin + static_cast<size_t>(r)] = NdcgAtK(ranked, gt, k);
+    });
+  }
+  return out;
+}
+
+}  // namespace layergcn::eval

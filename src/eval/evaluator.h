@@ -1,0 +1,60 @@
+// All-ranking evaluation of a recommender over a Dataset split.
+//
+// The Evaluator is model-agnostic: it pulls score rows through a callback so
+// any scoring function (GCN embeddings, MF, VAE decoders) can be plugged in.
+// Scoring and ranking run in parallel over user chunks.
+
+#ifndef LAYERGCN_EVAL_EVALUATOR_H_
+#define LAYERGCN_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tensor/matrix.h"
+
+namespace layergcn::eval {
+
+/// Scoring callback: returns a |users| x num_items matrix of preference
+/// scores for the given users.
+using ScoreFn =
+    std::function<tensor::Matrix(const std::vector<int32_t>& users)>;
+
+/// Which held-out split to evaluate.
+enum class EvalSplit { kValidation, kTest };
+
+/// All-ranking evaluator.
+class Evaluator {
+ public:
+  /// `dataset` must outlive the evaluator. `ks` are the cutoffs (paper uses
+  /// {10, 20, 50}).
+  Evaluator(const data::Dataset* dataset, std::vector<int> ks,
+            int64_t chunk_size = 512);
+
+  /// Computes mean Recall@K / NDCG@K over all users with ground truth in
+  /// the chosen split. Training items are excluded from the candidates
+  /// (all-ranking protocol).
+  RankingMetrics Evaluate(const ScoreFn& score_fn, EvalSplit split) const;
+
+  /// Per-user metric values (for paired significance tests): one entry per
+  /// user with ground truth, in `users()` order.
+  struct PerUser {
+    std::vector<double> recall;  // at ks[primary_index]
+    std::vector<double> ndcg;
+  };
+  PerUser EvaluatePerUser(const ScoreFn& score_fn, EvalSplit split,
+                          int k) const;
+
+  const std::vector<int>& ks() const { return ks_; }
+
+ private:
+  const data::Dataset* dataset_;
+  std::vector<int> ks_;
+  int max_k_;
+  int64_t chunk_size_;
+};
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_EVALUATOR_H_

@@ -1,0 +1,138 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace layergcn::eval {
+
+std::string RankingMetrics::ToString() const {
+  std::ostringstream ss;
+  bool first = true;
+  for (const auto& [k, v] : recall) {
+    if (!first) ss << " ";
+    first = false;
+    ss << "R@" << k << "=" << v;
+  }
+  for (const auto& [k, v] : ndcg) {
+    ss << " N@" << k << "=" << v;
+  }
+  return ss.str();
+}
+
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::vector<int32_t>& ground_truth, int k) {
+  if (ground_truth.empty()) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(i)])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(ground_truth.size());
+}
+
+double NdcgAtK(const std::vector<int32_t>& ranked,
+               const std::vector<int32_t>& ground_truth, int k) {
+  if (ground_truth.empty()) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  double dcg = 0.0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(i)])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);  // rank i+1
+    }
+  }
+  const int ideal = std::min<int>(k, static_cast<int>(ground_truth.size()));
+  double idcg = 0.0;
+  for (int i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::vector<int32_t>& ground_truth, int k) {
+  if (ground_truth.empty() || k <= 0) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(i)])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double HitRateAtK(const std::vector<int32_t>& ranked,
+                  const std::vector<int32_t>& ground_truth, int k) {
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(i)])) {
+      return 1.0;
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecisionAtK(const std::vector<int32_t>& ranked,
+                           const std::vector<int32_t>& ground_truth, int k) {
+  if (ground_truth.empty() || k <= 0) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  int hits = 0;
+  double sum = 0.0;
+  for (int i = 0; i < limit; ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(i)])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const int denom = std::min<int>(k, static_cast<int>(ground_truth.size()));
+  return denom > 0 ? sum / denom : 0.0;
+}
+
+double ReciprocalRank(const std::vector<int32_t>& ranked,
+                      const std::vector<int32_t>& ground_truth) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<int32_t> TopKIndices(const float* scores, int64_t n, int k,
+                                 const std::vector<bool>* excluded) {
+  LAYERGCN_CHECK_GT(k, 0);
+  // Min-heap of (score, -index) keeps the k best with deterministic
+  // tie-breaking (lower index wins ties).
+  using Entry = std::pair<float, int64_t>;  // (score, -index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int64_t i = 0; i < n; ++i) {
+    if (excluded != nullptr && (*excluded)[static_cast<size_t>(i)]) continue;
+    const Entry e{scores[i], -i};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push(e);
+    } else if (e > heap.top()) {
+      heap.pop();
+      heap.push(e);
+    }
+  }
+  std::vector<int32_t> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<int32_t>(-heap.top().second);
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace layergcn::eval

@@ -1,0 +1,64 @@
+// Ranking metrics: Recall@K and NDCG@K (paper Eqs. 26-27).
+//
+// Metrics follow the all-ranking protocol: for each user every item they
+// have not interacted with in training is a candidate; the top-K of the
+// score vector is compared against the held-out ground truth.
+
+#ifndef LAYERGCN_EVAL_METRICS_H_
+#define LAYERGCN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace layergcn::eval {
+
+/// Metric values keyed by K (e.g. {10: ..., 20: ..., 50: ...}).
+struct RankingMetrics {
+  std::map<int, double> recall;
+  std::map<int, double> ndcg;
+
+  /// "R@20=0.3979 N@20=0.2272 ..." for logs.
+  std::string ToString() const;
+};
+
+/// Recall@K for one user: |top-K hits| / |ground truth| (Eq. 26).
+/// `ranked` is the recommendation list (best first, at least K long or
+/// shorter if the candidate set is small); `ground_truth` must be sorted
+/// ascending.
+double RecallAtK(const std::vector<int32_t>& ranked,
+                 const std::vector<int32_t>& ground_truth, int k);
+
+/// NDCG@K for one user with binary relevance: DCG@K / IDCG@K where
+/// DCG@K = Σ_{i<=K} [hit_i] / log2(i + 1) (Eq. 27; 2^rel − 1 = rel for
+/// binary relevance).
+double NdcgAtK(const std::vector<int32_t>& ranked,
+               const std::vector<int32_t>& ground_truth, int k);
+
+/// Precision@K: |top-K hits| / K.
+double PrecisionAtK(const std::vector<int32_t>& ranked,
+                    const std::vector<int32_t>& ground_truth, int k);
+
+/// HitRate@K: 1 if any ground-truth item appears in the top-K, else 0.
+double HitRateAtK(const std::vector<int32_t>& ranked,
+                  const std::vector<int32_t>& ground_truth, int k);
+
+/// MAP@K: mean of precision-at-hit over the first K positions, normalized
+/// by min(K, |ground truth|).
+double AveragePrecisionAtK(const std::vector<int32_t>& ranked,
+                           const std::vector<int32_t>& ground_truth, int k);
+
+/// MRR: reciprocal rank of the first hit anywhere in `ranked` (0 if none).
+double ReciprocalRank(const std::vector<int32_t>& ranked,
+                      const std::vector<int32_t>& ground_truth);
+
+/// Selects the indices of the `k` largest scores (ties broken by lower
+/// index), best first. `excluded` marks indices to skip (training items).
+/// O(n log k) partial heap selection.
+std::vector<int32_t> TopKIndices(const float* scores, int64_t n, int k,
+                                 const std::vector<bool>* excluded = nullptr);
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_METRICS_H_

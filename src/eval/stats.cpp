@@ -1,0 +1,91 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace layergcn::eval {
+
+double Mean(const std::vector<double>& xs) {
+  LAYERGCN_CHECK(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  LAYERGCN_CHECK_GE(xs.size(), 2u);
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // Continued fraction (Numerical-Recipes-style modified Lentz). Use the
+  // symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to keep the fraction convergent.
+  const double ln_beta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - ln_beta);
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - IncompleteBeta(b, a, 1.0 - x);
+  }
+  constexpr double kTiny = 1e-300;
+  constexpr int kMaxIter = 300;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double num = m * (b - m) * x / ((a + m2 - 1.0) * (a + m2));
+    d = 1.0 + num * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + num / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    num = -(a + m) * (a + b + m) * x / ((a + m2) * (a + m2 + 1.0));
+    d = 1.0 + num * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + num / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-12) break;
+  }
+  return front * h / a;
+}
+
+double StudentTTwoSidedP(double t, int df) {
+  LAYERGCN_CHECK_GE(df, 1);
+  const double x =
+      static_cast<double>(df) / (static_cast<double>(df) + t * t);
+  return IncompleteBeta(static_cast<double>(df) / 2.0, 0.5, x);
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  LAYERGCN_CHECK_EQ(a.size(), b.size());
+  LAYERGCN_CHECK_GE(a.size(), 2u);
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double mu = Mean(diff);
+  const double sd = SampleStdDev(diff);
+  TTestResult r;
+  r.degrees_of_freedom = static_cast<int>(a.size()) - 1;
+  if (sd == 0.0) {
+    r.t_statistic = mu == 0.0 ? 0.0 : (mu > 0.0 ? 1e30 : -1e30);
+    r.p_value = mu == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = mu / (sd / std::sqrt(static_cast<double>(a.size())));
+  r.p_value = StudentTTwoSidedP(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+}  // namespace layergcn::eval

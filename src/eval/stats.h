@@ -1,0 +1,39 @@
+// Statistical helpers: paired t-test for the significance marks in paper
+// Table II ("significant at the level of p < 0.05 with a paired t-test").
+
+#ifndef LAYERGCN_EVAL_STATS_H_
+#define LAYERGCN_EVAL_STATS_H_
+
+#include <vector>
+
+namespace layergcn::eval {
+
+/// Result of a paired t-test.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;  // two-sided
+  int degrees_of_freedom = 0;
+};
+
+/// Two-sided paired t-test over matched samples a and b (same length >= 2).
+/// Returns p = 1 when the differences have zero variance and zero mean.
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (n-1 denominator).
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Regularized incomplete beta function I_x(a, b) via continued fractions
+/// (Lentz), used for the Student-t CDF. Exposed for testing.
+double IncompleteBeta(double a, double b, double x);
+
+/// Student-t two-sided tail probability for statistic `t` with `df` degrees
+/// of freedom.
+double StudentTTwoSidedP(double t, int df);
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_STATS_H_

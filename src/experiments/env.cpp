@@ -1,0 +1,78 @@
+#include "experiments/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::experiments {
+namespace {
+
+bool FlagValue(std::string_view arg, std::string_view name,
+               std::string_view* value) {
+  if (!util::StartsWith(arg, name)) return false;
+  arg.remove_prefix(name.size());
+  if (arg.empty() || arg[0] != '=') return false;
+  *value = arg.substr(1);
+  return true;
+}
+
+}  // namespace
+
+Env ParseEnv(int argc, char** argv) {
+  Env env;
+  if (const char* s = std::getenv("REPRO_SCALE")) {
+    double v;
+    if (util::ParseDouble(s, &v)) env.scale = v;
+  }
+  if (const char* s = std::getenv("REPRO_EPOCHS")) {
+    int64_t v;
+    if (util::ParseInt64(s, &v)) env.max_epochs = static_cast<int>(v);
+  }
+  if (const char* s = std::getenv("REPRO_SEED")) {
+    int64_t v;
+    if (util::ParseInt64(s, &v)) env.seed = static_cast<uint64_t>(v);
+  }
+  if (const char* s = std::getenv("REPRO_FULL")) {
+    env.full = std::string_view(s) == "1";
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    std::string_view value;
+    if (FlagValue(arg, "--scale", &value)) {
+      double v;
+      LAYERGCN_CHECK(util::ParseDouble(value, &v)) << "bad --scale";
+      env.scale = v;
+    } else if (FlagValue(arg, "--epochs", &value)) {
+      int64_t v;
+      LAYERGCN_CHECK(util::ParseInt64(value, &v)) << "bad --epochs";
+      env.max_epochs = static_cast<int>(v);
+    } else if (FlagValue(arg, "--seed", &value)) {
+      int64_t v;
+      LAYERGCN_CHECK(util::ParseInt64(value, &v)) << "bad --seed";
+      env.seed = static_cast<uint64_t>(v);
+    } else if (arg == "--full") {
+      env.full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--scale=F] [--epochs=N] [--seed=N] [--full]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      LAYERGCN_CHECK(false) << "unknown flag: " << arg;
+    }
+  }
+  return env;
+}
+
+void PrintBanner(const std::string& title, const Env& env) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("scale=%.2f seed=%llu%s%s\n", env.scale,
+              static_cast<unsigned long long>(env.seed),
+              env.max_epochs > 0 ? " (epoch override)" : "",
+              env.full ? " [FULL]" : " [fast profile]");
+}
+
+}  // namespace layergcn::experiments

@@ -1,0 +1,48 @@
+// Shared experiment-environment handling for the bench binaries.
+//
+// Every bench accepts the same overrides, from flags or environment
+// variables (flags win):
+//
+//   --scale=F / REPRO_SCALE    dataset scale multiplier (default 1.0)
+//   --epochs=N / REPRO_EPOCHS  cap on training epochs
+//   --seed=N / REPRO_SEED      RNG seed (default 42)
+//   --full / REPRO_FULL=1      full-size run (default is a fast profile
+//                              sized for a small CPU box)
+
+#ifndef LAYERGCN_EXPERIMENTS_ENV_H_
+#define LAYERGCN_EXPERIMENTS_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace layergcn::experiments {
+
+/// Parsed experiment environment.
+struct Env {
+  double scale = 1.0;
+  int max_epochs = 0;  // 0 = use the bench's default
+  uint64_t seed = 42;
+  bool full = false;
+
+  /// Effective epoch budget: the override if set, otherwise fast/full
+  /// defaults provided by the bench.
+  int Epochs(int fast_default, int full_default) const {
+    if (max_epochs > 0) return max_epochs;
+    return full ? full_default : fast_default;
+  }
+
+  /// Effective dataset scale: `scale` times the bench's fast/full base.
+  double Scale(double fast_base, double full_base) const {
+    return scale * (full ? full_base : fast_base);
+  }
+};
+
+/// Parses argv + environment. Unknown flags abort with a usage message.
+Env ParseEnv(int argc, char** argv);
+
+/// Prints the standard experiment banner (binary name + env).
+void PrintBanner(const std::string& title, const Env& env);
+
+}  // namespace layergcn::experiments
+
+#endif  // LAYERGCN_EXPERIMENTS_ENV_H_

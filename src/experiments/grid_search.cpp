@@ -1,0 +1,147 @@
+#include "experiments/grid_search.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::experiments {
+
+SearchDimension L2RegDimension(std::vector<double> values) {
+  return {"l2_reg", std::move(values),
+          [](train::TrainConfig* cfg, double v) { cfg->l2_reg = v; }};
+}
+
+SearchDimension EdgeDropRatioDimension(std::vector<double> values) {
+  return {"edge_drop_ratio", std::move(values),
+          [](train::TrainConfig* cfg, double v) {
+            cfg->edge_drop_ratio = v;
+            if (v == 0.0) cfg->edge_drop_kind = graph::EdgeDropKind::kNone;
+          }};
+}
+
+SearchDimension LearningRateDimension(std::vector<double> values) {
+  return {"learning_rate", std::move(values),
+          [](train::TrainConfig* cfg, double v) { cfg->learning_rate = v; }};
+}
+
+SearchDimension NumLayersDimension(std::vector<int> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return {"num_layers", std::move(as_double),
+          [](train::TrainConfig* cfg, double v) {
+            cfg->num_layers = static_cast<int>(v);
+          }};
+}
+
+SearchDimension EmbeddingDimDimension(std::vector<int> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return {"embedding_dim", std::move(as_double),
+          [](train::TrainConfig* cfg, double v) {
+            cfg->embedding_dim = static_cast<int>(v);
+          }};
+}
+
+std::string SearchResult::Report(
+    const std::vector<SearchDimension>& dims) const {
+  std::ostringstream ss;
+  for (const SearchTrial& trial : trials) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      ss << dims[d].name << "=" << trial.assignment[d] << " ";
+    }
+    ss << "-> valid " << util::StrFormat("%.4f", trial.valid_score)
+       << " (epoch " << trial.best_epoch << ")\n";
+  }
+  ss << "best:";
+  for (size_t d = 0; d < dims.size(); ++d) {
+    ss << " " << dims[d].name << "=" << best.assignment[d];
+  }
+  ss << " valid " << util::StrFormat("%.4f", best.valid_score) << "\n";
+  return ss.str();
+}
+
+namespace {
+
+// Enumerates all assignments of the cartesian product.
+void EnumerateGrid(const std::vector<SearchDimension>& dims, size_t depth,
+                   std::vector<double>* current,
+                   std::vector<std::vector<double>>* out) {
+  if (depth == dims.size()) {
+    out->push_back(*current);
+    return;
+  }
+  for (double v : dims[depth].values) {
+    current->push_back(v);
+    EnumerateGrid(dims, depth + 1, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+SearchResult GridSearch(
+    const std::function<std::unique_ptr<train::Recommender>()>& make_model,
+    const data::Dataset& dataset, const train::TrainConfig& base_config,
+    const std::vector<SearchDimension>& dimensions,
+    const SearchOptions& options) {
+  LAYERGCN_CHECK(!dimensions.empty());
+  for (const SearchDimension& d : dimensions) {
+    LAYERGCN_CHECK(!d.values.empty()) << "empty dimension " << d.name;
+  }
+
+  std::vector<std::vector<double>> assignments;
+  {
+    std::vector<double> scratch;
+    EnumerateGrid(dimensions, 0, &scratch, &assignments);
+  }
+  if (options.max_trials > 0 &&
+      static_cast<size_t>(options.max_trials) < assignments.size()) {
+    // Random subset without replacement, deterministic under the seed.
+    util::Rng rng(options.seed ^ 0xA5A5A5A5ULL);
+    const auto picked = util::UniformSampleWithoutReplacement(
+        static_cast<int64_t>(assignments.size()), options.max_trials, &rng);
+    std::vector<std::vector<double>> subset;
+    subset.reserve(picked.size());
+    for (int64_t idx : picked) {
+      subset.push_back(assignments[static_cast<size_t>(idx)]);
+    }
+    assignments = std::move(subset);
+  }
+
+  train::TrainOptions train_options;
+  train_options.validation_k = options.validation_k;
+  train_options.report_ks = options.report_ks;
+
+  SearchResult result;
+  result.trials.reserve(assignments.size());
+  int best_index = -1;
+  for (const std::vector<double>& assignment : assignments) {
+    train::TrainConfig cfg = base_config;
+    cfg.seed = options.seed;
+    for (size_t d = 0; d < dimensions.size(); ++d) {
+      dimensions[d].apply(&cfg, assignment[d]);
+    }
+    auto model = make_model();
+    const train::TrainResult r =
+        train::FitRecommender(model.get(), dataset, cfg, train_options);
+    SearchTrial trial;
+    trial.assignment = assignment;
+    trial.valid_score = r.best_valid_score;
+    trial.best_epoch = r.best_epoch;
+    if (options.verbose) {
+      LAYERGCN_LOG(kInfo) << "trial valid=" << trial.valid_score;
+    }
+    result.trials.push_back(trial);
+    if (best_index < 0 ||
+        trial.valid_score > result.trials[static_cast<size_t>(best_index)]
+                                .valid_score) {
+      best_index = static_cast<int>(result.trials.size()) - 1;
+      result.best_test_metrics = r.test_metrics;
+    }
+  }
+  result.best = result.trials[static_cast<size_t>(best_index)];
+  return result;
+}
+
+}  // namespace layergcn::experiments

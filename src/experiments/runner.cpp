@@ -1,0 +1,40 @@
+#include "experiments/runner.h"
+
+#include "util/table_printer.h"
+
+namespace layergcn::experiments {
+
+RunRow RunModel(const std::string& model_name, const data::Dataset& dataset,
+                const train::TrainConfig& config,
+                const train::TrainOptions& options,
+                std::vector<train::CheckpointMetrics>* checkpoints) {
+  std::unique_ptr<train::Recommender> model = core::CreateModel(model_name);
+  const train::TrainConfig adapted = core::AdaptConfig(model_name, config);
+  RunRow row;
+  row.model = model_name;
+  row.dataset = dataset.name;
+  row.result =
+      train::FitRecommender(model.get(), dataset, adapted, options,
+                            checkpoints);
+  return row;
+}
+
+std::vector<std::string> MetricCells(const eval::RankingMetrics& metrics,
+                                     const std::vector<int>& ks) {
+  std::vector<std::string> cells;
+  for (int k : ks) {
+    const auto it = metrics.recall.find(k);
+    if (it != metrics.recall.end()) {
+      cells.push_back(util::TablePrinter::Num(it->second));
+    }
+  }
+  for (int k : ks) {
+    const auto it = metrics.ndcg.find(k);
+    if (it != metrics.ndcg.end()) {
+      cells.push_back(util::TablePrinter::Num(it->second));
+    }
+  }
+  return cells;
+}
+
+}  // namespace layergcn::experiments

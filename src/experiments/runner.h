@@ -1,0 +1,37 @@
+// Shared drivers for the table/figure benches: run a named model on a
+// dataset and collect the paper's metrics.
+
+#ifndef LAYERGCN_EXPERIMENTS_RUNNER_H_
+#define LAYERGCN_EXPERIMENTS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model_factory.h"
+#include "data/dataset.h"
+#include "train/trainer.h"
+
+namespace layergcn::experiments {
+
+/// One (model, dataset) result row.
+struct RunRow {
+  std::string model;
+  std::string dataset;
+  train::TrainResult result;
+};
+
+/// Trains `model_name` (factory name) on `dataset` with the given config
+/// (adapted per-model via core::AdaptConfig) and returns the row.
+RunRow RunModel(const std::string& model_name, const data::Dataset& dataset,
+                const train::TrainConfig& config,
+                const train::TrainOptions& options = {},
+                std::vector<train::CheckpointMetrics>* checkpoints = nullptr);
+
+/// Formats the paper's six metric columns R@10 R@20 R@50 N@10 N@20 N@50
+/// from a metrics object (missing cutoffs are skipped).
+std::vector<std::string> MetricCells(const eval::RankingMetrics& metrics,
+                                     const std::vector<int>& ks);
+
+}  // namespace layergcn::experiments
+
+#endif  // LAYERGCN_EXPERIMENTS_RUNNER_H_

@@ -1,0 +1,111 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace layergcn::graph {
+
+BipartiteGraph::BipartiteGraph(
+    int32_t num_users, int32_t num_items,
+    const std::vector<std::pair<int32_t, int32_t>>& interactions)
+    : num_users_(num_users), num_items_(num_items) {
+  LAYERGCN_CHECK_GE(num_users, 0);
+  LAYERGCN_CHECK_GE(num_items, 0);
+
+  std::vector<std::pair<int32_t, int32_t>> pairs = interactions;
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  edge_user_.reserve(pairs.size());
+  edge_item_.reserve(pairs.size());
+  user_degree_.assign(static_cast<size_t>(num_users), 0);
+  item_degree_.assign(static_cast<size_t>(num_items), 0);
+  user_items_.assign(static_cast<size_t>(num_users), {});
+
+  for (const auto& [u, i] : pairs) {
+    LAYERGCN_CHECK(u >= 0 && u < num_users) << "user id " << u;
+    LAYERGCN_CHECK(i >= 0 && i < num_items) << "item id " << i;
+    edge_user_.push_back(u);
+    edge_item_.push_back(i);
+    ++user_degree_[static_cast<size_t>(u)];
+    ++item_degree_[static_cast<size_t>(i)];
+    user_items_[static_cast<size_t>(u)].push_back(i);
+  }
+  // pairs were sorted, so each user's item list is already ascending.
+}
+
+sparse::CooMatrix BipartiteGraph::Adjacency() const {
+  sparse::CooMatrix coo;
+  coo.rows = num_nodes();
+  coo.cols = num_nodes();
+  coo.entries.reserve(edge_user_.size() * 2);
+  for (size_t k = 0; k < edge_user_.size(); ++k) {
+    const int32_t u = edge_user_[k];
+    const int32_t i = static_cast<int32_t>(ItemNode(edge_item_[k]));
+    coo.entries.push_back({u, i, 1.f});
+    coo.entries.push_back({i, u, 1.f});
+  }
+  return coo;
+}
+
+sparse::CsrMatrix BipartiteGraph::NormalizedAdjacency() const {
+  return sparse::SymmetricNormalize(Adjacency());
+}
+
+sparse::CooMatrix BipartiteGraph::AdjacencySubset(
+    const std::vector<int64_t>& kept) const {
+  sparse::CooMatrix coo;
+  coo.rows = num_nodes();
+  coo.cols = num_nodes();
+  coo.entries.reserve(kept.size() * 2);
+  for (int64_t k : kept) {
+    LAYERGCN_CHECK(k >= 0 && k < num_edges()) << "edge index " << k;
+    const int32_t u = edge_user_[static_cast<size_t>(k)];
+    const int32_t i =
+        static_cast<int32_t>(ItemNode(edge_item_[static_cast<size_t>(k)]));
+    coo.entries.push_back({u, i, 1.f});
+    coo.entries.push_back({i, u, 1.f});
+  }
+  return coo;
+}
+
+sparse::CsrMatrix BipartiteGraph::NormalizedAdjacencySubset(
+    const std::vector<int64_t>& kept) const {
+  return sparse::SymmetricNormalize(AdjacencySubset(kept));
+}
+
+std::vector<double> BipartiteGraph::DegreeSensitiveEdgeWeights() const {
+  std::vector<double> w(edge_user_.size());
+  for (size_t k = 0; k < edge_user_.size(); ++k) {
+    const double du = user_degree_[static_cast<size_t>(edge_user_[k])];
+    const double di = item_degree_[static_cast<size_t>(edge_item_[k])];
+    // Degrees are >= 1 by construction (the edge itself contributes).
+    w[k] = 1.0 / (std::sqrt(du) * std::sqrt(di));
+  }
+  return w;
+}
+
+bool BipartiteGraph::HasInteraction(int32_t u, int32_t i) const {
+  LAYERGCN_CHECK(u >= 0 && u < num_users_);
+  const auto& items = user_items_[static_cast<size_t>(u)];
+  return std::binary_search(items.begin(), items.end(), i);
+}
+
+std::vector<double> BipartiteGraph::ItemDegreeCdf(
+    const std::vector<double>& thresholds) const {
+  std::vector<int32_t> degrees = item_degree_;
+  std::sort(degrees.begin(), degrees.end());
+  std::vector<double> cdf;
+  cdf.reserve(thresholds.size());
+  const double n = static_cast<double>(std::max<size_t>(degrees.size(), 1));
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(degrees.begin(), degrees.end(), t);
+    cdf.push_back(static_cast<double>(it - degrees.begin()) / n);
+  }
+  return cdf;
+}
+
+}  // namespace layergcn::graph

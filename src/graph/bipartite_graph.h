@@ -1,0 +1,102 @@
+// The user-item bipartite interaction graph and its (normalized) adjacency.
+//
+// Node indexing convention used throughout the library: the unified node id
+// space has users first, items after — user u is node u, item i is node
+// num_users + i, matching the block adjacency of paper Eq. 4:
+//
+//   A = [[0, R], [Rᵀ, 0]]  ∈ R^{N x N},  N = N_U + N_I.
+
+#ifndef LAYERGCN_GRAPH_BIPARTITE_GRAPH_H_
+#define LAYERGCN_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+
+namespace layergcn::graph {
+
+/// Immutable user-item interaction graph.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Builds from unique (user, item) interaction pairs. Duplicate pairs are
+  /// tolerated (deduplicated). Ids must satisfy 0 <= user < num_users and
+  /// 0 <= item < num_items.
+  BipartiteGraph(int32_t num_users, int32_t num_items,
+                 const std::vector<std::pair<int32_t, int32_t>>& interactions);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  /// Total node count N = N_U + N_I.
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(num_users_) + num_items_;
+  }
+  /// Number of user-item edges M (each counted once, not twice).
+  int64_t num_edges() const { return static_cast<int64_t>(edge_user_.size()); }
+
+  const std::vector<int32_t>& edge_users() const { return edge_user_; }
+  const std::vector<int32_t>& edge_items() const { return edge_item_; }
+
+  /// Degree of user u (number of interacted items).
+  int32_t UserDegree(int32_t u) const { return user_degree_[u]; }
+  /// Degree of item i (number of interacting users).
+  int32_t ItemDegree(int32_t i) const { return item_degree_[i]; }
+  const std::vector<int32_t>& user_degrees() const { return user_degree_; }
+  const std::vector<int32_t>& item_degrees() const { return item_degree_; }
+
+  /// Unified node id of item i.
+  int64_t ItemNode(int32_t i) const {
+    return static_cast<int64_t>(num_users_) + i;
+  }
+
+  /// Symmetric COO adjacency A of Eq. 4 over the unified node space (each
+  /// interaction contributes two entries).
+  sparse::CooMatrix Adjacency() const;
+
+  /// Â = D^{-1/2} A D^{-1/2}, the LightGCN/LayerGCN transition matrix
+  /// (no self-loops).
+  sparse::CsrMatrix NormalizedAdjacency() const;
+
+  /// Adjacency restricted to the edge subset `kept` (indices into the edge
+  /// arrays), symmetric COO over the unified node space. Used to build the
+  /// pruned adjacency A_p of §III-B1.
+  sparse::CooMatrix AdjacencySubset(const std::vector<int64_t>& kept) const;
+
+  /// Re-normalized pruned transition matrix Â_p from an edge subset.
+  sparse::CsrMatrix NormalizedAdjacencySubset(
+      const std::vector<int64_t>& kept) const;
+
+  /// Keep-probability weights of paper Eq. 5: p_{e_k} = 1/(√d_i √d_j) for
+  /// the edge's two endpoints (unnormalized; the sampler normalizes).
+  std::vector<double> DegreeSensitiveEdgeWeights() const;
+
+  /// Items each user interacted with, sorted ascending (adjacency lists for
+  /// negative sampling and evaluation).
+  const std::vector<std::vector<int32_t>>& user_items() const {
+    return user_items_;
+  }
+
+  /// True if user u interacted with item i. O(log deg(u)).
+  bool HasInteraction(int32_t u, int32_t i) const;
+
+  /// Cumulative distribution of item degrees evaluated at the given degree
+  /// thresholds: out[k] = fraction of items with degree <= thresholds[k]
+  /// (paper Fig. 4).
+  std::vector<double> ItemDegreeCdf(const std::vector<double>& thresholds) const;
+
+ private:
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  std::vector<int32_t> edge_user_;
+  std::vector<int32_t> edge_item_;
+  std::vector<int32_t> user_degree_;
+  std::vector<int32_t> item_degree_;
+  std::vector<std::vector<int32_t>> user_items_;
+};
+
+}  // namespace layergcn::graph
+
+#endif  // LAYERGCN_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,76 @@
+#include "graph/edge_dropout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace layergcn::graph {
+
+EdgeDropKind EdgeDropKindFromString(const std::string& s) {
+  if (s == "none") return EdgeDropKind::kNone;
+  if (s == "dropedge") return EdgeDropKind::kDropEdge;
+  if (s == "degreedrop") return EdgeDropKind::kDegreeDrop;
+  if (s == "mixed") return EdgeDropKind::kMixed;
+  LAYERGCN_CHECK(false) << "unknown edge dropout kind: " << s;
+  return EdgeDropKind::kNone;
+}
+
+std::string ToString(EdgeDropKind kind) {
+  switch (kind) {
+    case EdgeDropKind::kNone:
+      return "none";
+    case EdgeDropKind::kDropEdge:
+      return "dropedge";
+    case EdgeDropKind::kDegreeDrop:
+      return "degreedrop";
+    case EdgeDropKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+EdgeDropout::EdgeDropout(const BipartiteGraph* graph, EdgeDropKind kind,
+                         double ratio)
+    : graph_(graph), kind_(kind), ratio_(ratio) {
+  LAYERGCN_CHECK(graph != nullptr);
+  LAYERGCN_CHECK(ratio >= 0.0 && ratio < 1.0)
+      << "pruning ratio must be in [0, 1), got " << ratio;
+  if (kind_ == EdgeDropKind::kNone) ratio_ = 0.0;
+  const int64_t m = graph_->num_edges();
+  num_kept_ = m - static_cast<int64_t>(std::llround(ratio_ * static_cast<double>(m)));
+  LAYERGCN_CHECK_GE(num_kept_, 0);
+  if (kind_ == EdgeDropKind::kDegreeDrop || kind_ == EdgeDropKind::kMixed) {
+    degree_weights_ = graph_->DegreeSensitiveEdgeWeights();
+  }
+}
+
+std::vector<int64_t> EdgeDropout::SampleKeptEdges(util::Rng* rng,
+                                                  int epoch) const {
+  const int64_t m = graph_->num_edges();
+  if (kind_ == EdgeDropKind::kNone || num_kept_ == m) {
+    std::vector<int64_t> all(static_cast<size_t>(m));
+    for (int64_t k = 0; k < m; ++k) all[static_cast<size_t>(k)] = k;
+    return all;
+  }
+  EdgeDropKind effective = kind_;
+  if (kind_ == EdgeDropKind::kMixed) {
+    effective =
+        (epoch % 2 == 0) ? EdgeDropKind::kDegreeDrop : EdgeDropKind::kDropEdge;
+  }
+  if (effective == EdgeDropKind::kDegreeDrop) {
+    return util::WeightedSampleWithoutReplacement(degree_weights_, num_kept_,
+                                                  rng);
+  }
+  return util::UniformSampleWithoutReplacement(m, num_kept_, rng);
+}
+
+sparse::CsrMatrix EdgeDropout::SampleAdjacency(util::Rng* rng,
+                                               int epoch) const {
+  if (kind_ == EdgeDropKind::kNone || num_kept_ == graph_->num_edges()) {
+    return graph_->NormalizedAdjacency();
+  }
+  return graph_->NormalizedAdjacencySubset(SampleKeptEdges(rng, epoch));
+}
+
+}  // namespace layergcn::graph

@@ -1,0 +1,65 @@
+// Edge-dropout samplers: DegreeDrop (paper §III-B1), DropEdge (uniform,
+// Rong et al. 2020), and their alternating mixture (paper Table V).
+//
+// During training, LayerGCN propagates over the pruned re-normalized
+// adjacency Â_p and resamples it every epoch; at inference it uses the full
+// Â. DegreeDrop keeps edge e=(i,j) with probability proportional to
+// 1/(√d_i √d_j) (Eq. 5) and samples M−m edges without replacement from the
+// resulting multinomial, so edges between two popular nodes are pruned
+// preferentially — the nodes most prone to over-smoothing per GCNII.
+
+#ifndef LAYERGCN_GRAPH_EDGE_DROPOUT_H_
+#define LAYERGCN_GRAPH_EDGE_DROPOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "sparse/csr_matrix.h"
+#include "util/rng.h"
+
+namespace layergcn::graph {
+
+/// Which pruning distribution to use.
+enum class EdgeDropKind {
+  kNone,        // no pruning: Â_p == Â
+  kDropEdge,    // uniform (DropEdge)
+  kDegreeDrop,  // degree-sensitive (paper Eq. 5)
+  kMixed,       // alternate DegreeDrop / DropEdge by epoch parity (Table V)
+};
+
+/// Parses "none" / "dropedge" / "degreedrop" / "mixed".
+EdgeDropKind EdgeDropKindFromString(const std::string& s);
+std::string ToString(EdgeDropKind kind);
+
+/// Per-epoch sampler of the pruned, re-normalized adjacency Â_p.
+class EdgeDropout {
+ public:
+  /// `graph` must outlive the sampler. `ratio` is the fraction m/M of edges
+  /// to prune, in [0, 1).
+  EdgeDropout(const BipartiteGraph* graph, EdgeDropKind kind, double ratio);
+
+  /// Samples the kept-edge index set for one epoch. For kMixed, even epochs
+  /// use DegreeDrop and odd epochs use DropEdge.
+  std::vector<int64_t> SampleKeptEdges(util::Rng* rng, int epoch) const;
+
+  /// Samples Â_p for one epoch (re-normalized over the pruned graph). With
+  /// kNone or ratio == 0 this is the full Â.
+  sparse::CsrMatrix SampleAdjacency(util::Rng* rng, int epoch) const;
+
+  EdgeDropKind kind() const { return kind_; }
+  double ratio() const { return ratio_; }
+  /// Number of edges kept per sample.
+  int64_t num_kept() const { return num_kept_; }
+
+ private:
+  const BipartiteGraph* graph_;
+  EdgeDropKind kind_;
+  double ratio_;
+  int64_t num_kept_;
+  std::vector<double> degree_weights_;  // Eq. 5 weights, cached
+};
+
+}  // namespace layergcn::graph
+
+#endif  // LAYERGCN_GRAPH_EDGE_DROPOUT_H_

@@ -1,0 +1,2 @@
+// BprMf is header-only; this translation unit anchors the library.
+#include "models/bpr_mf.h"

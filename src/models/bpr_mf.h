@@ -1,0 +1,28 @@
+// BPR matrix factorization (Rendle et al. 2009) — the classic CF baseline
+// in paper Table II.
+
+#ifndef LAYERGCN_MODELS_BPR_MF_H_
+#define LAYERGCN_MODELS_BPR_MF_H_
+
+#include <string>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::models {
+
+/// Plain embedding dot-product model trained with the pairwise BPR loss —
+/// i.e. a 0-layer GCN.
+class BprMf : public EmbeddingRecommender {
+ public:
+  std::string name() const override { return "BPR"; }
+
+ protected:
+  ag::Var Propagate(ag::Tape* /*tape*/, ag::Var x0, bool /*training*/,
+                    util::Rng* /*rng*/) override {
+    return x0;
+  }
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_BPR_MF_H_

@@ -1,0 +1,132 @@
+#include "models/buir.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void Buir::Init(const data::Dataset& dataset, const train::TrainConfig& config,
+                util::Rng* rng) {
+  dataset_ = &dataset;
+  config_ = config;
+  adam_ = train::Adam(train::AdamConfig{.learning_rate = config.learning_rate});
+  adjacency_ = dataset.train_graph.NormalizedAdjacency();
+  sampler_ = std::make_unique<train::BprSampler>(&dataset.train_graph);
+
+  const int64_t n = dataset.train_graph.num_nodes();
+  online_emb_ = train::Parameter("buir_online", n, config.embedding_dim);
+  online_emb_.InitXavier(rng);
+  predictor_w_ =
+      train::Parameter("buir_pred_w", config.embedding_dim,
+                       config.embedding_dim);
+  predictor_w_.InitXavier(rng);
+  predictor_b_ = train::Parameter("buir_pred_b", 1, config.embedding_dim);
+  predictor_b_.InitConstant(0.f);
+  target_emb_ = online_emb_.value;  // target starts as a copy
+}
+
+tensor::Matrix Buir::PropagatePlain(const tensor::Matrix& x0) const {
+  tensor::Matrix acc = x0;
+  tensor::Matrix x = x0;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    x = adjacency_.Multiply(x);
+    tensor::AddInPlace(&acc, x);
+  }
+  tensor::ScaleInPlace(&acc, 1.f / static_cast<float>(config_.num_layers + 1));
+  return acc;
+}
+
+void Buir::BeginEpoch(int /*epoch*/, util::Rng* /*rng*/) {
+  // Refresh the propagated target representations once per epoch.
+  target_final_ = PropagatePlain(target_emb_);
+}
+
+std::vector<train::Parameter*> Buir::Params() {
+  return {&online_emb_, &predictor_w_, &predictor_b_};
+}
+
+double Buir::TrainEpoch(util::Rng* rng, std::vector<double>* batch_losses) {
+  sampler_->BeginEpoch(rng);
+  train::BprBatch batch;
+  double total = 0.0;
+  int64_t batches = 0;
+  std::vector<train::Parameter*> params = Params();
+  const int32_t nu = dataset_->num_users;
+  const double m = config_.buir_momentum;
+
+  while (sampler_->NextBatch(config_.batch_size, rng, &batch)) {
+    std::vector<int32_t> item_rows(batch.pos_items.size());
+    for (size_t k = 0; k < batch.pos_items.size(); ++k) {
+      item_rows[k] = batch.pos_items[k] + nu;
+    }
+
+    ag::Tape tape;
+    ag::Var x0 = tape.Parameter(&online_emb_.value, &online_emb_.grad);
+    ag::Var w = tape.Parameter(&predictor_w_.value, &predictor_w_.grad);
+    ag::Var bias = tape.Parameter(&predictor_b_.value, &predictor_b_.grad);
+
+    // Online LightGCN propagation.
+    std::vector<ag::Var> layers{x0};
+    ag::Var x = x0;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      x = ag::SpMMSymmetric(&adjacency_, x);
+      layers.push_back(x);
+    }
+    ag::Var online_final = ag::Scale(
+        ag::AddN(layers), 1.f / static_cast<float>(layers.size()));
+
+    ag::Var ou = ag::GatherRows(online_final, batch.users);
+    ag::Var oi = ag::GatherRows(online_final, item_rows);
+    ag::Var pu = ag::AddRowVector(ag::MatMul(ou, w), bias);
+    ag::Var pi = ag::AddRowVector(ag::MatMul(oi, w), bias);
+
+    ag::Var tu = tape.Constant(tensor::GatherRows(target_final_, batch.users));
+    ag::Var ti = tape.Constant(tensor::GatherRows(target_final_, item_rows));
+
+    // 2 − 2·cos on both directions.
+    ag::Var cos_ui = ag::RowwiseCosine(pu, ti, 1e-8f);
+    ag::Var cos_iu = ag::RowwiseCosine(pi, tu, 1e-8f);
+    ag::Var loss = ag::AddScalar(
+        ag::Scale(ag::Add(ag::Mean(cos_ui), ag::Mean(cos_iu)), -2.f), 4.f);
+
+    tape.Backward(loss);
+    adam_.Step(params);
+
+    // EMA target update after every step: θ_tg ← m θ_tg + (1−m) θ_on.
+    float* tg = target_emb_.data();
+    const float* on = online_emb_.value.data();
+    const float mf = static_cast<float>(m);
+    for (int64_t i = 0; i < target_emb_.size(); ++i) {
+      tg[i] = mf * tg[i] + (1.f - mf) * on[i];
+    }
+
+    const double lv = tape.value(loss).scalar();
+    total += lv;
+    if (batch_losses != nullptr) batch_losses->push_back(lv);
+    ++batches;
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+void Buir::PrepareEval() {
+  online_final_ = PropagatePlain(online_emb_.value);
+  target_final_ = PropagatePlain(target_emb_);
+}
+
+tensor::Matrix Buir::ScoreUsers(const std::vector<int32_t>& users) const {
+  LAYERGCN_CHECK(!online_final_.empty());
+  // BUIR scores with the sum of both encoders' representations.
+  namespace t = layergcn::tensor;
+  const int32_t nu = dataset_->num_users;
+  std::vector<int32_t> item_rows(static_cast<size_t>(dataset_->num_items));
+  for (int32_t i = 0; i < dataset_->num_items; ++i) {
+    item_rows[static_cast<size_t>(i)] = nu + i;
+  }
+  tensor::Matrix u = t::Add(t::GatherRows(online_final_, users),
+                            t::GatherRows(target_final_, users));
+  tensor::Matrix v = t::Add(t::GatherRows(online_final_, item_rows),
+                            t::GatherRows(target_final_, item_rows));
+  return t::MatMul(u, v, false, true);
+}
+
+}  // namespace layergcn::models

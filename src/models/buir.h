@@ -1,0 +1,62 @@
+// BUIR (Lee et al., SIGIR 2021): bootstrapping user and item
+// representations for one-class collaborative filtering.
+//
+// Two encoders share the LightGCN backbone: the *online* encoder is trained
+// by gradient descent; the *target* encoder is a slow exponential moving
+// average of the online one and receives no gradients. For a positive pair
+// (u, i) the online prediction of u must match the target representation of
+// i and vice versa — no negative sampling:
+//
+//   L = ‖norm(q(f_on(u))) − norm(f_tg(i))‖² + ‖norm(q(f_on(i))) − norm(f_tg(u))‖²
+//     = (2 − 2·cos(q(f_on(u)), f_tg(i))) + (2 − 2·cos(q(f_on(i)), f_tg(u))).
+
+#ifndef LAYERGCN_MODELS_BUIR_H_
+#define LAYERGCN_MODELS_BUIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "sparse/csr_matrix.h"
+#include "train/adam.h"
+#include "train/bpr_sampler.h"
+#include "train/recommender.h"
+
+namespace layergcn::models {
+
+/// BUIR with a LightGCN backbone and a linear predictor head.
+class Buir : public train::Recommender {
+ public:
+  std::string name() const override { return "BUIR"; }
+
+  void Init(const data::Dataset& dataset, const train::TrainConfig& config,
+            util::Rng* rng) override;
+  void BeginEpoch(int epoch, util::Rng* rng) override;
+  double TrainEpoch(util::Rng* rng,
+                    std::vector<double>* batch_losses) override;
+  void PrepareEval() override;
+  tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  std::vector<train::Parameter*> Params() override;
+
+ private:
+  /// LightGCN mean-readout propagation of a plain matrix (no autograd).
+  tensor::Matrix PropagatePlain(const tensor::Matrix& x0) const;
+
+  const data::Dataset* dataset_ = nullptr;
+  train::TrainConfig config_;
+  train::Adam adam_;
+  sparse::CsrMatrix adjacency_;
+  std::unique_ptr<train::BprSampler> sampler_;
+
+  train::Parameter online_emb_;    // trained
+  train::Parameter predictor_w_;   // T x T head
+  train::Parameter predictor_b_;   // 1 x T
+  tensor::Matrix target_emb_;      // EMA of online_emb_, no gradients
+  tensor::Matrix target_final_;    // propagated target, refreshed per epoch
+  tensor::Matrix online_final_;    // propagated online, for scoring
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_BUIR_H_

@@ -1,0 +1,74 @@
+#include "models/ehcf.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void Ehcf::Init(const data::Dataset& dataset, const train::TrainConfig& config,
+                util::Rng* rng) {
+  dataset_ = &dataset;
+  config_ = config;
+  adam_ = train::Adam(train::AdamConfig{.learning_rate = config.learning_rate});
+  user_emb_ = train::Parameter("ehcf_users", dataset.num_users,
+                               config.embedding_dim);
+  item_emb_ = train::Parameter("ehcf_items", dataset.num_items,
+                               config.embedding_dim);
+  user_emb_.InitXavier(rng);
+  item_emb_.InitXavier(rng);
+}
+
+std::vector<train::Parameter*> Ehcf::Params() {
+  return {&user_emb_, &item_emb_};
+}
+
+double Ehcf::TrainEpoch(util::Rng* /*rng*/,
+                        std::vector<double>* batch_losses) {
+  const auto& g = dataset_->train_graph;
+  const float c_pos = 1.f;
+  const float c_neg = static_cast<float>(neg_weight_);
+
+  double total = 0.0;
+  std::vector<train::Parameter*> params = Params();
+  for (int step = 0; step < steps_per_epoch_; ++step) {
+    ag::Tape tape;
+    ag::Var users = tape.Parameter(&user_emb_.value, &user_emb_.grad);
+    ag::Var items = tape.Parameter(&item_emb_.value, &item_emb_.grad);
+
+    // Positive part: Σ_pos [(c⁺−c⁻) r̂² − 2 c⁺ r̂].
+    ag::Var eu = ag::GatherRows(users, g.edge_users());
+    ag::Var ei = ag::GatherRows(items, g.edge_items());
+    ag::Var pos_scores = ag::RowDots(eu, ei);
+    ag::Var pos_part =
+        ag::Add(ag::Scale(ag::Sum(ag::Square(pos_scores)), c_pos - c_neg),
+                ag::Scale(ag::Sum(pos_scores), -2.f * c_pos));
+
+    // All-cell part: c⁻ · ⟨UᵀU, VᵀV⟩_F = c⁻ Σ_{u,i} r̂²_{ui}.
+    ag::Var gram_u = ag::MatMul(users, users, /*trans_a=*/true);
+    ag::Var gram_v = ag::MatMul(items, items, /*trans_a=*/true);
+    ag::Var all_part =
+        ag::Scale(ag::Sum(ag::Hadamard(gram_u, gram_v)), c_neg);
+
+    // Normalize by M so the loss magnitude is comparable across datasets.
+    const float inv_m = 1.f / static_cast<float>(g.num_edges());
+    ag::Var loss = ag::Scale(ag::Add(pos_part, all_part), inv_m);
+    if (config_.l2_reg > 0.0) {
+      ag::Var reg = ag::AddN({ag::SumSquares(users), ag::SumSquares(items)});
+      loss = ag::Add(loss, ag::Scale(reg, static_cast<float>(config_.l2_reg)));
+    }
+
+    tape.Backward(loss);
+    adam_.Step(params);
+    const double lv = tape.value(loss).scalar();
+    total += lv;
+    if (batch_losses != nullptr) batch_losses->push_back(lv);
+  }
+  return total / static_cast<double>(steps_per_epoch_);
+}
+
+tensor::Matrix Ehcf::ScoreUsers(const std::vector<int32_t>& users) const {
+  const tensor::Matrix u = tensor::GatherRows(user_emb_.value, users);
+  return tensor::MatMul(u, item_emb_.value, false, true);
+}
+
+}  // namespace layergcn::models

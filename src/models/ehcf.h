@@ -1,0 +1,61 @@
+// EHCF (Chen et al., AAAI 2020): efficient heterogeneous collaborative
+// filtering *without negative sampling*.
+//
+// The whole-data weighted regression loss
+//
+//   L = Σ_u Σ_i c_ui (r_ui − x_u·y_i)²,   c_ui = c⁺ for positives, c⁻ else
+//
+// is evaluated over ALL user-item cells in closed form without enumerating
+// the negatives:
+//
+//   L = Σ_pos [(c⁺−c⁻)·r̂² − 2c⁺·r̂] + c⁻·Σ_{all} r̂² + const
+//     = Σ_pos [(c⁺−c⁻)·r̂² − 2c⁺·r̂] + c⁻·⟨UᵀU, VᵀV⟩_F + const,
+//
+// which costs O((M + N)·T²) per step instead of O(N_U·N_I·T).
+//
+// Simplification vs. the original: EHCF stacks per-behavior transfer
+// matrices for multi-behavior data; our datasets are single-behavior, so
+// the model reduces to this efficient non-sampling objective (DESIGN.md §3).
+
+#ifndef LAYERGCN_MODELS_EHCF_H_
+#define LAYERGCN_MODELS_EHCF_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "train/adam.h"
+#include "train/recommender.h"
+
+namespace layergcn::models {
+
+/// Non-sampling whole-data CF with the EHCF efficient loss.
+class Ehcf : public train::Recommender {
+ public:
+  /// c⁺ = 1, c⁻ = negative_weight (uniform missing-data confidence).
+  explicit Ehcf(double negative_weight = 0.05, int steps_per_epoch = 4)
+      : neg_weight_(negative_weight), steps_per_epoch_(steps_per_epoch) {}
+
+  std::string name() const override { return "EHCF"; }
+
+  void Init(const data::Dataset& dataset, const train::TrainConfig& config,
+            util::Rng* rng) override;
+  double TrainEpoch(util::Rng* rng,
+                    std::vector<double>* batch_losses) override;
+  void PrepareEval() override {}
+  tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  std::vector<train::Parameter*> Params() override;
+
+ private:
+  const data::Dataset* dataset_ = nullptr;
+  train::TrainConfig config_;
+  train::Adam adam_;
+  double neg_weight_;
+  int steps_per_epoch_;
+  train::Parameter user_emb_;  // N_U x T
+  train::Parameter item_emb_;  // N_I x T
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_EHCF_H_

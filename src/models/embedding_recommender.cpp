@@ -1,0 +1,129 @@
+#include "models/embedding_recommender.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void EmbeddingRecommender::Init(const data::Dataset& dataset,
+                                const train::TrainConfig& config,
+                                util::Rng* rng) {
+  dataset_ = &dataset;
+  config_ = config;
+  adam_ = train::Adam(train::AdamConfig{.learning_rate = config.learning_rate});
+
+  const int64_t n = dataset.train_graph.num_nodes();
+  embeddings_ = train::Parameter("embeddings", n, config.embedding_dim);
+  embeddings_.InitXavier(rng);
+  extra_params_.clear();
+  InitExtraParams(config, rng);
+
+  full_adjacency_ = dataset.train_graph.NormalizedAdjacency();
+  uses_dropout_ = UsesEdgeDropout() && config.edge_drop_ratio > 0.0 &&
+                  config.edge_drop_kind != graph::EdgeDropKind::kNone;
+  if (uses_dropout_) {
+    edge_dropout_ = std::make_unique<graph::EdgeDropout>(
+        &dataset.train_graph, config.edge_drop_kind, config.edge_drop_ratio);
+  }
+  sampler_ = std::make_unique<train::BprSampler>(&dataset.train_graph,
+                                                 config.negative_sampling);
+}
+
+void EmbeddingRecommender::InitExtraParams(
+    const train::TrainConfig& /*config*/, util::Rng* /*rng*/) {}
+
+void EmbeddingRecommender::BeginEpoch(int epoch, util::Rng* rng) {
+  if (uses_dropout_) {
+    // Resample Â_p once per epoch (§III-B1).
+    pruned_adjacency_ = edge_dropout_->SampleAdjacency(rng, epoch);
+  }
+}
+
+ag::Var EmbeddingRecommender::BatchLoss(ag::Tape* tape, ag::Var x0,
+                                        const train::BprBatch& batch,
+                                        util::Rng* rng) {
+  ag::Var final_emb = Propagate(tape, x0, /*training=*/true, rng);
+
+  // Item rows live at offset N_U in the unified node space.
+  const int32_t nu = dataset_->num_users;
+  std::vector<int32_t> pos_rows(batch.pos_items.size());
+  std::vector<int32_t> neg_rows(batch.neg_items.size());
+  for (size_t k = 0; k < batch.pos_items.size(); ++k) {
+    pos_rows[k] = batch.pos_items[k] + nu;
+    neg_rows[k] = batch.neg_items[k] + nu;
+  }
+  ag::Var eu = ag::GatherRows(final_emb, batch.users);
+  ag::Var ei = ag::GatherRows(final_emb, pos_rows);
+  ag::Var ej = ag::GatherRows(final_emb, neg_rows);
+
+  // -log σ(r_ui − r_uj) = softplus(r_uj − r_ui).
+  ag::Var pos_scores = ag::RowDots(eu, ei);
+  ag::Var neg_scores = ag::RowDots(eu, ej);
+  ag::Var bpr = ag::Mean(ag::Softplus(ag::Sub(neg_scores, pos_scores)));
+
+  if (config_.l2_reg > 0.0) {
+    // λ‖X⁰‖² restricted to the embeddings used by the batch (the standard
+    // BPR regularization granularity), normalized by batch size.
+    ag::Var e0u = ag::GatherRows(x0, batch.users);
+    ag::Var e0i = ag::GatherRows(x0, pos_rows);
+    ag::Var e0j = ag::GatherRows(x0, neg_rows);
+    ag::Var reg = ag::AddN({ag::SumSquares(e0u), ag::SumSquares(e0i),
+                            ag::SumSquares(e0j)});
+    const float coef = static_cast<float>(
+        config_.l2_reg / static_cast<double>(batch.size()));
+    return ag::Add(bpr, ag::Scale(reg, coef));
+  }
+  return bpr;
+}
+
+double EmbeddingRecommender::TrainEpoch(util::Rng* rng,
+                                        std::vector<double>* batch_losses) {
+  sampler_->BeginEpoch(rng);
+  train::BprBatch batch;
+  double total = 0.0;
+  int64_t batches = 0;
+  std::vector<train::Parameter*> params = Params();
+  while (sampler_->NextBatch(config_.batch_size, rng, &batch)) {
+    ag::Tape tape;
+    ag::Var x0 = tape.Parameter(&embeddings_.value, &embeddings_.grad);
+    ag::Var loss = BatchLoss(&tape, x0, batch, rng);
+    tape.Backward(loss);
+    adam_.Step(params);
+    AfterBatch();
+    const double loss_value = tape.value(loss).scalar();
+    total += loss_value;
+    if (batch_losses != nullptr) batch_losses->push_back(loss_value);
+    ++batches;
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+void EmbeddingRecommender::PrepareEval() {
+  ag::Tape tape;
+  ag::Var x0 = tape.Parameter(&embeddings_.value, &embeddings_.grad);
+  ag::Var final_emb = Propagate(&tape, x0, /*training=*/false, nullptr);
+  final_cache_ = tape.value(final_emb);
+}
+
+tensor::Matrix EmbeddingRecommender::ScoreUsers(
+    const std::vector<int32_t>& users) const {
+  LAYERGCN_CHECK(!final_cache_.empty())
+      << "PrepareEval() must run before scoring";
+  const tensor::Matrix user_block = tensor::GatherRows(final_cache_, users);
+  // Item block: rows N_U .. N_U + N_I.
+  std::vector<int32_t> item_rows(static_cast<size_t>(dataset_->num_items));
+  for (int32_t i = 0; i < dataset_->num_items; ++i) {
+    item_rows[static_cast<size_t>(i)] = dataset_->num_users + i;
+  }
+  const tensor::Matrix item_block =
+      tensor::GatherRows(final_cache_, item_rows);
+  return tensor::MatMul(user_block, item_block, false, true);
+}
+
+std::vector<train::Parameter*> EmbeddingRecommender::Params() {
+  std::vector<train::Parameter*> out{&embeddings_};
+  out.insert(out.end(), extra_params_.begin(), extra_params_.end());
+  return out;
+}
+
+}  // namespace layergcn::models

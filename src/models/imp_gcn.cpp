@@ -1,0 +1,110 @@
+#include "models/imp_gcn.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void ImpGcn::BeginEpoch(int epoch, util::Rng* rng) {
+  EmbeddingRecommender::BeginEpoch(epoch, rng);
+  RefreshGroups(rng);
+}
+
+void ImpGcn::RefreshGroups(util::Rng* rng) {
+  const auto& g = dataset_->train_graph;
+  const int32_t nu = g.num_users();
+  const int groups = std::max(1, config_.imp_num_groups);
+
+  // Fused interest feature per user: row-normalized X⁰_u + (ÂX⁰)_u.
+  const sparse::CsrMatrix* adj = adjacency(/*training=*/false);
+  tensor::Matrix prop = adj->Multiply(embeddings_.value);
+  tensor::AddInPlace(&prop, embeddings_.value);
+  std::vector<int32_t> user_rows(static_cast<size_t>(nu));
+  for (int32_t u = 0; u < nu; ++u) user_rows[static_cast<size_t>(u)] = u;
+  tensor::Matrix feat =
+      tensor::NormalizeRowsL2(tensor::GatherRows(prop, user_rows));
+
+  // Spherical k-means, few iterations (features are unit rows, so cosine
+  // similarity is the inner product).
+  const int64_t t = feat.cols();
+  tensor::Matrix centroids(groups, t);
+  for (int c = 0; c < groups; ++c) {
+    const int32_t seed_user = rng->NextInt(0, nu);
+    std::copy(feat.row(seed_user), feat.row(seed_user) + t,
+              centroids.row(c));
+  }
+  user_group_.assign(static_cast<size_t>(nu), 0);
+  constexpr int kIters = 5;
+  for (int iter = 0; iter < kIters; ++iter) {
+    // Assign.
+    for (int32_t u = 0; u < nu; ++u) {
+      const float* fu = feat.row(u);
+      int best = 0;
+      double best_sim = -1e30;
+      for (int c = 0; c < groups; ++c) {
+        const float* cc = centroids.row(c);
+        double sim = 0.0;
+        for (int64_t d = 0; d < t; ++d) sim += fu[d] * cc[d];
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      user_group_[static_cast<size_t>(u)] = best;
+    }
+    // Update.
+    centroids.Zero();
+    for (int32_t u = 0; u < nu; ++u) {
+      float* cc = centroids.row(user_group_[static_cast<size_t>(u)]);
+      const float* fu = feat.row(u);
+      for (int64_t d = 0; d < t; ++d) cc[d] += fu[d];
+    }
+    centroids = tensor::NormalizeRowsL2(centroids);
+  }
+
+  // Per-group normalized adjacency over the full node space with only the
+  // group's users' edges.
+  group_adjacency_.clear();
+  group_adjacency_.reserve(static_cast<size_t>(groups));
+  const auto& edge_users = g.edge_users();
+  for (int c = 0; c < groups; ++c) {
+    std::vector<int64_t> kept;
+    for (int64_t e = 0; e < g.num_edges(); ++e) {
+      if (user_group_[static_cast<size_t>(edge_users[static_cast<size_t>(e)])] ==
+          c) {
+        kept.push_back(e);
+      }
+    }
+    group_adjacency_.push_back(g.NormalizedAdjacencySubset(kept));
+  }
+}
+
+ag::Var ImpGcn::Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                          util::Rng* /*rng*/) {
+  LAYERGCN_CHECK(!group_adjacency_.empty())
+      << "BeginEpoch() must run before propagation";
+  const sparse::CsrMatrix* adj = adjacency(training);
+  // Layer 1 is shared across groups.
+  ag::Var x1 = ag::SpMMSymmetric(adj, x0);
+  std::vector<ag::Var> layers{x0, x1};
+
+  // Higher layers: per-group propagation; the sum over groups yields the
+  // combined layer embedding (a user's row is non-zero only in its own
+  // group's output; item rows accumulate over groups).
+  std::vector<ag::Var> group_x(group_adjacency_.size(), x1);
+  for (int l = 1; l < config_.num_layers; ++l) {
+    std::vector<ag::Var> outs;
+    outs.reserve(group_adjacency_.size());
+    for (size_t c = 0; c < group_adjacency_.size(); ++c) {
+      group_x[c] = ag::SpMMSymmetric(&group_adjacency_[c], group_x[c]);
+      outs.push_back(group_x[c]);
+    }
+    layers.push_back(outs.size() == 1 ? outs[0] : ag::AddN(outs));
+  }
+  (void)tape;
+  return ag::Scale(ag::AddN(layers), 1.f / static_cast<float>(layers.size()));
+}
+
+}  // namespace layergcn::models

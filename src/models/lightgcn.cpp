@@ -1,0 +1,53 @@
+#include "models/lightgcn.h"
+
+#include "tensor/ops.h"
+
+namespace layergcn::models {
+
+void LightGcn::InitExtraParams(const train::TrainConfig& config,
+                               util::Rng* /*rng*/) {
+  weight_history_.clear();
+  if (readout_ == LightGcnReadout::kLearnableWeights) {
+    // Zero logits => uniform softmax: the learnable variant starts exactly
+    // at LightGCN's mean readout.
+    layer_logits_ =
+        train::Parameter("layer_logits", 1, config.num_layers + 1);
+    layer_logits_.InitConstant(0.f);
+    extra_params_.push_back(&layer_logits_);
+  }
+}
+
+std::vector<double> LightGcn::CurrentWeights() const {
+  const tensor::Matrix w = tensor::SoftmaxRows(layer_logits_.value);
+  std::vector<double> out(static_cast<size_t>(w.cols()));
+  for (int64_t c = 0; c < w.cols(); ++c) out[static_cast<size_t>(c)] = w(0, c);
+  return out;
+}
+
+void LightGcn::BeginEpoch(int epoch, util::Rng* rng) {
+  EmbeddingRecommender::BeginEpoch(epoch, rng);
+  if (readout_ == LightGcnReadout::kLearnableWeights && epoch > 1) {
+    // Record the weights reached by the previous epoch (Fig. 1 trajectory).
+    weight_history_.push_back(CurrentWeights());
+  }
+}
+
+ag::Var LightGcn::Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                            util::Rng* /*rng*/) {
+  const sparse::CsrMatrix* adj = adjacency(training);
+  std::vector<ag::Var> layers{x0};
+  ag::Var x = x0;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    x = ag::SpMMSymmetric(adj, x);
+    layers.push_back(x);
+  }
+  if (readout_ == LightGcnReadout::kMean) {
+    return ag::Scale(ag::AddN(layers),
+                     1.f / static_cast<float>(layers.size()));
+  }
+  ag::Var logits = tape->Parameter(&layer_logits_.value, &layer_logits_.grad);
+  ag::Var weights = ag::Transpose(ag::SoftmaxRows(logits));  // (L+1) x 1
+  return ag::LinComb(layers, weights);
+}
+
+}  // namespace layergcn::models

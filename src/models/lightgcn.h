@@ -1,0 +1,63 @@
+// LightGCN (He et al., SIGIR 2020) — paper Eq. 2 / Eq. 13.
+//
+// Linear propagation X^{l+1} = Â X^l with a mean readout over the ego layer
+// and all hidden layers. Two extensions used by the paper's analysis:
+//
+//   * kLearnableWeights replaces the fixed mean with softmax-normalized
+//     learnable layer weights — the variant whose weight trajectory
+//     collapses onto the ego layer in paper Fig. 1;
+//   * layer_weight_history() exposes that trajectory for the Fig. 1 bench.
+
+#ifndef LAYERGCN_MODELS_LIGHTGCN_H_
+#define LAYERGCN_MODELS_LIGHTGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::models {
+
+/// Readout used to combine the layer embeddings.
+enum class LightGcnReadout {
+  kMean,              // LightGCN default: (1/(L+1)) Σ_l X^l
+  kLearnableWeights,  // softmax(w) ⊙ layers (Fig. 1 variant)
+};
+
+/// LightGCN with optional learnable layer weights.
+class LightGcn : public EmbeddingRecommender {
+ public:
+  explicit LightGcn(LightGcnReadout readout = LightGcnReadout::kMean)
+      : readout_(readout) {}
+
+  std::string name() const override {
+    return readout_ == LightGcnReadout::kMean ? "LightGCN"
+                                              : "LightGCN-LearnW";
+  }
+
+  /// Softmax layer weights recorded after every epoch (learnable variant
+  /// only): history[e][l] is the weight of layer l (0 = ego) after epoch e.
+  const std::vector<std::vector<double>>& layer_weight_history() const {
+    return weight_history_;
+  }
+
+  void BeginEpoch(int epoch, util::Rng* rng) override;
+
+ protected:
+  void InitExtraParams(const train::TrainConfig& config,
+                       util::Rng* rng) override;
+  ag::Var Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                    util::Rng* rng) override;
+
+ private:
+  /// Current softmax-normalized layer weights (learnable variant).
+  std::vector<double> CurrentWeights() const;
+
+  LightGcnReadout readout_;
+  train::Parameter layer_logits_;  // 1 x (L+1), learnable variant only
+  std::vector<std::vector<double>> weight_history_;
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_LIGHTGCN_H_

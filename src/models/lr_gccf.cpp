@@ -1,0 +1,17 @@
+#include "models/lr_gccf.h"
+
+namespace layergcn::models {
+
+ag::Var LrGccf::Propagate(ag::Tape* /*tape*/, ag::Var x0, bool training,
+                          util::Rng* /*rng*/) {
+  const sparse::CsrMatrix* adj = adjacency(training);
+  std::vector<ag::Var> layers{x0};
+  ag::Var x = x0;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    x = ag::SpMMSymmetric(adj, x);
+    layers.push_back(x);
+  }
+  return ag::ConcatCols(layers);
+}
+
+}  // namespace layergcn::models

@@ -1,0 +1,28 @@
+// LR-GCCF (Chen et al., AAAI 2020): linear residual graph CF.
+//
+// Removes the non-linearity from GCN and keeps a residual preference
+// structure by concatenating every layer's embedding for prediction:
+// X = [X⁰ ‖ X¹ ‖ ... ‖ X^L].
+
+#ifndef LAYERGCN_MODELS_LR_GCCF_H_
+#define LAYERGCN_MODELS_LR_GCCF_H_
+
+#include <string>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::models {
+
+/// Linear-residual graph collaborative filtering with concat readout.
+class LrGccf : public EmbeddingRecommender {
+ public:
+  std::string name() const override { return "LR-GCCF"; }
+
+ protected:
+  ag::Var Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                    util::Rng* rng) override;
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_LR_GCCF_H_

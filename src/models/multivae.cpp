@@ -1,0 +1,144 @@
+#include "models/multivae.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void MultiVae::Init(const data::Dataset& dataset,
+                    const train::TrainConfig& config, util::Rng* rng) {
+  dataset_ = &dataset;
+  config_ = config;
+  adam_ = train::Adam(train::AdamConfig{.learning_rate = config.learning_rate});
+  epoch_ = 0;
+
+  const int64_t ni = dataset.num_items;
+  const int64_t h = config.vae_hidden_dim;
+  const int64_t z = config.vae_latent_dim;
+
+  enc_w1_ = train::Parameter("enc_w1", ni, h);
+  enc_b1_ = train::Parameter("enc_b1", 1, h);
+  enc_w_mu_ = train::Parameter("enc_w_mu", h, z);
+  enc_b_mu_ = train::Parameter("enc_b_mu", 1, z);
+  enc_w_logvar_ = train::Parameter("enc_w_logvar", h, z);
+  enc_b_logvar_ = train::Parameter("enc_b_logvar", 1, z);
+  dec_w1_ = train::Parameter("dec_w1", z, h);
+  dec_b1_ = train::Parameter("dec_b1", 1, h);
+  dec_w2_ = train::Parameter("dec_w2", h, ni);
+  dec_b2_ = train::Parameter("dec_b2", 1, ni);
+  for (train::Parameter* p :
+       {&enc_w1_, &enc_w_mu_, &enc_w_logvar_, &dec_w1_, &dec_w2_}) {
+    p->InitXavier(rng);
+  }
+  for (train::Parameter* p :
+       {&enc_b1_, &enc_b_mu_, &enc_b_logvar_, &dec_b1_, &dec_b2_}) {
+    p->InitConstant(0.f);
+  }
+}
+
+tensor::Matrix MultiVae::HistoryRows(const std::vector<int32_t>& users) const {
+  const auto& user_items = dataset_->train_graph.user_items();
+  tensor::Matrix x(static_cast<int64_t>(users.size()), dataset_->num_items);
+  for (size_t r = 0; r < users.size(); ++r) {
+    const auto& items = user_items[static_cast<size_t>(users[r])];
+    if (items.empty()) continue;
+    const float v = 1.f / std::sqrt(static_cast<float>(items.size()));
+    float* row = x.row(static_cast<int64_t>(r));
+    for (int32_t i : items) row[i] = v;
+  }
+  return x;
+}
+
+std::vector<train::Parameter*> MultiVae::Params() {
+  return {&enc_w1_,       &enc_b1_, &enc_w_mu_, &enc_b_mu_, &enc_w_logvar_,
+          &enc_b_logvar_, &dec_w1_, &dec_b1_,   &dec_w2_,   &dec_b2_};
+}
+
+double MultiVae::TrainEpoch(util::Rng* rng,
+                            std::vector<double>* batch_losses) {
+  ++epoch_;
+  // Linear KL annealing to vae_beta over the first 40 epochs.
+  const double beta =
+      config_.vae_beta * std::min(1.0, static_cast<double>(epoch_) / 40.0);
+
+  // Shuffled pass over users with at least one training interaction.
+  std::vector<int32_t> users;
+  for (int32_t u = 0; u < dataset_->num_users; ++u) {
+    if (dataset_->train_graph.UserDegree(u) > 0) users.push_back(u);
+  }
+  rng->Shuffle(&users);
+
+  double total = 0.0;
+  int64_t batches = 0;
+  std::vector<train::Parameter*> params = Params();
+  const int64_t bs = config_.vae_user_batch;
+  for (size_t begin = 0; begin < users.size();
+       begin += static_cast<size_t>(bs)) {
+    const size_t end = std::min(users.size(), begin + static_cast<size_t>(bs));
+    const std::vector<int32_t> chunk(users.begin() + static_cast<int64_t>(begin),
+                                     users.begin() + static_cast<int64_t>(end));
+    tensor::Matrix x_rows = HistoryRows(chunk);
+
+    ag::Tape tape;
+    ag::Var x = tape.Constant(x_rows);
+    auto param = [&](train::Parameter* p) {
+      return tape.Parameter(&p->value, &p->grad);
+    };
+    // Encoder.
+    ag::Var h = ag::Tanh(ag::AddRowVector(ag::MatMul(x, param(&enc_w1_)),
+                                          param(&enc_b1_)));
+    ag::Var mu = ag::AddRowVector(ag::MatMul(h, param(&enc_w_mu_)),
+                                  param(&enc_b_mu_));
+    ag::Var logvar = ag::AddRowVector(ag::MatMul(h, param(&enc_w_logvar_)),
+                                      param(&enc_b_logvar_));
+    // Reparameterization: z = μ + ε ⊙ exp(logvar / 2).
+    tensor::Matrix noise(tape.value(mu).rows(), tape.value(mu).cols());
+    noise.GaussianInit(rng, 1.f);
+    ag::Var std_dev = ag::Exp(ag::Scale(logvar, 0.5f));
+    ag::Var z = ag::Add(mu, ag::Hadamard(std_dev, tape.Constant(noise)));
+    // Decoder.
+    ag::Var hd = ag::Tanh(ag::AddRowVector(ag::MatMul(z, param(&dec_w1_)),
+                                           param(&dec_b1_)));
+    ag::Var logits = ag::AddRowVector(ag::MatMul(hd, param(&dec_w2_)),
+                                      param(&dec_b2_));
+    // Multinomial negative log-likelihood: −mean_u Σ_i x_ui log_softmax_i.
+    ag::Var log_probs = ag::LogSoftmaxRows(logits);
+    ag::Var ll_terms = ag::Hadamard(log_probs, x);
+    const float rows = static_cast<float>(chunk.size());
+    ag::Var nll = ag::Scale(
+        ag::Sum(ll_terms),
+        -1.f / rows);
+    // KL(q||p) = −0.5 Σ (1 + logvar − μ² − exp(logvar)) / B.
+    ag::Var kl_terms = ag::Sub(ag::Sub(ag::AddScalar(logvar, 1.f),
+                                       ag::Square(mu)),
+                               ag::Exp(logvar));
+    ag::Var kl = ag::Scale(ag::Sum(kl_terms), -0.5f / rows);
+    ag::Var loss =
+        ag::Add(nll, ag::Scale(kl, static_cast<float>(beta)));
+
+    tape.Backward(loss);
+    adam_.Step(params);
+    const double lv = tape.value(loss).scalar();
+    total += lv;
+    if (batch_losses != nullptr) batch_losses->push_back(lv);
+    ++batches;
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+tensor::Matrix MultiVae::ScoreUsers(const std::vector<int32_t>& users) const {
+  // Deterministic forward through μ.
+  namespace t = layergcn::tensor;
+  const tensor::Matrix x = HistoryRows(users);
+  tensor::Matrix h =
+      t::Tanh(t::AddRowVector(t::MatMul(x, enc_w1_.value), enc_b1_.value));
+  tensor::Matrix mu =
+      t::AddRowVector(t::MatMul(h, enc_w_mu_.value), enc_b_mu_.value);
+  tensor::Matrix hd =
+      t::Tanh(t::AddRowVector(t::MatMul(mu, dec_w1_.value), dec_b1_.value));
+  return t::AddRowVector(t::MatMul(hd, dec_w2_.value), dec_b2_.value);
+}
+
+}  // namespace layergcn::models

@@ -1,0 +1,54 @@
+// Mult-VAE (Liang et al., WWW 2018): variational autoencoder for implicit
+// collaborative filtering.
+//
+// Encoder: normalized user history row → tanh MLP → (μ, log σ²);
+// reparameterized z; decoder MLP → logits over items. The objective is the
+// multinomial log-likelihood plus β-annealed KL (β rises linearly to
+// vae_beta over training). Scoring feeds μ through the decoder.
+
+#ifndef LAYERGCN_MODELS_MULTIVAE_H_
+#define LAYERGCN_MODELS_MULTIVAE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "train/adam.h"
+#include "train/recommender.h"
+
+namespace layergcn::models {
+
+/// Mult-VAE^{PR} with one hidden layer on each side.
+class MultiVae : public train::Recommender {
+ public:
+  std::string name() const override { return "MultiVAE"; }
+
+  void Init(const data::Dataset& dataset, const train::TrainConfig& config,
+            util::Rng* rng) override;
+  double TrainEpoch(util::Rng* rng,
+                    std::vector<double>* batch_losses) override;
+  void PrepareEval() override {}
+  tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  std::vector<train::Parameter*> Params() override;
+
+ private:
+  /// L2-normalized binary history rows for the given users (B x N_I).
+  tensor::Matrix HistoryRows(const std::vector<int32_t>& users) const;
+
+  const data::Dataset* dataset_ = nullptr;
+  train::TrainConfig config_;
+  train::Adam adam_;
+  int epoch_ = 0;
+
+  // Encoder.
+  train::Parameter enc_w1_, enc_b1_;
+  train::Parameter enc_w_mu_, enc_b_mu_;
+  train::Parameter enc_w_logvar_, enc_b_logvar_;
+  // Decoder.
+  train::Parameter dec_w1_, dec_b1_;
+  train::Parameter dec_w2_, dec_b2_;
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_MULTIVAE_H_

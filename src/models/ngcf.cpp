@@ -1,0 +1,57 @@
+#include "models/ngcf.h"
+
+#include "tensor/ops.h"
+#include "util/strings.h"
+
+namespace layergcn::models {
+
+void Ngcf::InitExtraParams(const train::TrainConfig& config, util::Rng* rng) {
+  w1_.clear();
+  w2_.clear();
+  w1_.reserve(static_cast<size_t>(config.num_layers));
+  w2_.reserve(static_cast<size_t>(config.num_layers));
+  for (int l = 0; l < config.num_layers; ++l) {
+    w1_.emplace_back(util::StrFormat("ngcf_w1_%d", l), config.embedding_dim,
+                     config.embedding_dim);
+    w2_.emplace_back(util::StrFormat("ngcf_w2_%d", l), config.embedding_dim,
+                     config.embedding_dim);
+    w1_.back().InitXavier(rng);
+    w2_.back().InitXavier(rng);
+  }
+  for (int l = 0; l < config.num_layers; ++l) {
+    extra_params_.push_back(&w1_[static_cast<size_t>(l)]);
+    extra_params_.push_back(&w2_[static_cast<size_t>(l)]);
+  }
+}
+
+ag::Var Ngcf::Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                        util::Rng* rng) {
+  const sparse::CsrMatrix* adj = adjacency(training);
+  const double keep = 1.0 - config_.message_dropout;
+  std::vector<ag::Var> layers{x0};
+  ag::Var x = x0;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    ag::Var w1 = tape->Parameter(&w1_[static_cast<size_t>(l)].value,
+                                 &w1_[static_cast<size_t>(l)].grad);
+    ag::Var w2 = tape->Parameter(&w2_[static_cast<size_t>(l)].value,
+                                 &w2_[static_cast<size_t>(l)].grad);
+    ag::Var propagated = ag::SpMMSymmetric(adj, x);
+    ag::Var side = ag::MatMul(ag::Add(propagated, x), w1);
+    ag::Var bi = ag::MatMul(ag::Hadamard(propagated, x), w2);
+    ag::Var h = ag::LeakyRelu(ag::Add(side, bi), 0.2f);
+    if (training && rng != nullptr && config_.message_dropout > 0.0) {
+      tensor::Matrix mask(tape->value(h).rows(), tape->value(h).cols());
+      const float scale = static_cast<float>(1.0 / keep);
+      for (int64_t i = 0; i < mask.size(); ++i) {
+        mask.data()[i] = rng->NextBernoulli(keep) ? scale : 0.f;
+      }
+      h = ag::Dropout(h, mask);
+    }
+    h = ag::NormalizeRows(h);
+    layers.push_back(h);
+    x = h;
+  }
+  return ag::ConcatCols(layers);
+}
+
+}  // namespace layergcn::models

@@ -1,0 +1,38 @@
+// NGCF (Wang et al., SIGIR 2019): neural graph collaborative filtering.
+//
+// Per layer (matrix form, with self-connection folded in):
+//
+//   X^{l+1} = LeakyReLU( (Â X^l + X^l) W₁^l  +  (Â X^l ⊙ X^l) W₂^l )
+//
+// followed by message dropout during training and per-layer L2
+// normalization; the readout concatenates all layers.
+
+#ifndef LAYERGCN_MODELS_NGCF_H_
+#define LAYERGCN_MODELS_NGCF_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::models {
+
+/// NGCF with per-layer transform weights and message dropout.
+class Ngcf : public EmbeddingRecommender {
+ public:
+  std::string name() const override { return "NGCF"; }
+
+ protected:
+  void InitExtraParams(const train::TrainConfig& config,
+                       util::Rng* rng) override;
+  ag::Var Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                    util::Rng* rng) override;
+
+ private:
+  std::vector<train::Parameter> w1_;  // T x T per layer
+  std::vector<train::Parameter> w2_;  // T x T per layer
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_NGCF_H_

@@ -1,0 +1,150 @@
+#include "models/ultragcn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace layergcn::models {
+
+void UltraGcn::InitExtraParams(const train::TrainConfig& config,
+                               util::Rng* /*rng*/) {
+  // Item-item co-occurrence graph G = RᵀR, normalized by √(d_i d_j), top-k
+  // neighbors kept per item.
+  const auto& g = dataset_->train_graph;
+  const int32_t num_items = g.num_items();
+  std::vector<std::unordered_map<int32_t, int32_t>> cooc(
+      static_cast<size_t>(num_items));
+  for (const auto& items : g.user_items()) {
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = 0; b < items.size(); ++b) {
+        if (a == b) continue;
+        ++cooc[static_cast<size_t>(items[a])][items[b]];
+      }
+    }
+  }
+  item_neighbors_.assign(static_cast<size_t>(num_items), {});
+  for (int32_t i = 0; i < num_items; ++i) {
+    const double di = std::max(1, g.ItemDegree(i));
+    std::vector<std::pair<int32_t, float>> neigh;
+    neigh.reserve(cooc[static_cast<size_t>(i)].size());
+    for (const auto& [j, count] : cooc[static_cast<size_t>(i)]) {
+      const double dj = std::max(1, g.ItemDegree(j));
+      neigh.emplace_back(
+          j, static_cast<float>(count / (std::sqrt(di) * std::sqrt(dj))));
+    }
+    const size_t k = static_cast<size_t>(config.ultra_item_topk);
+    if (neigh.size() > k) {
+      std::partial_sort(neigh.begin(), neigh.begin() + static_cast<int64_t>(k),
+                        neigh.end(), [](const auto& a, const auto& b) {
+                          return a.second > b.second;
+                        });
+      neigh.resize(k);
+    }
+    item_neighbors_[static_cast<size_t>(i)] = std::move(neigh);
+  }
+}
+
+ag::Var UltraGcn::Propagate(ag::Tape* /*tape*/, ag::Var x0, bool /*training*/,
+                            util::Rng* /*rng*/) {
+  // No message passing: scores come straight from the ego embeddings.
+  return x0;
+}
+
+float UltraGcn::Beta(int32_t user, int32_t item) const {
+  const auto& g = dataset_->train_graph;
+  const double du = std::max(1, g.UserDegree(user));
+  const double di = std::max(1, g.ItemDegree(item));
+  return static_cast<float>((1.0 / du) * std::sqrt((du + 1.0) / (di + 1.0)));
+}
+
+ag::Var UltraGcn::BatchLoss(ag::Tape* tape, ag::Var x0,
+                            const train::BprBatch& batch, util::Rng* rng) {
+  const int32_t nu = dataset_->num_users;
+  const int64_t b = batch.size();
+  const int num_neg = config_.ultra_num_negatives;
+
+  // --- User-item constraint loss (weighted BCE). ---
+  std::vector<int32_t> pos_rows(static_cast<size_t>(b));
+  tensor::Matrix pos_w(b, 1);
+  for (int64_t k = 0; k < b; ++k) {
+    pos_rows[static_cast<size_t>(k)] = batch.pos_items[static_cast<size_t>(k)] + nu;
+    pos_w(k, 0) = static_cast<float>(
+        config_.ultra_w1 +
+        config_.ultra_w2 * Beta(batch.users[static_cast<size_t>(k)],
+                                batch.pos_items[static_cast<size_t>(k)]));
+  }
+  ag::Var eu = ag::GatherRows(x0, batch.users);
+  ag::Var ei = ag::GatherRows(x0, pos_rows);
+  ag::Var pos_scores = ag::RowDots(eu, ei);
+  // −log σ(s) = softplus(−s).
+  ag::Var pos_loss = ag::Mean(
+      ag::Hadamard(ag::Softplus(ag::Negate(pos_scores)),
+                   tape->Constant(std::move(pos_w))));
+
+  // Negatives: num_neg per positive, flattened.
+  std::vector<int32_t> neg_users(static_cast<size_t>(b * num_neg));
+  std::vector<int32_t> neg_rows(static_cast<size_t>(b * num_neg));
+  tensor::Matrix neg_w(b * num_neg, 1);
+  const int32_t num_items = dataset_->num_items;
+  for (int64_t k = 0; k < b; ++k) {
+    const int32_t u = batch.users[static_cast<size_t>(k)];
+    for (int c = 0; c < num_neg; ++c) {
+      const int64_t idx = k * num_neg + c;
+      const int32_t j = static_cast<int32_t>(
+          rng->NextBounded(static_cast<uint64_t>(num_items)));
+      neg_users[static_cast<size_t>(idx)] = u;
+      neg_rows[static_cast<size_t>(idx)] = j + nu;
+      neg_w(idx, 0) = static_cast<float>(config_.ultra_w3 +
+                                         config_.ultra_w4 * Beta(u, j));
+    }
+  }
+  ag::Var eun = ag::GatherRows(x0, neg_users);
+  ag::Var ejn = ag::GatherRows(x0, neg_rows);
+  ag::Var neg_scores = ag::RowDots(eun, ejn);
+  // −log σ(−s) = softplus(s); the mean over all B·K terms averages the
+  // negatives of each positive.
+  ag::Var neg_loss = ag::Mean(ag::Hadamard(
+      ag::Softplus(neg_scores), tape->Constant(std::move(neg_w))));
+
+  // --- Item-item graph constraint loss. ---
+  std::vector<int32_t> ii_users;
+  std::vector<int32_t> ii_rows;
+  std::vector<float> ii_w;
+  for (int64_t k = 0; k < b; ++k) {
+    const int32_t u = batch.users[static_cast<size_t>(k)];
+    const auto& neigh =
+        item_neighbors_[static_cast<size_t>(batch.pos_items[static_cast<size_t>(k)])];
+    for (const auto& [j, w] : neigh) {
+      ii_users.push_back(u);
+      ii_rows.push_back(j + nu);
+      ii_w.push_back(w);
+    }
+  }
+  ag::Var loss = ag::Add(pos_loss, neg_loss);
+  if (!ii_users.empty()) {
+    tensor::Matrix w(static_cast<int64_t>(ii_w.size()), 1);
+    for (size_t k = 0; k < ii_w.size(); ++k) {
+      w(static_cast<int64_t>(k), 0) = ii_w[k];
+    }
+    ag::Var euii = ag::GatherRows(x0, ii_users);
+    ag::Var ejii = ag::GatherRows(x0, ii_rows);
+    ag::Var ii_scores = ag::RowDots(euii, ejii);
+    ag::Var ii_loss = ag::Mean(ag::Hadamard(
+        ag::Softplus(ag::Negate(ii_scores)), tape->Constant(std::move(w))));
+    loss = ag::Add(loss,
+                   ag::Scale(ii_loss,
+                             static_cast<float>(config_.ultra_item_loss_weight)));
+  }
+
+  if (config_.l2_reg > 0.0) {
+    ag::Var reg = ag::AddN({ag::SumSquares(eu), ag::SumSquares(ei)});
+    loss = ag::Add(loss, ag::Scale(reg, static_cast<float>(
+                                             config_.l2_reg /
+                                             static_cast<double>(b))));
+  }
+  return loss;
+}
+
+}  // namespace layergcn::models

@@ -1,0 +1,43 @@
+// UltraGCN (Mao et al., CIKM 2021).
+//
+// Skips explicit graph convolution entirely: it approximates the limit of
+// infinite-layer propagation with degree-derived constraint weights
+// β_{u,i} = (1/d_u)·√((d_u+1)/(d_i+1)) on user-item pairs, a weighted
+// binary-cross-entropy objective with multiple sampled negatives, and an
+// auxiliary item-item co-occurrence constraint over each positive item's
+// top-k co-occurring items.
+
+#ifndef LAYERGCN_MODELS_ULTRAGCN_H_
+#define LAYERGCN_MODELS_ULTRAGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/embedding_recommender.h"
+
+namespace layergcn::models {
+
+/// UltraGCN with the user-item constraint loss and item-item graph loss.
+class UltraGcn : public EmbeddingRecommender {
+ public:
+  std::string name() const override { return "UltraGCN"; }
+
+ protected:
+  void InitExtraParams(const train::TrainConfig& config,
+                       util::Rng* rng) override;
+  ag::Var Propagate(ag::Tape* tape, ag::Var x0, bool training,
+                    util::Rng* rng) override;
+  ag::Var BatchLoss(ag::Tape* tape, ag::Var x0,
+                    const train::BprBatch& batch, util::Rng* rng) override;
+
+ private:
+  /// β_{u,i} of the constraint loss.
+  float Beta(int32_t user, int32_t item) const;
+
+  /// Top-k co-occurring items and their normalized weights, per item.
+  std::vector<std::vector<std::pair<int32_t, float>>> item_neighbors_;
+};
+
+}  // namespace layergcn::models
+
+#endif  // LAYERGCN_MODELS_ULTRAGCN_H_

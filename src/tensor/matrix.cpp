@@ -1,0 +1,77 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace layergcn::tensor {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int64_t>(rows.size()),
+           static_cast<int64_t>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    LAYERGCN_CHECK_EQ(static_cast<int64_t>(rows[r].size()), m.cols())
+        << "ragged initializer";
+    std::copy(rows[r].begin(), rows[r].end(), m.row(static_cast<int64_t>(r)));
+  }
+  return m;
+}
+
+Matrix Matrix::Scalar(float v) {
+  Matrix m(1, 1);
+  m.data_[0] = v;
+  return m;
+}
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::XavierUniform(util::Rng* rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  UniformInit(rng, static_cast<float>(-a), static_cast<float>(a));
+}
+
+void Matrix::GaussianInit(util::Rng* rng, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+}
+
+void Matrix::UniformInit(util::Rng* rng, float lo, float hi) {
+  for (auto& v : data_) {
+    v = lo + (hi - lo) * rng->NextFloat();
+  }
+}
+
+bool Matrix::Equals(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream ss;
+  ss << rows_ << "x" << cols_ << " [";
+  const int64_t rshow = std::min(rows_, max_rows);
+  for (int64_t r = 0; r < rshow; ++r) {
+    ss << (r ? ", [" : "[");
+    const int64_t cshow = std::min(cols_, max_cols);
+    for (int64_t c = 0; c < cshow; ++c) {
+      if (c) ss << ", ";
+      ss << (*this)(r, c);
+    }
+    if (cshow < cols_) ss << ", ...";
+    ss << "]";
+  }
+  if (rshow < rows_) ss << ", ...";
+  ss << "]";
+  return ss.str();
+}
+
+}  // namespace layergcn::tensor

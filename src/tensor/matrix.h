@@ -1,0 +1,116 @@
+// Dense row-major float32 matrix — the storage type for all embeddings and
+// hidden states in the library.
+//
+// A 1xN or Nx1 Matrix doubles as a vector, and a 1x1 Matrix as a scalar
+// (used for loss values). Kernels that operate on matrices live in
+// tensor/ops.h; this header only defines storage, element access, and a few
+// in-place fills.
+
+#ifndef LAYERGCN_TENSOR_MATRIX_H_
+#define LAYERGCN_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace layergcn::tensor {
+
+/// Dense row-major float matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.f) {
+    LAYERGCN_CHECK_GE(rows, 0);
+    LAYERGCN_CHECK_GE(cols, 0);
+  }
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(int64_t rows, int64_t cols, float fill)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {}
+
+  /// Builds from an explicit row-major initializer, e.g.
+  /// Matrix::FromRows({{1, 2}, {3, 4}}).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// 1x1 matrix holding `v` (scalar wrapper).
+  static Matrix Scalar(float v);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(int64_t r) { return data_.data() + r * cols_; }
+  const float* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  float& at(int64_t r, int64_t c) {
+    LAYERGCN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    LAYERGCN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Unchecked element access for hot loops.
+  float& operator()(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Value of a 1x1 matrix.
+  float scalar() const {
+    LAYERGCN_CHECK(rows_ == 1 && cols_ == 1) << "not a scalar";
+    return data_[0];
+  }
+
+  /// Sets every entry to `v`.
+  void Fill(float v);
+
+  /// Sets every entry to 0.
+  void Zero() { Fill(0.f); }
+
+  /// Fills with U(-a, a) where a = sqrt(6 / (fan_in + fan_out)) — the Xavier
+  /// uniform initializer the paper uses for embeddings (§V-A4).
+  void XavierUniform(util::Rng* rng);
+
+  /// Fills with N(0, stddev^2).
+  void GaussianInit(util::Rng* rng, float stddev);
+
+  /// Fills with U(lo, hi).
+  void UniformInit(util::Rng* rng, float lo, float hi);
+
+  /// True if shapes and all entries are exactly equal.
+  bool Equals(const Matrix& other) const;
+
+  /// True if shapes match and entries agree within `tol` absolutely.
+  bool AllClose(const Matrix& other, float tol = 1e-5f) const;
+
+  /// Debug rendering ("2x3 [[1, 2, 3], [4, 5, 6]]"), truncated for large
+  /// matrices.
+  std::string ToString(int64_t max_rows = 8, int64_t max_cols = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace layergcn::tensor
+
+#endif  // LAYERGCN_TENSOR_MATRIX_H_

@@ -1,0 +1,428 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace layergcn::tensor {
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
+  LAYERGCN_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << op << ": shape mismatch " << a.rows() << "x" << a.cols() << " vs "
+      << b.rows() << "x" << b.cols();
+}
+
+template <typename Fn>
+Matrix Map(const Matrix& a, Fn fn) {
+  Matrix out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Add");
+  Matrix out(a.rows(), a.cols());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] + b.data()[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Sub");
+  Matrix out(a.rows(), a.cols());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+void AddInPlace(Matrix* dst, const Matrix& src) {
+  CheckSameShape(*dst, src, "AddInPlace");
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) dst->data()[i] += src.data()[i];
+}
+
+void AxpyInPlace(Matrix* dst, float alpha, const Matrix& src) {
+  CheckSameShape(*dst, src, "AxpyInPlace");
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) dst->data()[i] += alpha * src.data()[i];
+}
+
+Matrix Scale(const Matrix& a, float alpha) {
+  return Map(a, [alpha](float v) { return alpha * v; });
+}
+
+void ScaleInPlace(Matrix* dst, float alpha) {
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) dst->data()[i] *= alpha;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "Hadamard");
+  Matrix out(a.rows(), a.cols());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+void HadamardInPlace(Matrix* dst, const Matrix& src) {
+  CheckSameShape(*dst, src, "HadamardInPlace");
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) dst->data()[i] *= src.data()[i];
+}
+
+Matrix AddScalar(const Matrix& a, float c) {
+  return Map(a, [c](float v) { return v + c; });
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t k2 = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  LAYERGCN_CHECK_EQ(k, k2) << "MatMul inner dimension mismatch";
+  Matrix out(m, n);
+
+  // All four layouts are reduced to the plain (i,k)x(k,j) triple loop with
+  // the k-loop innermost-but-one, which keeps unit-stride access on `out`
+  // and on the non-transposed operand.
+  if (!trans_a && !trans_b) {
+#pragma omp parallel for schedule(static) if (m * n * k > 262144)
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = out.row(i);
+      const float* a_row = a.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        if (av == 0.f) continue;
+        const float* b_row = b.row(p);
+        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+#pragma omp parallel for schedule(static) if (m * n * k > 262144)
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = out.row(i);
+      const float* a_row = a.row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b.row(j);
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        out_row[j] = static_cast<float>(acc);
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // out[i][j] += a[p][i] * b[p][j]; iterate p outer for unit stride.
+    for (int64_t p = 0; p < k; ++p) {
+      const float* a_row = a.row(p);
+      const float* b_row = b.row(p);
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = a_row[i];
+        if (av == 0.f) continue;
+        float* out_row = out.row(i);
+        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  } else {  // trans_a && trans_b
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = out.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a(p, i);
+        if (av == 0.f) continue;
+        const float* b_col = b.data() + p;  // b(j, p) strided
+        for (int64_t j = 0; j < n; ++j) {
+          out_row[j] += av * b_col[j * b.cols()];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& rows) {
+  Matrix out(static_cast<int64_t>(rows.size()), a.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    LAYERGCN_CHECK(r >= 0 && r < a.rows()) << "GatherRows: row " << r;
+    std::copy(a.row(r), a.row(r) + a.cols(), out.row(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+void ScatterAddRows(Matrix* dst, const std::vector<int32_t>& rows,
+                    const Matrix& src) {
+  LAYERGCN_CHECK_EQ(static_cast<int64_t>(rows.size()), src.rows());
+  LAYERGCN_CHECK_EQ(dst->cols(), src.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    LAYERGCN_CHECK(r >= 0 && r < dst->rows()) << "ScatterAddRows: row " << r;
+    float* d = dst->row(r);
+    const float* s = src.row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < src.cols(); ++c) d[c] += s[c];
+  }
+}
+
+Matrix ScaleRows(const Matrix& x, const Matrix& s) {
+  LAYERGCN_CHECK(s.rows() == x.rows() && s.cols() == 1)
+      << "ScaleRows: scale must be Nx1";
+  Matrix out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float f = s(r, 0);
+    const float* src = x.row(r);
+    float* dst = out.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = f * src[c];
+  }
+  return out;
+}
+
+Matrix RowDots(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a, b, "RowDots");
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* pa = a.row(r);
+    const float* pb = b.row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += pa[c] * pb[c];
+    out(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix RowL2Norms(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* p = a.row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += p[c] * p[c];
+    out(r, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+Matrix RowwiseCosine(const Matrix& a, const Matrix& b, float eps) {
+  CheckSameShape(a, b, "RowwiseCosine");
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* pa = a.row(r);
+    const float* pb = b.row(r);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      dot += pa[c] * pb[c];
+      na += pa[c] * pa[c];
+      nb += pb[c] * pb[c];
+    }
+    const double denom =
+        std::max(std::sqrt(na) * std::sqrt(nb), static_cast<double>(eps));
+    out(r, 0) = static_cast<float>(dot / denom);
+  }
+  return out;
+}
+
+Matrix NormalizeRowsL2(const Matrix& x, float eps) {
+  Matrix out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) acc += src[c] * src[c];
+    const float inv =
+        static_cast<float>(1.0 / std::max(std::sqrt(acc),
+                                          static_cast<double>(eps)));
+    float* dst = out.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = src[c] * inv;
+  }
+  return out;
+}
+
+Matrix RowSums(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* p = a.row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += p[c];
+    out(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix ColSums(const Matrix& a) {
+  Matrix out(1, a.cols());
+  std::vector<double> acc(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* p = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) acc[static_cast<size_t>(c)] += p[c];
+  }
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    out(0, c) = static_cast<float>(acc[static_cast<size_t>(c)]);
+  }
+  return out;
+}
+
+Matrix AddRowVector(const Matrix& x, const Matrix& b) {
+  LAYERGCN_CHECK(b.rows() == 1 && b.cols() == x.cols())
+      << "AddRowVector: bias must be 1x" << x.cols();
+  Matrix out(x.rows(), x.cols());
+  const float* bias = b.data();
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.row(r);
+    float* dst = out.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = src[c] + bias[c];
+  }
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  return Map(a, [](float v) {
+    // Stable in both tails.
+    if (v >= 0.f) {
+      const float z = std::exp(-v);
+      return 1.f / (1.f + z);
+    }
+    const float z = std::exp(v);
+    return z / (1.f + z);
+  });
+}
+
+Matrix Tanh(const Matrix& a) {
+  return Map(a, [](float v) { return std::tanh(v); });
+}
+
+Matrix Relu(const Matrix& a) {
+  return Map(a, [](float v) { return v > 0.f ? v : 0.f; });
+}
+
+Matrix LeakyRelu(const Matrix& a, float slope) {
+  return Map(a, [slope](float v) { return v > 0.f ? v : slope * v; });
+}
+
+Matrix Softplus(const Matrix& a) {
+  return Map(a, [](float v) {
+    // log(1 + e^v) = max(v, 0) + log1p(e^{-|v|}).
+    return std::max(v, 0.f) + std::log1p(std::exp(-std::fabs(v)));
+  });
+}
+
+Matrix Exp(const Matrix& a) {
+  return Map(a, [](float v) { return std::exp(v); });
+}
+
+Matrix Log(const Matrix& a) {
+  return Map(a, [](float v) { return std::log(v); });
+}
+
+Matrix Sqrt(const Matrix& a) {
+  return Map(a, [](float v) { return std::sqrt(v); });
+}
+
+Matrix Square(const Matrix& a) {
+  return Map(a, [](float v) { return v * v; });
+}
+
+Matrix Negate(const Matrix& a) {
+  return Map(a, [](float v) { return -v; });
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r);
+    float* dst = out.row(r);
+    float mx = src[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      dst[c] = std::exp(src[c] - mx);
+      sum += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r);
+    float* dst = out.row(r);
+    float mx = src[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) sum += std::exp(src[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = src[c] - lse;
+  }
+  return out;
+}
+
+double SumAll(const Matrix& a) {
+  double acc = 0.0;
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) acc += a.data()[i];
+  return acc;
+}
+
+double SumSquares(const Matrix& a) {
+  double acc = 0.0;
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a.data()[i]) * a.data()[i];
+  }
+  return acc;
+}
+
+double MeanAll(const Matrix& a) {
+  LAYERGCN_CHECK_GT(a.size(), 0);
+  return SumAll(a) / static_cast<double>(a.size());
+}
+
+float MaxAll(const Matrix& a) {
+  LAYERGCN_CHECK_GT(a.size(), 0);
+  float mx = a.data()[0];
+  for (int64_t i = 1; i < a.size(); ++i) mx = std::max(mx, a.data()[i]);
+  return mx;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  LAYERGCN_CHECK(!parts.empty());
+  const int64_t rows = parts[0]->rows();
+  int64_t cols = 0;
+  for (const Matrix* p : parts) {
+    LAYERGCN_CHECK_EQ(p->rows(), rows) << "ConcatCols: row mismatch";
+    cols += p->cols();
+  }
+  Matrix out(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = out.row(r);
+    for (const Matrix* p : parts) {
+      const float* src = p->row(r);
+      std::copy(src, src + p->cols(), dst);
+      dst += p->cols();
+    }
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end) {
+  LAYERGCN_CHECK(begin >= 0 && begin <= end && end <= a.cols())
+      << "SliceCols: bad range [" << begin << "," << end << ")";
+  Matrix out(a.rows(), end - begin);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r) + begin;
+    std::copy(src, src + (end - begin), out.row(r));
+  }
+  return out;
+}
+
+}  // namespace layergcn::tensor

@@ -1,0 +1,39 @@
+#include "train/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace layergcn::train {
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = config_.learning_rate;
+  const double eps = config_.epsilon;
+
+  for (Parameter* p : params) {
+    LAYERGCN_CHECK(p != nullptr);
+    const int64_t n = p->value.size();
+    float* value = p->value.data();
+    float* grad = p->grad.data();
+    float* m = p->adam_m.data();
+    float* v = p->adam_v.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const double g = grad[i];
+      const double mi = b1 * m[i] + (1.0 - b1) * g;
+      const double vi = b2 * v[i] + (1.0 - b2) * g * g;
+      m[i] = static_cast<float>(mi);
+      v[i] = static_cast<float>(vi);
+      const double m_hat = mi / bias1;
+      const double v_hat = vi / bias2;
+      value[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+    }
+    p->grad.Zero();
+  }
+}
+
+}  // namespace layergcn::train

@@ -1,0 +1,108 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace layergcn::train {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'G', 'C', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+void SaveCheckpoint(const std::string& path,
+                    const std::vector<Parameter*>& params) {
+  std::set<std::string> names;
+  for (const Parameter* p : params) {
+    LAYERGCN_CHECK(p != nullptr);
+    LAYERGCN_CHECK(names.insert(p->name).second)
+        << "duplicate parameter name: " << p->name;
+  }
+  std::ofstream out(path, std::ios::binary);
+  LAYERGCN_CHECK(out.good()) << "cannot write " << path;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WritePod(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<int64_t>(p->name.size()));
+    WritePod(out, p->value.rows());
+    WritePod(out, p->value.cols());
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<int64_t>(p->value.size()) *
+                  static_cast<int64_t>(sizeof(float)));
+  }
+  LAYERGCN_CHECK(out.good()) << "write failure on " << path;
+}
+
+int LoadCheckpoint(const std::string& path,
+                   const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  LAYERGCN_CHECK(in.good()) << "cannot open " << path;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  LAYERGCN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic))
+      << path << " is not a LayerGCN checkpoint";
+  uint32_t version = 0, count = 0;
+  LAYERGCN_CHECK(ReadPod(in, &version) && version == kVersion)
+      << "unsupported checkpoint version";
+  LAYERGCN_CHECK(ReadPod(in, &count));
+
+  std::map<std::string, tensor::Matrix> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    LAYERGCN_CHECK(ReadPod(in, &name_len)) << "truncated checkpoint";
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int64_t rows = 0, cols = 0;
+    LAYERGCN_CHECK(ReadPod(in, &rows) && ReadPod(in, &cols))
+        << "truncated checkpoint";
+    tensor::Matrix m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<int64_t>(m.size()) *
+                static_cast<int64_t>(sizeof(float)));
+    LAYERGCN_CHECK(in.good()) << "truncated checkpoint payload";
+    loaded.emplace(std::move(name), std::move(m));
+  }
+
+  int restored = 0;
+  for (Parameter* p : params) {
+    const auto it = loaded.find(p->name);
+    LAYERGCN_CHECK(it != loaded.end())
+        << "checkpoint missing parameter: " << p->name;
+    LAYERGCN_CHECK(it->second.rows() == p->value.rows() &&
+                   it->second.cols() == p->value.cols())
+        << "shape mismatch for " << p->name;
+    p->value = it->second;
+    ++restored;
+  }
+  return restored;
+}
+
+bool IsCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  uint32_t version = 0;
+  return in.good() && std::equal(magic, magic + 4, kMagic) &&
+         ReadPod(in, &version) && version == kVersion;
+}
+
+}  // namespace layergcn::train

@@ -1,0 +1,40 @@
+// Binary checkpointing of model parameters.
+//
+// Format (little-endian):
+//   magic "LGCN" | uint32 version | uint32 param count |
+//   per param: uint32 name length | name bytes |
+//              int64 rows | int64 cols | rows*cols float32 values
+//
+// Only parameter *values* are stored (optimizer moments are training
+// state, not model state). Loading matches parameters by name and aborts
+// on shape mismatches, so checkpoints are robust to parameter-list
+// reordering but not to architecture changes.
+
+#ifndef LAYERGCN_TRAIN_CHECKPOINT_H_
+#define LAYERGCN_TRAIN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "train/parameter.h"
+
+namespace layergcn::train {
+
+/// Writes the parameters' values to `path`. Aborts on I/O failure or
+/// duplicate parameter names.
+void SaveCheckpoint(const std::string& path,
+                    const std::vector<Parameter*>& params);
+
+/// Loads values into matching parameters (by name). Every parameter in
+/// `params` must be present in the file with an identical shape; extra
+/// entries in the file are ignored. Returns the number of parameters
+/// restored.
+int LoadCheckpoint(const std::string& path,
+                   const std::vector<Parameter*>& params);
+
+/// True if `path` looks like a checkpoint (magic + version readable).
+bool IsCheckpointFile(const std::string& path);
+
+}  // namespace layergcn::train
+
+#endif  // LAYERGCN_TRAIN_CHECKPOINT_H_

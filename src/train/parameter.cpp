@@ -1,0 +1,2 @@
+// Parameter is header-only; this translation unit anchors the library.
+#include "train/parameter.h"

@@ -1,0 +1,62 @@
+// Trainable parameter: value, gradient, and Adam state in one bundle.
+
+#ifndef LAYERGCN_TRAIN_PARAMETER_H_
+#define LAYERGCN_TRAIN_PARAMETER_H_
+
+#include <string>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace layergcn::train {
+
+/// A named trainable matrix with its gradient accumulator and Adam moments.
+/// Models keep Parameters as members and hand Parameter* lists to the
+/// optimizer; autograd tapes reference ¶m.value and sink into ¶m.grad.
+struct Parameter {
+  std::string name;
+  tensor::Matrix value;
+  tensor::Matrix grad;
+  tensor::Matrix adam_m;
+  tensor::Matrix adam_v;
+
+  Parameter() = default;
+  Parameter(std::string param_name, int64_t rows, int64_t cols)
+      : name(std::move(param_name)),
+        value(rows, cols),
+        grad(rows, cols),
+        adam_m(rows, cols),
+        adam_v(rows, cols) {}
+
+  /// Xavier-uniform init of the value (paper §V-A4); zeroes grad and moments.
+  void InitXavier(util::Rng* rng) {
+    value.XavierUniform(rng);
+    ResetState();
+  }
+
+  /// N(0, stddev²) init; zeroes grad and moments.
+  void InitGaussian(util::Rng* rng, float stddev) {
+    value.GaussianInit(rng, stddev);
+    ResetState();
+  }
+
+  /// Constant init; zeroes grad and moments.
+  void InitConstant(float v) {
+    value.Fill(v);
+    ResetState();
+  }
+
+  /// Zeroes the gradient accumulator (call before each backward pass).
+  void ZeroGrad() { grad.Zero(); }
+
+  /// Zeroes grad and optimizer moments (keeps the value).
+  void ResetState() {
+    grad.Zero();
+    adam_m.Zero();
+    adam_v.Zero();
+  }
+};
+
+}  // namespace layergcn::train
+
+#endif  // LAYERGCN_TRAIN_PARAMETER_H_

@@ -1,0 +1,108 @@
+// The Recommender interface and the shared training configuration.
+//
+// Every model in src/models and src/core implements Recommender; the
+// Trainer (train/trainer.h) drives any of them through the same
+// early-stopped loop the paper uses for all baselines (§V-A4: Adam, Xavier
+// init, embedding size 64, early stopping 50, at most 1000 epochs).
+
+#ifndef LAYERGCN_TRAIN_RECOMMENDER_H_
+#define LAYERGCN_TRAIN_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/edge_dropout.h"
+#include "tensor/matrix.h"
+#include "train/bpr_sampler.h"
+#include "train/parameter.h"
+#include "util/rng.h"
+
+namespace layergcn::train {
+
+/// Hyper-parameters shared across models. Model-specific fields are grouped
+/// and ignored by models that do not use them.
+struct TrainConfig {
+  // --- Common (paper §V-A4) ---
+  int embedding_dim = 64;
+  int num_layers = 4;
+  double learning_rate = 1e-3;
+  /// λ of the L2 penalty in Eq. 12.
+  double l2_reg = 1e-4;
+  int64_t batch_size = 2048;
+  /// Negative-item sampling strategy for BPR triples.
+  NegativeSampling negative_sampling = NegativeSampling::kUniform;
+
+  // --- Edge dropout (LayerGCN §III-B1) ---
+  graph::EdgeDropKind edge_drop_kind = graph::EdgeDropKind::kDegreeDrop;
+  double edge_drop_ratio = 0.1;
+
+  // --- Trainer loop ---
+  int max_epochs = 1000;
+  int early_stop_patience = 50;
+  /// Validation cadence in epochs.
+  int eval_every = 1;
+  uint64_t seed = 42;
+
+  // --- NGCF ---
+  double message_dropout = 0.1;
+
+  // --- MultiVAE ---
+  int vae_hidden_dim = 128;
+  int vae_latent_dim = 64;
+  double vae_beta = 0.2;  // KL annealing cap
+  int64_t vae_user_batch = 256;
+
+  // --- UltraGCN ---
+  double ultra_w1 = 1e-6;
+  double ultra_w2 = 1.0;
+  double ultra_w3 = 1e-6;
+  double ultra_w4 = 1.0;
+  double ultra_item_loss_weight = 1e-3;
+  int ultra_num_negatives = 10;
+  int ultra_item_topk = 10;
+
+  // --- BUIR ---
+  double buir_momentum = 0.995;
+
+  // --- IMP-GCN ---
+  int imp_num_groups = 3;
+};
+
+/// Abstract recommender trained by the Trainer and scored by the Evaluator.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Model name as it appears in the paper's tables (e.g. "LightGCN").
+  virtual std::string name() const = 0;
+
+  /// Builds parameters and graph caches. Called once before training.
+  virtual void Init(const data::Dataset& dataset, const TrainConfig& config,
+                    util::Rng* rng) = 0;
+
+  /// Hook at the start of every epoch (resampling Â_p, target-network EMA
+  /// schedules, ...). Default: no-op.
+  virtual void BeginEpoch(int epoch, util::Rng* rng);
+
+  /// Runs one training epoch; returns the mean batch loss. `batch_losses`
+  /// (optional) receives each batch's loss — used for Fig. 3(b).
+  virtual double TrainEpoch(util::Rng* rng,
+                            std::vector<double>* batch_losses) = 0;
+
+  /// Refreshes inference caches (e.g. propagate over the FULL graph rather
+  /// than the pruned training graph, per §III-B1). Called before scoring.
+  virtual void PrepareEval() {}
+
+  /// Preference scores: |users| x num_items.
+  virtual tensor::Matrix ScoreUsers(
+      const std::vector<int32_t>& users) const = 0;
+
+  /// All trainable parameters (for the optimizer / snapshotting).
+  virtual std::vector<Parameter*> Params() = 0;
+};
+
+}  // namespace layergcn::train
+
+#endif  // LAYERGCN_TRAIN_RECOMMENDER_H_

@@ -1,0 +1,121 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace layergcn::train {
+namespace {
+
+// Snapshot / restore of parameter values for best-epoch restoration.
+std::vector<tensor::Matrix> SnapshotParams(
+    const std::vector<Parameter*>& params) {
+  std::vector<tensor::Matrix> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParams(const std::vector<Parameter*>& params,
+                   const std::vector<tensor::Matrix>& snapshot) {
+  LAYERGCN_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snapshot[i];
+  }
+}
+
+eval::ScoreFn MakeScoreFn(Recommender* model) {
+  return [model](const std::vector<int32_t>& users) {
+    return model->ScoreUsers(users);
+  };
+}
+
+}  // namespace
+
+void Recommender::BeginEpoch(int /*epoch*/, util::Rng* /*rng*/) {}
+
+TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
+                           const TrainConfig& config,
+                           const TrainOptions& options,
+                           std::vector<CheckpointMetrics>* checkpoints) {
+  LAYERGCN_CHECK(model != nullptr);
+  util::Rng rng(config.seed);
+  model->Init(dataset, config, &rng);
+
+  eval::Evaluator valid_eval(&dataset, {options.validation_k});
+  eval::Evaluator test_eval(&dataset, options.report_ks);
+
+  TrainResult result;
+  std::vector<tensor::Matrix> best_snapshot;
+  int epochs_since_best = 0;
+  util::Timer timer;
+
+  for (int epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    model->BeginEpoch(epoch, &rng);
+    std::vector<double> batch_losses;
+    const double loss = model->TrainEpoch(
+        &rng, options.record_batch_losses ? &batch_losses : nullptr);
+    result.epoch_losses.push_back(loss);
+    if (options.record_batch_losses) {
+      result.batch_losses.insert(result.batch_losses.end(),
+                                 batch_losses.begin(), batch_losses.end());
+    }
+    result.epochs_run = epoch;
+
+    const bool checkpoint_due =
+        checkpoints != nullptr &&
+        std::find(options.checkpoint_epochs.begin(),
+                  options.checkpoint_epochs.end(),
+                  epoch) != options.checkpoint_epochs.end();
+    if (checkpoint_due) {
+      model->PrepareEval();
+      CheckpointMetrics cm;
+      cm.epoch = epoch;
+      cm.metrics = test_eval.Evaluate(MakeScoreFn(model),
+                                      eval::EvalSplit::kTest);
+      checkpoints->push_back(std::move(cm));
+    }
+
+    if (epoch % config.eval_every != 0) continue;
+    model->PrepareEval();
+    const eval::RankingMetrics vm =
+        valid_eval.Evaluate(MakeScoreFn(model), eval::EvalSplit::kValidation);
+    const double score = vm.recall.at(options.validation_k);
+    result.valid_curve.emplace_back(epoch, score);
+    if (options.verbose) {
+      LAYERGCN_LOG(kInfo) << model->name() << " epoch " << epoch << " loss "
+                          << loss << " valid R@" << options.validation_k
+                          << " = " << score;
+    }
+    if (score > result.best_valid_score || result.best_epoch == 0) {
+      result.best_valid_score = score;
+      result.best_epoch = epoch;
+      best_snapshot = SnapshotParams(model->Params());
+      epochs_since_best = 0;
+    } else {
+      epochs_since_best += config.eval_every;
+      if (epochs_since_best >= config.early_stop_patience) break;
+    }
+  }
+  result.train_seconds = timer.ElapsedSeconds();
+
+  if (!best_snapshot.empty()) {
+    RestoreParams(model->Params(), best_snapshot);
+  }
+  model->PrepareEval();
+  result.test_metrics =
+      test_eval.Evaluate(MakeScoreFn(model), eval::EvalSplit::kTest);
+  return result;
+}
+
+eval::RankingMetrics EvaluateRecommender(Recommender* model,
+                                         const data::Dataset& dataset,
+                                         const std::vector<int>& ks,
+                                         eval::EvalSplit split) {
+  model->PrepareEval();
+  eval::Evaluator evaluator(&dataset, ks);
+  return evaluator.Evaluate(MakeScoreFn(model), split);
+}
+
+}  // namespace layergcn::train

@@ -1,0 +1,79 @@
+// The early-stopped training loop shared by all models.
+//
+// Protocol per the paper (§V-A4): train up to max_epochs epochs, evaluate
+// Recall@20 on the validation split every eval_every epochs, stop when the
+// best validation score has not improved for early_stop_patience epochs,
+// and restore the parameters of the best epoch before the final test
+// evaluation.
+
+#ifndef LAYERGCN_TRAIN_TRAINER_H_
+#define LAYERGCN_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "train/adam.h"
+#include "train/recommender.h"
+
+namespace layergcn::train {
+
+/// Everything the experiment harnesses need from one training run.
+struct TrainResult {
+  /// Epoch (1-based) with the best validation score.
+  int best_epoch = 0;
+  /// Best validation Recall@K (K = validation_k).
+  double best_valid_score = 0.0;
+  /// Test metrics evaluated with the best epoch's parameters.
+  eval::RankingMetrics test_metrics;
+  /// Mean loss per epoch, in order.
+  std::vector<double> epoch_losses;
+  /// Per-batch losses of every epoch concatenated (Fig. 3(b)); only kept
+  /// when TrainOptions::record_batch_losses is set.
+  std::vector<double> batch_losses;
+  /// Validation score at each evaluated epoch (epoch index, score).
+  std::vector<std::pair<int, double>> valid_curve;
+  /// Total training epochs actually run.
+  int epochs_run = 0;
+  /// Wall-clock seconds spent in training (excl. final test eval).
+  double train_seconds = 0.0;
+};
+
+/// Knobs of the loop itself (the model hyper-parameters live in
+/// TrainConfig).
+struct TrainOptions {
+  /// Cutoff used for validation-based early stopping.
+  int validation_k = 20;
+  /// Metric cutoffs to report on the test split.
+  std::vector<int> report_ks = {10, 20, 50};
+  bool record_batch_losses = false;
+  /// Also evaluate test metrics at these epoch checkpoints (paper Table IV
+  /// reports epochs 20 and 50). Results appended to checkpoint_metrics.
+  std::vector<int> checkpoint_epochs;
+  /// Verbose epoch logging.
+  bool verbose = false;
+};
+
+/// Test metrics captured at a requested checkpoint epoch.
+struct CheckpointMetrics {
+  int epoch = 0;
+  eval::RankingMetrics metrics;
+};
+
+/// Runs the full loop and returns the result. `checkpoints` (optional)
+/// receives test metrics at TrainOptions::checkpoint_epochs.
+TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
+                           const TrainConfig& config,
+                           const TrainOptions& options = {},
+                           std::vector<CheckpointMetrics>* checkpoints =
+                               nullptr);
+
+/// Evaluates an already-trained model on the chosen split.
+eval::RankingMetrics EvaluateRecommender(Recommender* model,
+                                         const data::Dataset& dataset,
+                                         const std::vector<int>& ks,
+                                         eval::EvalSplit split);
+
+}  // namespace layergcn::train
+
+#endif  // LAYERGCN_TRAIN_TRAINER_H_

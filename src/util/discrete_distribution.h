@@ -1,0 +1,68 @@
+// Sampling from a fixed discrete distribution by inverse-CDF binary search.
+//
+// Used by the synthetic dataset generators (Zipf popularity over users and
+// items) and by weighted negative sampling. Header-only.
+
+#ifndef LAYERGCN_UTIL_DISCRETE_DISTRIBUTION_H_
+#define LAYERGCN_UTIL_DISCRETE_DISTRIBUTION_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace layergcn::util {
+
+/// Immutable discrete distribution over {0, ..., n-1} with O(log n) sampling.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+
+  /// Builds from non-negative weights; at least one must be positive.
+  explicit DiscreteDistribution(const std::vector<double>& weights) {
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      LAYERGCN_CHECK_GE(w, 0.0) << "negative weight";
+      acc += w;
+      cdf_.push_back(acc);
+    }
+    LAYERGCN_CHECK_GT(acc, 0.0) << "all weights zero";
+    total_ = acc;
+  }
+
+  /// Number of outcomes.
+  int64_t size() const { return static_cast<int64_t>(cdf_.size()); }
+
+  /// Draws one index.
+  int64_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble() * total_;
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const int64_t idx = it == cdf_.end()
+                            ? static_cast<int64_t>(cdf_.size()) - 1
+                            : static_cast<int64_t>(it - cdf_.begin());
+    return idx;
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+/// Zipf-like weights: w_i = 1/(i+1)^alpha for i in [0, n). alpha = 0 gives
+/// the uniform distribution; larger alpha gives heavier skew.
+inline std::vector<double> ZipfWeights(int64_t n, double alpha) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    w[static_cast<size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return w;
+}
+
+}  // namespace layergcn::util
+
+#endif  // LAYERGCN_UTIL_DISCRETE_DISTRIBUTION_H_

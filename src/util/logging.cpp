@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace layergcn::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  if (level < g_level.load()) return;
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  LogMessage(LogLevel::kError, file, line,
+             std::string("CHECK failed: ") + expr +
+                 (msg.empty() ? "" : (" — " + msg)));
+  std::abort();
+}
+
+}  // namespace layergcn::util

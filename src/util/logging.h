@@ -1,0 +1,87 @@
+// Minimal leveled logging and check macros.
+//
+// LAYERGCN_CHECK is used for programmer-error invariants in both debug and
+// release builds (the library is research infrastructure: failing loudly on
+// a shape mismatch beats silently producing garbage metrics).
+
+#ifndef LAYERGCN_UTIL_LOGGING_H_
+#define LAYERGCN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace layergcn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line (thread-safe).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+/// Terminates the process after logging `msg` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+namespace internal {
+
+// Stream collector so call sites can write LOG(...) << a << b;
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { CheckFailed(file_, line_, expr_, ss_.str()); }
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace layergcn::util
+
+#define LAYERGCN_LOG(level)                                              \
+  ::layergcn::util::internal::LogStream(::layergcn::util::LogLevel::level, \
+                                        __FILE__, __LINE__)
+
+#define LAYERGCN_CHECK(cond)                                       \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::layergcn::util::internal::CheckStream(__FILE__, __LINE__, #cond)
+
+#define LAYERGCN_CHECK_EQ(a, b) LAYERGCN_CHECK((a) == (b))
+#define LAYERGCN_CHECK_NE(a, b) LAYERGCN_CHECK((a) != (b))
+#define LAYERGCN_CHECK_LT(a, b) LAYERGCN_CHECK((a) < (b))
+#define LAYERGCN_CHECK_LE(a, b) LAYERGCN_CHECK((a) <= (b))
+#define LAYERGCN_CHECK_GT(a, b) LAYERGCN_CHECK((a) > (b))
+#define LAYERGCN_CHECK_GE(a, b) LAYERGCN_CHECK((a) >= (b))
+
+#endif  // LAYERGCN_UTIL_LOGGING_H_

@@ -1,0 +1,168 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace layergcn::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro256** must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int Rng::NextInt(int lo, int hi) {
+  assert(lo < hi);
+  return lo + static_cast<int>(
+                  NextBounded(static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo)));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::vector<int64_t> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int64_t k, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(weights.size());
+  assert(k >= 0 && k <= n);
+  if (k == 0) return {};
+
+  // Efraimidis-Spirakis: key_i = u_i^(1/w_i); keep the k largest keys. We use
+  // log(u)/w which preserves the order and avoids pow() underflow. Items with
+  // non-positive weight get key -inf so they lose to every positive-weight
+  // item, but can still fill the reservoir if k exceeds the number of
+  // positive-weight items.
+  using Entry = std::pair<double, int64_t>;  // (key, index); min-heap on key.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int64_t i = 0; i < n; ++i) {
+    double key;
+    if (weights[i] > 0.0) {
+      double u = rng->NextDouble();
+      // Guard u == 0: log(0) = -inf would unfairly drop the item entirely.
+      if (u <= 0.0) u = 0x1.0p-60;
+      key = std::log(u) / weights[i];
+    } else {
+      key = -std::numeric_limits<double>::infinity();
+    }
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.emplace(key, i);
+    } else if (key > heap.top().first) {
+      heap.pop();
+      heap.emplace(key, i);
+    }
+  }
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> UniformSampleWithoutReplacement(int64_t n, int64_t k,
+                                                     Rng* rng) {
+  assert(k >= 0 && k <= n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an explicit index array.
+    std::vector<int64_t> idx(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = i + static_cast<int64_t>(
+                          rng->NextBounded(static_cast<uint64_t>(n - i)));
+      std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+    }
+    idx.resize(static_cast<size_t>(k));
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  }
+  // Sparse case: rejection sampling into a sorted vector.
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t c = static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(n)));
+    auto it = std::lower_bound(out.begin(), out.end(), c);
+    if (it == out.end() || *it != c) out.insert(it, c);
+  }
+  return out;
+}
+
+}  // namespace layergcn::util

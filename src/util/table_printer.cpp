@@ -1,0 +1,87 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace layergcn::util {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  LAYERGCN_CHECK_EQ(row.size(), header_.size())
+      << "row width must match header width";
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  out += render_row(header_);
+  out += rule();
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule();
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::ostringstream ss;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c) ss << ",";
+    ss << quote(header_[c]);
+  }
+  ss << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) ss << ",";
+      ss << quote(row[c]);
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace layergcn::util

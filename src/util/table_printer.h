@@ -1,0 +1,47 @@
+// Console table formatting for experiment harnesses.
+//
+// Every bench binary prints its table/figure data through TablePrinter so
+// the output visually matches the paper's tables and can be diffed across
+// runs. Also supports CSV emission for plotting.
+
+#ifndef LAYERGCN_UTIL_TABLE_PRINTER_H_
+#define LAYERGCN_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace layergcn::util {
+
+/// Builds and renders a fixed-column text table.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; its size must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders the table with column alignment and ASCII rules.
+  std::string ToString() const;
+
+  /// Renders as CSV (header + rows, comma-separated, quoted when needed).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace layergcn::util
+
+#endif  // LAYERGCN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,118 @@
+#include "train/adam.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "train/parameter.h"
+#include "util/rng.h"
+
+namespace layergcn::train {
+namespace {
+
+TEST(AdamTest, SingleStepMatchesHandComputation) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  Adam adam(cfg);
+  Parameter p("w", 1, 1);
+  p.value(0, 0) = 1.f;
+  p.grad(0, 0) = 0.5f;
+  adam.Step({&p});
+  // After one step: m = 0.1*0.5 = 0.05, v = 0.001*0.25, bias-corrected
+  // m_hat = 0.5, v_hat = 0.25 => update = lr * 0.5 / (0.5 + eps) ≈ lr.
+  EXPECT_NEAR(p.value(0, 0), 1.f - 0.1f, 1e-5f);
+  EXPECT_EQ(p.grad(0, 0), 0.f);  // grads zeroed by Step
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLrRegardlessOfGradScale) {
+  // Adam's bias correction makes the first update ≈ lr * sign(grad).
+  for (float g : {0.01f, 1.f, 100.f}) {
+    Adam adam(AdamConfig{.learning_rate = 0.05});
+    Parameter p("w", 1, 1);
+    p.value(0, 0) = 0.f;
+    p.grad(0, 0) = g;
+    adam.Step({&p});
+    EXPECT_NEAR(p.value(0, 0), -0.05f, 1e-4f);
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // minimize f(w) = (w - 3)^2.
+  Adam adam(AdamConfig{.learning_rate = 0.1});
+  Parameter p("w", 1, 1);
+  p.value(0, 0) = -5.f;
+  for (int step = 0; step < 500; ++step) {
+    p.grad(0, 0) = 2.f * (p.value(0, 0) - 3.f);
+    adam.Step({&p});
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.f, 0.05f);
+}
+
+TEST(AdamTest, ConvergesOnMultiParameterLeastSquares) {
+  // minimize ||A w - b||^2 for a 3x2 system.
+  util::Rng rng(5);
+  const float a_data[3][2] = {{1, 2}, {3, 1}, {0, 1}};
+  const float b_data[3] = {5, 5, 1};  // solution approx w = [1, 2]... solve
+  Adam adam(AdamConfig{.learning_rate = 0.05});
+  Parameter w("w", 2, 1);
+  w.InitGaussian(&rng, 0.5f);
+  for (int step = 0; step < 2000; ++step) {
+    float r[3];
+    for (int i = 0; i < 3; ++i) {
+      r[i] = a_data[i][0] * w.value(0, 0) + a_data[i][1] * w.value(1, 0) -
+             b_data[i];
+    }
+    w.grad.Zero();
+    for (int i = 0; i < 3; ++i) {
+      w.grad(0, 0) += 2.f * r[i] * a_data[i][0];
+      w.grad(1, 0) += 2.f * r[i] * a_data[i][1];
+    }
+    adam.Step({&w});
+  }
+  // Residual should be (near) the least-squares optimum: check gradient
+  // norm is tiny.
+  float r[3];
+  double grad0 = 0, grad1 = 0;
+  for (int i = 0; i < 3; ++i) {
+    r[i] = a_data[i][0] * w.value(0, 0) + a_data[i][1] * w.value(1, 0) -
+           b_data[i];
+    grad0 += 2.0 * r[i] * a_data[i][0];
+    grad1 += 2.0 * r[i] * a_data[i][1];
+  }
+  EXPECT_NEAR(grad0, 0.0, 0.05);
+  EXPECT_NEAR(grad1, 0.0, 0.05);
+}
+
+TEST(AdamTest, ResetRestartsBiasCorrection) {
+  Adam adam(AdamConfig{.learning_rate = 0.1});
+  Parameter p("w", 1, 1);
+  p.grad(0, 0) = 1.f;
+  adam.Step({&p});
+  EXPECT_EQ(adam.step_count(), 1);
+  adam.Reset();
+  EXPECT_EQ(adam.step_count(), 0);
+}
+
+TEST(AdamTest, ZeroGradLeavesValueAlmostUnchanged) {
+  Adam adam;
+  Parameter p("w", 2, 2);
+  p.value.Fill(1.f);
+  adam.Step({&p});  // grad is zero
+  EXPECT_TRUE(p.value.AllClose(tensor::Matrix(2, 2, 1.f), 1e-6f));
+}
+
+TEST(ParameterTest, InitsResetState) {
+  util::Rng rng(1);
+  Parameter p("w", 2, 2);
+  p.grad.Fill(5.f);
+  p.adam_m.Fill(5.f);
+  p.InitXavier(&rng);
+  EXPECT_EQ(p.grad(0, 0), 0.f);
+  EXPECT_EQ(p.adam_m(1, 1), 0.f);
+  p.grad.Fill(2.f);
+  p.ZeroGrad();
+  EXPECT_EQ(p.grad(0, 1), 0.f);
+}
+
+}  // namespace
+}  // namespace layergcn::train

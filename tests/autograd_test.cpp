@@ -1,0 +1,184 @@
+#include "autograd/tape.h"
+
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace layergcn::ag {
+namespace {
+
+namespace t = layergcn::tensor;
+
+TEST(TapeTest, ParameterLeafExposesExternalValue) {
+  Matrix value = Matrix::FromRows({{1, 2}});
+  Matrix grad(1, 2);
+  Tape tape;
+  Var x = tape.Parameter(&value, &grad);
+  EXPECT_TRUE(tape.value(x).Equals(value));
+  EXPECT_TRUE(tape.requires_grad(x));
+}
+
+TEST(TapeTest, ConstantHasNoGrad) {
+  Tape tape;
+  Var c = tape.Constant(Matrix::FromRows({{3}}));
+  EXPECT_FALSE(tape.requires_grad(c));
+  EXPECT_EQ(tape.value(c).scalar(), 3.f);
+}
+
+TEST(TapeTest, BackwardAccumulatesIntoSink) {
+  Matrix value = Matrix::FromRows({{1, 2}});
+  Matrix grad(1, 2);
+  Tape tape;
+  Var x = tape.Parameter(&value, &grad);
+  Var loss = Sum(Scale(x, 3.f));
+  tape.Backward(loss);
+  EXPECT_TRUE(grad.Equals(Matrix::FromRows({{3, 3}})));
+}
+
+TEST(TapeTest, SinkAccumulatesAcrossTapes) {
+  Matrix value = Matrix::FromRows({{1, 2}});
+  Matrix grad(1, 2);
+  for (int step = 0; step < 2; ++step) {
+    Tape tape;
+    Var x = tape.Parameter(&value, &grad);
+    tape.Backward(Sum(x));
+  }
+  EXPECT_TRUE(grad.Equals(Matrix::FromRows({{2, 2}})));
+}
+
+TEST(TapeTest, RequiresGradPropagatesThroughOps) {
+  Matrix value(1, 2, 1.f);
+  Matrix grad(1, 2);
+  Tape tape;
+  Var p = tape.Parameter(&value, &grad);
+  Var c = tape.Constant(Matrix(1, 2, 2.f));
+  EXPECT_TRUE(tape.requires_grad(Add(p, c)));
+  EXPECT_FALSE(tape.requires_grad(Add(c, c)));
+  EXPECT_TRUE(tape.requires_grad(Hadamard(c, p)));
+}
+
+TEST(TapeTest, UnreachedBranchGetsNoGradient) {
+  Matrix v1(1, 1, 1.f), g1(1, 1);
+  Matrix v2(1, 1, 1.f), g2(1, 1);
+  Tape tape;
+  Var a = tape.Parameter(&v1, &g1);
+  Var b = tape.Parameter(&v2, &g2);
+  Var unused = Scale(b, 5.f);  // recorded but not part of the loss
+  (void)unused;
+  tape.Backward(Sum(a));
+  EXPECT_EQ(g1(0, 0), 1.f);
+  EXPECT_EQ(g2(0, 0), 0.f);
+  EXPECT_TRUE(tape.grad(unused).empty());
+}
+
+TEST(TapeTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x + x) => dL/dx = 2.
+  Matrix value(1, 3, 1.f);
+  Matrix grad(1, 3);
+  Tape tape;
+  Var x = tape.Parameter(&value, &grad);
+  tape.Backward(Sum(Add(x, x)));
+  EXPECT_TRUE(grad.Equals(Matrix(1, 3, 2.f)));
+}
+
+TEST(TapeDeathTest, BackwardTwiceAborts) {
+  Matrix value(1, 1, 1.f), grad(1, 1);
+  Tape tape;
+  Var x = tape.Parameter(&value, &grad);
+  Var loss = Sum(x);
+  tape.Backward(loss);
+  EXPECT_DEATH(tape.Backward(loss), "once per tape");
+}
+
+TEST(TapeDeathTest, NonScalarLossAborts) {
+  Matrix value(2, 2, 1.f), grad(2, 2);
+  Tape tape;
+  Var x = tape.Parameter(&value, &grad);
+  EXPECT_DEATH(tape.Backward(x), "scalar");
+}
+
+TEST(TapeDeathTest, CrossTapeVarAborts) {
+  Matrix value(1, 1, 1.f), grad(1, 1);
+  Tape t1, t2;
+  Var x = t1.Parameter(&value, &grad);
+  EXPECT_DEATH((void)t2.value(x), "different tape");
+}
+
+TEST(TapeDeathTest, ParameterShapeMismatchAborts) {
+  Matrix value(2, 2), grad(2, 3);
+  Tape tape;
+  EXPECT_DEATH((void)tape.Parameter(&value, &grad), "shape mismatch");
+}
+
+TEST(OpsValueTest, ForwardValuesMatchTensorKernels) {
+  Matrix a = Matrix::FromRows({{1, -2}, {0.5f, 3}});
+  Matrix b = Matrix::FromRows({{2, 2}, {-1, 1}});
+  Tape tape;
+  Var va = tape.Constant(a);
+  Var vb = tape.Constant(b);
+  EXPECT_TRUE(tape.value(Add(va, vb)).Equals(t::Add(a, b)));
+  EXPECT_TRUE(tape.value(Sub(va, vb)).Equals(t::Sub(a, b)));
+  EXPECT_TRUE(tape.value(Hadamard(va, vb)).Equals(t::Hadamard(a, b)));
+  EXPECT_TRUE(tape.value(Sigmoid(va)).Equals(t::Sigmoid(a)));
+  EXPECT_TRUE(tape.value(Softplus(va)).Equals(t::Softplus(a)));
+  EXPECT_TRUE(tape.value(Relu(va)).Equals(t::Relu(a)));
+  EXPECT_TRUE(
+      tape.value(MatMul(va, vb)).Equals(t::MatMul(a, b, false, false)));
+  EXPECT_NEAR(tape.value(Sum(va)).scalar(), t::SumAll(a), 1e-6);
+  EXPECT_NEAR(tape.value(Mean(va)).scalar(), t::MeanAll(a), 1e-6);
+  EXPECT_NEAR(tape.value(SumSquares(va)).scalar(), t::SumSquares(a), 1e-5);
+}
+
+TEST(OpsValueTest, SpMMValueMatchesCsr) {
+  sparse::CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.entries = {{0, 1, 2.f}, {1, 2, -1.f}};
+  sparse::CsrMatrix m = sparse::CsrMatrix::FromCoo(coo);
+  Matrix x = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Tape tape;
+  Var vx = tape.Constant(x);
+  Var y = SpMM(&m, &m /*unused for value*/, vx);
+  EXPECT_TRUE(tape.value(y).Equals(m.Multiply(x)));
+}
+
+TEST(OpsValueTest, AddNAndLinComb) {
+  Matrix a(2, 2, 1.f), b(2, 2, 2.f), c(2, 2, 3.f);
+  Tape tape;
+  Var va = tape.Constant(a), vb = tape.Constant(b), vc = tape.Constant(c);
+  EXPECT_TRUE(tape.value(AddN({va, vb, vc})).Equals(Matrix(2, 2, 6.f)));
+  Var w = tape.Constant(Matrix::FromRows({{1}, {0.5f}, {2}}));
+  EXPECT_TRUE(tape.value(LinComb({va, vb, vc}, w))
+                  .Equals(Matrix(2, 2, 1.f + 1.f + 6.f)));
+}
+
+TEST(OpsValueTest, GatherAndConcat) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Tape tape;
+  Var va = tape.Constant(a);
+  EXPECT_TRUE(tape.value(GatherRows(va, {2, 0}))
+                  .Equals(Matrix::FromRows({{5, 6}, {1, 2}})));
+  Var cat = ConcatCols({va, va});
+  EXPECT_EQ(tape.value(cat).cols(), 4);
+  EXPECT_EQ(tape.value(cat)(1, 3), 4.f);
+}
+
+TEST(OpsValueTest, DropoutAppliesMask) {
+  Matrix x(2, 2, 3.f);
+  Matrix mask = Matrix::FromRows({{2, 0}, {0, 2}});
+  Tape tape;
+  Var vx = tape.Constant(x);
+  Var y = Dropout(vx, mask);
+  EXPECT_TRUE(tape.value(y).Equals(Matrix::FromRows({{6, 0}, {0, 6}})));
+}
+
+TEST(OpsValueTest, TransposeValue) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}});
+  Tape tape;
+  Var v = Transpose(tape.Constant(a));
+  EXPECT_EQ(tape.value(v).rows(), 3);
+  EXPECT_EQ(tape.value(v)(2, 0), 3.f);
+}
+
+}  // namespace
+}  // namespace layergcn::ag

@@ -1,0 +1,128 @@
+#include "train/bpr_sampler.h"
+
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace layergcn::train {
+namespace {
+
+graph::BipartiteGraph SmallGraph() {
+  return graph::BipartiteGraph(
+      3, 5, {{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 0}, {2, 4}});
+}
+
+TEST(BprSamplerTest, EpochCoversEveryEdgeExactlyOnce) {
+  graph::BipartiteGraph g = SmallGraph();
+  BprSampler sampler(&g);
+  util::Rng rng(1);
+  sampler.BeginEpoch(&rng);
+  std::multiset<std::pair<int32_t, int32_t>> seen;
+  BprBatch batch;
+  while (sampler.NextBatch(2, &rng, &batch)) {
+    for (int64_t k = 0; k < batch.size(); ++k) {
+      seen.emplace(batch.users[static_cast<size_t>(k)],
+                   batch.pos_items[static_cast<size_t>(k)]);
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(seen.count({g.edge_users()[static_cast<size_t>(e)],
+                          g.edge_items()[static_cast<size_t>(e)]}),
+              1u);
+  }
+}
+
+TEST(BprSamplerTest, NegativesAreTrueNegatives) {
+  graph::BipartiteGraph g = SmallGraph();
+  BprSampler sampler(&g);
+  util::Rng rng(2);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    sampler.BeginEpoch(&rng);
+    BprBatch batch;
+    while (sampler.NextBatch(4, &rng, &batch)) {
+      for (int64_t k = 0; k < batch.size(); ++k) {
+        const int32_t u = batch.users[static_cast<size_t>(k)];
+        const int32_t j = batch.neg_items[static_cast<size_t>(k)];
+        EXPECT_FALSE(g.HasInteraction(u, j))
+            << "user " << u << " negative " << j;
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, g.num_items());
+      }
+    }
+  }
+}
+
+TEST(BprSamplerTest, BatchSizesAndExhaustion) {
+  graph::BipartiteGraph g = SmallGraph();
+  BprSampler sampler(&g);
+  util::Rng rng(3);
+  sampler.BeginEpoch(&rng);
+  BprBatch batch;
+  EXPECT_TRUE(sampler.NextBatch(4, &rng, &batch));
+  EXPECT_EQ(batch.size(), 4);
+  EXPECT_TRUE(sampler.NextBatch(4, &rng, &batch));
+  EXPECT_EQ(batch.size(), 2);  // remainder
+  EXPECT_FALSE(sampler.NextBatch(4, &rng, &batch));
+  EXPECT_EQ(batch.size(), 0);
+}
+
+TEST(BprSamplerTest, NumBatchesRoundsUp) {
+  graph::BipartiteGraph g = SmallGraph();
+  BprSampler sampler(&g);
+  EXPECT_EQ(sampler.NumBatches(2), 3);
+  EXPECT_EQ(sampler.NumBatches(4), 2);
+  EXPECT_EQ(sampler.NumBatches(6), 1);
+  EXPECT_EQ(sampler.NumBatches(100), 1);
+}
+
+TEST(BprSamplerTest, ShuffleChangesOrderAcrossEpochs) {
+  graph::BipartiteGraph g = SmallGraph();
+  BprSampler sampler(&g);
+  util::Rng rng(4);
+  auto epoch_order = [&]() {
+    sampler.BeginEpoch(&rng);
+    std::vector<std::pair<int32_t, int32_t>> order;
+    BprBatch batch;
+    while (sampler.NextBatch(3, &rng, &batch)) {
+      for (int64_t k = 0; k < batch.size(); ++k) {
+        order.emplace_back(batch.users[static_cast<size_t>(k)],
+                           batch.pos_items[static_cast<size_t>(k)]);
+      }
+    }
+    return order;
+  };
+  const auto a = epoch_order();
+  const auto b = epoch_order();
+  EXPECT_NE(a, b);  // 1/720 chance of collision, deterministic seed avoids
+}
+
+TEST(BprSamplerTest, DenseUserStillFindsNegative) {
+  // User 0 interacted with 4 of 5 items: rejection sampling must still
+  // terminate and return the single remaining item.
+  graph::BipartiteGraph g(1, 5, {{0, 0}, {0, 1}, {0, 2}, {0, 3}});
+  BprSampler sampler(&g);
+  util::Rng rng(5);
+  sampler.BeginEpoch(&rng);
+  BprBatch batch;
+  while (sampler.NextBatch(10, &rng, &batch)) {
+    for (int64_t k = 0; k < batch.size(); ++k) {
+      EXPECT_EQ(batch.neg_items[static_cast<size_t>(k)], 4);
+    }
+  }
+}
+
+TEST(BprSamplerDeathTest, SaturatedUserAborts) {
+  graph::BipartiteGraph g(1, 2, {{0, 0}, {0, 1}});
+  BprSampler sampler(&g);
+  util::Rng rng(6);
+  sampler.BeginEpoch(&rng);
+  BprBatch batch;
+  EXPECT_DEATH((void)sampler.NextBatch(2, &rng, &batch),
+               "interacted with every item");
+}
+
+}  // namespace
+}  // namespace layergcn::train

@@ -1,0 +1,128 @@
+#include "train/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/layergcn.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace layergcn::train {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripsValues) {
+  util::Rng rng(1);
+  Parameter a("emb", 5, 3);
+  Parameter b("weights", 2, 2);
+  a.InitXavier(&rng);
+  b.InitGaussian(&rng, 0.3f);
+  const tensor::Matrix a_orig = a.value;
+  const tensor::Matrix b_orig = b.value;
+
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  SaveCheckpoint(path, {&a, &b});
+  a.value.Zero();
+  b.value.Fill(9.f);
+  EXPECT_EQ(LoadCheckpoint(path, {&a, &b}), 2);
+  EXPECT_TRUE(a.value.Equals(a_orig));
+  EXPECT_TRUE(b.value.Equals(b_orig));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadByNameIgnoresOrderAndExtras) {
+  util::Rng rng(2);
+  Parameter a("a", 2, 2), b("b", 3, 1), c("c", 1, 4);
+  a.InitXavier(&rng);
+  b.InitXavier(&rng);
+  c.InitXavier(&rng);
+  const std::string path = TempPath("ckpt_order.bin");
+  SaveCheckpoint(path, {&a, &b, &c});
+
+  Parameter b2("b", 3, 1), a2("a", 2, 2);  // reversed subset
+  EXPECT_EQ(LoadCheckpoint(path, {&b2, &a2}), 2);
+  EXPECT_TRUE(a2.value.Equals(a.value));
+  EXPECT_TRUE(b2.value.Equals(b.value));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, IsCheckpointFileDetects) {
+  util::Rng rng(3);
+  Parameter p("p", 2, 2);
+  p.InitXavier(&rng);
+  const std::string good = TempPath("ckpt_good.bin");
+  SaveCheckpoint(good, {&p});
+  EXPECT_TRUE(IsCheckpointFile(good));
+
+  const std::string bad = TempPath("ckpt_bad.bin");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  EXPECT_FALSE(IsCheckpointFile(bad));
+  EXPECT_FALSE(IsCheckpointFile(TempPath("ckpt_missing.bin")));
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(CheckpointDeathTest, MissingParameterAborts) {
+  util::Rng rng(4);
+  Parameter a("a", 2, 2);
+  a.InitXavier(&rng);
+  const std::string path = TempPath("ckpt_missing_param.bin");
+  SaveCheckpoint(path, {&a});
+  Parameter other("other", 2, 2);
+  EXPECT_DEATH((void)LoadCheckpoint(path, {&other}), "missing parameter");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, ShapeMismatchAborts) {
+  util::Rng rng(5);
+  Parameter a("a", 2, 2);
+  a.InitXavier(&rng);
+  const std::string path = TempPath("ckpt_shape.bin");
+  SaveCheckpoint(path, {&a});
+  Parameter wrong("a", 3, 2);
+  EXPECT_DEATH((void)LoadCheckpoint(path, {&wrong}), "shape mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDeathTest, DuplicateNamesAbortOnSave) {
+  Parameter a("same", 1, 1), b("same", 1, 1);
+  EXPECT_DEATH(SaveCheckpoint(TempPath("ckpt_dup.bin"), {&a, &b}),
+               "duplicate parameter");
+}
+
+TEST(CheckpointTest, TrainedModelRestoresExactScores) {
+  // Train LayerGCN briefly, checkpoint, clobber, restore: scores must be
+  // bit-identical.
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  core::LayerGcn model;
+  TrainConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_layers = 2;
+  cfg.batch_size = 4;
+  cfg.max_epochs = 8;
+  cfg.seed = 6;
+  cfg.edge_drop_ratio = 0.0;
+  cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+  FitRecommender(&model, ds, cfg);
+  model.PrepareEval();
+  const tensor::Matrix scores_before = model.ScoreUsers({0, 1});
+
+  const std::string path = TempPath("ckpt_model.bin");
+  SaveCheckpoint(path, model.Params());
+  for (Parameter* p : model.Params()) p->value.Zero();
+  LoadCheckpoint(path, model.Params());
+  model.PrepareEval();
+  EXPECT_TRUE(model.ScoreUsers({0, 1}).Equals(scores_before));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace layergcn::train

@@ -1,0 +1,206 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.h"
+#include "data/kcore.h"
+#include "data/loader.h"
+#include "data/split.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace layergcn::data {
+namespace {
+
+std::vector<Interaction> SequentialInteractions(int n) {
+  std::vector<Interaction> out;
+  for (int k = 0; k < n; ++k) {
+    out.push_back({k % 4, k % 3, k});
+  }
+  return out;
+}
+
+TEST(SplitTest, FractionsRespected) {
+  Split s = ChronologicalSplit(SequentialInteractions(100), 0.7, 0.1);
+  EXPECT_EQ(s.train.size(), 70u);
+  EXPECT_EQ(s.valid.size(), 10u);
+  EXPECT_EQ(s.test.size(), 20u);
+}
+
+TEST(SplitTest, ChronologicalOrdering) {
+  // Shuffle timestamps; split must be by time, not input order.
+  std::vector<Interaction> xs = {{0, 0, 50}, {1, 1, 10}, {2, 2, 90},
+                                 {3, 0, 30}, {0, 1, 70}, {1, 2, 20},
+                                 {2, 0, 80}, {3, 1, 40}, {0, 2, 60},
+                                 {1, 0, 100}};
+  Split s = ChronologicalSplit(xs, 0.7, 0.1);
+  int64_t max_train = -1;
+  for (const auto& x : s.train) max_train = std::max(max_train, x.timestamp);
+  for (const auto& x : s.valid) EXPECT_GT(x.timestamp, max_train);
+  int64_t max_valid = max_train;
+  for (const auto& x : s.valid) max_valid = std::max(max_valid, x.timestamp);
+  for (const auto& x : s.test) EXPECT_GT(x.timestamp, max_valid);
+}
+
+TEST(SplitTest, DeterministicTieBreaking) {
+  // All identical timestamps: ordering falls back to (user, item).
+  std::vector<Interaction> xs = {{1, 1, 5}, {0, 0, 5}, {1, 0, 5}, {0, 1, 5},
+                                 {2, 0, 5}};
+  Split a = ChronologicalSplit(xs, 0.6, 0.2);
+  std::reverse(xs.begin(), xs.end());
+  Split b = ChronologicalSplit(xs, 0.6, 0.2);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].user, b.train[i].user);
+    EXPECT_EQ(a.train[i].item, b.train[i].item);
+  }
+}
+
+TEST(SplitDeathTest, BadFractionsAbort) {
+  EXPECT_DEATH((void)ChronologicalSplit(SequentialInteractions(10), 0.9, 0.2),
+               "split fractions");
+  EXPECT_DEATH((void)ChronologicalSplit(SequentialInteractions(10), 0.0, 0.1),
+               "split fractions");
+}
+
+TEST(BuildDatasetTest, ColdStartRemoval) {
+  // Item 2 and user 2 appear only in the held-out part: they must be
+  // filtered from ground truth.
+  std::vector<Interaction> train = {{0, 0, 1}, {1, 1, 2}, {0, 1, 3}};
+  std::vector<Interaction> valid = {{0, 2, 4}};   // cold item
+  std::vector<Interaction> test = {{2, 0, 5},     // cold user
+                                   {1, 0, 6}};    // warm pair: kept
+  Dataset ds = BuildDataset("t", 3, 3, train, valid, test);
+  EXPECT_TRUE(ds.valid_users.empty());
+  ASSERT_EQ(ds.test_users.size(), 1u);
+  EXPECT_EQ(ds.test_users[0], 1);
+  EXPECT_EQ(ds.test_items[1], (std::vector<int32_t>{0}));
+}
+
+TEST(BuildDatasetTest, TrainPairsAlsoInHeldOutAreDropped) {
+  std::vector<Interaction> train = {{0, 0, 1}, {0, 1, 2}};
+  std::vector<Interaction> test = {{0, 0, 9}};  // duplicate of training pair
+  Dataset ds = BuildDataset("t", 1, 2, train, {}, test);
+  EXPECT_TRUE(ds.test_users.empty());
+}
+
+TEST(BuildDatasetTest, SparsityPercent) {
+  std::vector<Interaction> train = {{0, 0, 1}, {1, 1, 2}};
+  Dataset ds = BuildDataset("t", 2, 2, train, {}, {});
+  // 2 of 4 cells filled -> sparsity 50%.
+  EXPECT_DOUBLE_EQ(ds.SparsityPercent(), 50.0);
+}
+
+TEST(BuildDatasetTest, SummaryMentionsEverything) {
+  Dataset ds = layergcn::testing::TinyDataset();
+  const std::string s = ds.Summary();
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+  EXPECT_NE(s.find("users"), std::string::npos);
+  EXPECT_NE(s.find("sparsity"), std::string::npos);
+}
+
+TEST(KCoreTest, RemovesLowDegreeIteratively) {
+  // user 2 has a single interaction with item 2; removing it drops item 2
+  // to degree 0 as well. Users 0/1 and items 0/1 form a stable 2-core.
+  std::vector<Interaction> xs = {{0, 0, 1}, {0, 1, 2}, {1, 0, 3},
+                                 {1, 1, 4}, {2, 2, 5}};
+  const auto out = KCoreFilter(xs, 2, 2);
+  EXPECT_EQ(out.size(), 4u);
+  for (const auto& x : out) {
+    EXPECT_LT(x.user, 2);
+    EXPECT_LT(x.item, 2);
+  }
+}
+
+TEST(KCoreTest, CascadingRemoval) {
+  // A chain: removing the weakest node cascades.
+  // u0: items {0,1}; u1: item {1}; item1 degree 2, item0 degree 1.
+  std::vector<Interaction> xs = {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}};
+  // 2-core on both sides: item0 (deg 1) goes, then u0 has deg 1, goes, then
+  // item1 deg 1, goes, then u1 deg 0 -> empty.
+  EXPECT_TRUE(KCoreFilter(xs, 2, 2).empty());
+}
+
+TEST(KCoreTest, ZeroCoreKeepsEverything) {
+  std::vector<Interaction> xs = SequentialInteractions(10);
+  EXPECT_EQ(KCoreFilter(xs, 0, 0).size(), 10u);
+}
+
+TEST(CompactIdsTest, RemapsToDenseRange) {
+  std::vector<Interaction> xs = {{100, 50, 1}, {200, 50, 2}, {100, 60, 3}};
+  int32_t nu = 0, ni = 0;
+  const auto out = CompactIds(xs, &nu, &ni);
+  EXPECT_EQ(nu, 2);
+  EXPECT_EQ(ni, 2);
+  EXPECT_EQ(out[0].user, 0);
+  EXPECT_EQ(out[1].user, 1);
+  EXPECT_EQ(out[2].user, 0);
+  EXPECT_EQ(out[0].item, 0);
+  EXPECT_EQ(out[2].item, 1);
+  EXPECT_EQ(out[2].timestamp, 3);
+}
+
+TEST(LoaderTest, RoundTripsThroughCsv) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "layergcn_loader_test.csv")
+          .string();
+  SaveInteractions(path, {{0, 1, 100}, {1, 0, 200}, {0, 2, 300}});
+  LoaderOptions opts;
+  int32_t nu = 0, ni = 0;
+  const auto loaded = LoadInteractions(path, opts, &nu, &ni);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(nu, 2);
+  EXPECT_EQ(ni, 3);
+  EXPECT_EQ(loaded[1].timestamp, 200);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, StringIdsAndHeaderSkipping) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "layergcn_loader_str.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "user,item,ts\n";
+    out << "alice,apple,5\n";
+    out << "bob,apple,6\n";
+    out << "alice,pear,7\n";
+  }
+  LoaderOptions opts;
+  opts.skip_lines = 1;
+  int32_t nu = 0, ni = 0;
+  const auto loaded = LoadInteractions(path, opts, &nu, &ni);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(nu, 2);
+  EXPECT_EQ(ni, 2);
+  EXPECT_EQ(loaded[0].user, loaded[2].user);  // both "alice"
+  EXPECT_EQ(loaded[0].item, loaded[1].item);  // both "apple"
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingTimestampColumnUsesRowOrder) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "layergcn_loader_nots.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "u1,i1\nu2,i2\n";
+  }
+  LoaderOptions opts;
+  opts.timestamp_column = -1;
+  int32_t nu = 0, ni = 0;
+  const auto loaded = LoadInteractions(path, opts, &nu, &ni);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_LT(loaded[0].timestamp, loaded[1].timestamp);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderDeathTest, MissingFileAborts) {
+  LoaderOptions opts;
+  int32_t nu, ni;
+  EXPECT_DEATH((void)LoadInteractions("/nonexistent/x.csv", opts, &nu, &ni),
+               "cannot open");
+}
+
+}  // namespace
+}  // namespace layergcn::data

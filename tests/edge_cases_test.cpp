@@ -1,0 +1,258 @@
+// Edge-case and failure-injection tests across modules: boundary shapes,
+// degenerate datasets, configuration extremes — the conditions a
+// downstream user will eventually hit.
+
+#include <cmath>
+#include <memory>
+
+#include "core/api.h"
+#include "models/bpr_mf.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace layergcn {
+namespace {
+
+using layergcn::testing::TinyDataset;
+
+// ---------------------------------------------------------------------------
+// Evaluator on degenerate splits.
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorEdgeTest, EmptySplitYieldsZeros) {
+  // All interactions in train: no ground truth anywhere.
+  std::vector<data::Interaction> train = {{0, 0, 1}, {1, 1, 2}};
+  data::Dataset ds = data::BuildDataset("empty", 2, 2, train, {}, {});
+  eval::Evaluator evaluator(&ds, {10});
+  int calls = 0;
+  const auto m = evaluator.Evaluate(
+      [&](const std::vector<int32_t>& users) {
+        ++calls;
+        return tensor::Matrix(static_cast<int64_t>(users.size()),
+                              ds.num_items);
+      },
+      eval::EvalSplit::kTest);
+  EXPECT_EQ(calls, 0);  // no users to score
+  EXPECT_DOUBLE_EQ(m.recall.at(10), 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg.at(10), 0.0);
+}
+
+TEST(EvaluatorEdgeTest, KLargerThanItemUniverse) {
+  const data::Dataset ds = TinyDataset();  // 5 items
+  eval::Evaluator evaluator(&ds, {50});
+  const auto m = evaluator.Evaluate(
+      [&](const std::vector<int32_t>& users) {
+        tensor::Matrix s(static_cast<int64_t>(users.size()), ds.num_items);
+        for (int64_t i = 0; i < s.size(); ++i) {
+          s.data()[i] = static_cast<float>(i % 7);
+        }
+        return s;
+      },
+      eval::EvalSplit::kTest);
+  // With K >= |items|, recall is 1 for every user with ground truth.
+  EXPECT_DOUBLE_EQ(m.recall.at(50), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer configuration extremes.
+// ---------------------------------------------------------------------------
+
+TEST(TrainerEdgeTest, EvalEveryLargerThanMaxEpochs) {
+  const data::Dataset ds = TinyDataset();
+  models::BprMf model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 3;
+  cfg.eval_every = 10;  // never evaluates during training
+  cfg.seed = 2;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_EQ(r.epochs_run, 3);
+  EXPECT_TRUE(r.valid_curve.empty());
+  EXPECT_EQ(r.best_epoch, 0);
+  // Final test metrics still produced from the last parameters.
+  EXPECT_GE(r.test_metrics.recall.at(20), 0.0);
+}
+
+TEST(TrainerEdgeTest, SingleEpochRun) {
+  const data::Dataset ds = TinyDataset();
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 1;
+  cfg.batch_size = 64;
+  cfg.max_epochs = 1;
+  cfg.seed = 3;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_EQ(r.epochs_run, 1);
+  EXPECT_EQ(r.best_epoch, 1);
+}
+
+TEST(TrainerEdgeTest, ZeroL2RegTrains) {
+  const data::Dataset ds = TinyDataset();
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 2;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 5;
+  cfg.l2_reg = 0.0;
+  cfg.seed = 4;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  for (double l : r.epoch_losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(TrainerEdgeTest, CheckpointEpochBeyondRunIsSkipped) {
+  const data::Dataset ds = TinyDataset();
+  models::BprMf model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 3;
+  cfg.seed = 5;
+  train::TrainOptions options;
+  options.checkpoint_epochs = {2, 99};
+  std::vector<train::CheckpointMetrics> checkpoints;
+  train::FitRecommender(&model, ds, cfg, options, &checkpoints);
+  ASSERT_EQ(checkpoints.size(), 1u);
+  EXPECT_EQ(checkpoints[0].epoch, 2);
+}
+
+// ---------------------------------------------------------------------------
+// LayerGCN configuration extremes.
+// ---------------------------------------------------------------------------
+
+TEST(LayerGcnEdgeTest, SingleLayerModel) {
+  const data::Dataset ds = TinyDataset();
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 1;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 4;
+  cfg.seed = 6;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_TRUE(std::isfinite(r.epoch_losses.back()));
+}
+
+TEST(LayerGcnEdgeTest, VeryDeepModelStaysFinite) {
+  const data::Dataset ds = TinyDataset();
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 16;  // cosine refinement keeps magnitudes bounded
+  cfg.batch_size = 8;
+  cfg.max_epochs = 3;
+  cfg.seed = 7;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  for (double l : r.epoch_losses) EXPECT_TRUE(std::isfinite(l));
+  model.PrepareEval();
+  const tensor::Matrix s = model.ScoreUsers({0});
+  for (int64_t i = 0; i < s.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(s.data()[i]));
+  }
+}
+
+TEST(LayerGcnEdgeTest, LargeEpsilonStillTrains) {
+  // §IV: ε can be relaxed to >= 1 while keeping Eq. 6 injective.
+  const data::Dataset ds = TinyDataset();
+  core::LayerGcnOptions opts;
+  opts.epsilon = 1.f;
+  core::LayerGcn model(opts);
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 2;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 6;
+  cfg.seed = 8;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_LT(r.epoch_losses.back(), r.epoch_losses.front());
+}
+
+TEST(LayerGcnEdgeTest, MaximalDropRatioKeepsTrainingAlive) {
+  const data::Dataset ds = TinyDataset();
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 2;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 4;
+  cfg.edge_drop_ratio = 0.9;  // keeps ~2 edges of 18
+  cfg.seed = 9;
+  core::LayerGcn model;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  for (double l : r.epoch_losses) EXPECT_TRUE(std::isfinite(l));
+}
+
+// ---------------------------------------------------------------------------
+// Dataset degeneracies.
+// ---------------------------------------------------------------------------
+
+TEST(DatasetEdgeTest, UserWithSingleInteraction) {
+  std::vector<data::Interaction> train = {{0, 0, 1}, {1, 0, 2}, {1, 1, 3}};
+  std::vector<data::Interaction> test = {{0, 1, 9}};
+  data::Dataset ds = data::BuildDataset("single", 2, 3, train, {}, test);
+  ASSERT_EQ(ds.test_users.size(), 1u);
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 2;
+  cfg.batch_size = 4;
+  cfg.max_epochs = 3;
+  cfg.seed = 10;
+  cfg.edge_drop_ratio = 0.0;
+  cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_TRUE(std::isfinite(r.epoch_losses.back()));
+}
+
+TEST(DatasetEdgeTest, ItemNeverInTrainIsStillScoreable) {
+  // Item 2 exists in the universe but no one interacted with it: it must
+  // receive a finite score and be rankable.
+  std::vector<data::Interaction> train = {{0, 0, 1}, {1, 1, 2}, {0, 1, 3},
+                                          {1, 0, 4}};
+  data::Dataset ds = data::BuildDataset("coldish", 2, 3, train, {}, {});
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.num_layers = 2;
+  cfg.batch_size = 4;
+  cfg.max_epochs = 2;
+  cfg.seed = 11;
+  cfg.edge_drop_kind = graph::EdgeDropKind::kNone;
+  cfg.edge_drop_ratio = 0.0;
+  train::FitRecommender(&model, ds, cfg);
+  model.PrepareEval();
+  const tensor::Matrix s = model.ScoreUsers({0});
+  EXPECT_TRUE(std::isfinite(s(0, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Autograd shape edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(AutogradEdgeTest, OneByOneMatricesThroughFullPipeline) {
+  tensor::Matrix v(1, 1, 0.5f), g(1, 1);
+  ag::Tape tape;
+  ag::Var x = tape.Parameter(&v, &g);
+  ag::Var loss = ag::Mean(ag::Softplus(ag::Hadamard(x, x)));
+  tape.Backward(loss);
+  EXPECT_TRUE(std::isfinite(g(0, 0)));
+  EXPECT_NE(g(0, 0), 0.f);
+}
+
+TEST(AutogradEdgeTest, SingleColumnCosine) {
+  tensor::Matrix a(3, 1), b(3, 1), ga(3, 1), gb(3, 1);
+  a.Fill(2.f);
+  b.Fill(-1.f);
+  ag::Tape tape;
+  ag::Var va = tape.Parameter(&a, &ga);
+  ag::Var vb = tape.Parameter(&b, &gb);
+  ag::Var c = ag::RowwiseCosine(va, vb, 1e-8f);
+  EXPECT_NEAR(tape.value(c)(0, 0), -1.f, 1e-6f);
+  tape.Backward(ag::Sum(c));
+  // cos of 1-D vectors is ±1 everywhere: gradient must be (near) zero.
+  EXPECT_NEAR(ga(0, 0), 0.f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace layergcn

@@ -1,0 +1,166 @@
+#include "graph/edge_dropout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace layergcn::graph {
+namespace {
+
+// A star-heavy graph: user 0 and item 0 are hubs, the rest are leaves.
+BipartiteGraph HubGraph() {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < 10; ++i) edges.emplace_back(0, i);   // hub user
+  for (int32_t u = 1; u < 10; ++u) edges.emplace_back(u, 0);   // hub item
+  for (int32_t k = 1; k < 6; ++k) edges.emplace_back(k, k);    // leaf edges
+  return BipartiteGraph(10, 10, edges);
+}
+
+TEST(EdgeDropoutTest, KindParsingRoundTrip) {
+  for (EdgeDropKind k :
+       {EdgeDropKind::kNone, EdgeDropKind::kDropEdge,
+        EdgeDropKind::kDegreeDrop, EdgeDropKind::kMixed}) {
+    EXPECT_EQ(EdgeDropKindFromString(ToString(k)), k);
+  }
+}
+
+TEST(EdgeDropoutDeathTest, UnknownKindAborts) {
+  EXPECT_DEATH((void)EdgeDropKindFromString("bogus"), "unknown");
+}
+
+TEST(EdgeDropoutDeathTest, RatioOutOfRangeAborts) {
+  BipartiteGraph g = HubGraph();
+  EXPECT_DEATH(EdgeDropout(&g, EdgeDropKind::kDropEdge, 1.0), "ratio");
+  EXPECT_DEATH(EdgeDropout(&g, EdgeDropKind::kDropEdge, -0.1), "ratio");
+}
+
+TEST(EdgeDropoutTest, KeptCountMatchesRatio) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(1);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7}) {
+    EdgeDropout drop(&g, EdgeDropKind::kDropEdge, ratio);
+    const auto kept = drop.SampleKeptEdges(&rng, 0);
+    EXPECT_EQ(static_cast<int64_t>(kept.size()), drop.num_kept());
+    EXPECT_EQ(drop.num_kept(),
+              g.num_edges() - std::llround(ratio * g.num_edges()));
+  }
+}
+
+TEST(EdgeDropoutTest, KeptEdgesDistinctAndValid) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(2);
+  for (EdgeDropKind kind : {EdgeDropKind::kDropEdge,
+                            EdgeDropKind::kDegreeDrop}) {
+    EdgeDropout drop(&g, kind, 0.4);
+    const auto kept = drop.SampleKeptEdges(&rng, 0);
+    for (size_t i = 1; i < kept.size(); ++i) EXPECT_LT(kept[i - 1], kept[i]);
+    for (int64_t e : kept) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, g.num_edges());
+    }
+  }
+}
+
+TEST(EdgeDropoutTest, NoneKeepsEverythingAndReturnsFullAdjacency) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(3);
+  EdgeDropout drop(&g, EdgeDropKind::kNone, 0.5);  // ratio ignored for kNone
+  EXPECT_EQ(drop.num_kept(), g.num_edges());
+  sparse::CsrMatrix adj = drop.SampleAdjacency(&rng, 0);
+  EXPECT_EQ(adj.nnz(), g.num_edges() * 2);
+}
+
+TEST(EdgeDropoutTest, DegreeDropPrunesHubHubEdgesPreferentially) {
+  BipartiteGraph g = HubGraph();
+  // Edge (0, 0) connects the two hubs (degrees 10 each) => keep weight
+  // 1/10; leaf-leaf edges have much higher weight. Count survival over many
+  // samples.
+  const auto& edge_users = g.edge_users();
+  const auto& edge_items = g.edge_items();
+  int64_t hub_edge = -1, leaf_edge = -1;
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    if (edge_users[static_cast<size_t>(e)] == 0 &&
+        edge_items[static_cast<size_t>(e)] == 0) {
+      hub_edge = e;
+    }
+    if (edge_users[static_cast<size_t>(e)] == 5 &&
+        edge_items[static_cast<size_t>(e)] == 5) {
+      leaf_edge = e;
+    }
+  }
+  ASSERT_GE(hub_edge, 0);
+  ASSERT_GE(leaf_edge, 0);
+
+  util::Rng rng(4);
+  EdgeDropout drop(&g, EdgeDropKind::kDegreeDrop, 0.5);
+  int hub_kept = 0, leaf_kept = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const auto kept = drop.SampleKeptEdges(&rng, t);
+    hub_kept += std::binary_search(kept.begin(), kept.end(), hub_edge);
+    leaf_kept += std::binary_search(kept.begin(), kept.end(), leaf_edge);
+  }
+  EXPECT_LT(hub_kept, leaf_kept)
+      << "hub-hub edge should be pruned more often than leaf-leaf";
+  EXPECT_GT(leaf_kept, trials * 3 / 5);
+}
+
+TEST(EdgeDropoutTest, DropEdgeIsUniformAcrossEdges) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(5);
+  EdgeDropout drop(&g, EdgeDropKind::kDropEdge, 0.5);
+  std::vector<int> kept_count(static_cast<size_t>(g.num_edges()), 0);
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t e : drop.SampleKeptEdges(&rng, t)) {
+      ++kept_count[static_cast<size_t>(e)];
+    }
+  }
+  // Every edge should be kept roughly half the time.
+  for (int c : kept_count) {
+    EXPECT_GT(c, trials / 4);
+    EXPECT_LT(c, trials * 3 / 4);
+  }
+}
+
+TEST(EdgeDropoutTest, MixedAlternatesByEpochParity) {
+  BipartiteGraph g = HubGraph();
+  EdgeDropout mixed(&g, EdgeDropKind::kMixed, 0.5);
+  EdgeDropout degree(&g, EdgeDropKind::kDegreeDrop, 0.5);
+  EdgeDropout uniform(&g, EdgeDropKind::kDropEdge, 0.5);
+  // With identical RNG state, the mixed sampler must reproduce DegreeDrop
+  // on even epochs and DropEdge on odd epochs.
+  util::Rng r1(42), r2(42);
+  EXPECT_EQ(mixed.SampleKeptEdges(&r1, 0), degree.SampleKeptEdges(&r2, 0));
+  util::Rng r3(43), r4(43);
+  EXPECT_EQ(mixed.SampleKeptEdges(&r3, 1), uniform.SampleKeptEdges(&r4, 1));
+}
+
+TEST(EdgeDropoutTest, SampledAdjacencyIsRenormalized) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(6);
+  EdgeDropout drop(&g, EdgeDropKind::kDegreeDrop, 0.3);
+  sparse::CsrMatrix adj = drop.SampleAdjacency(&rng, 0);
+  EXPECT_EQ(adj.nnz(), drop.num_kept() * 2);
+  EXPECT_TRUE(adj.IsSymmetric(1e-6f));
+  // All values must be in (0, 1]: 1/sqrt(d_i d_j) with degrees >= 1.
+  for (float v : adj.values()) {
+    EXPECT_GT(v, 0.f);
+    EXPECT_LE(v, 1.f + 1e-6f);
+  }
+}
+
+TEST(EdgeDropoutTest, ResamplingDiffersAcrossEpochs) {
+  BipartiteGraph g = HubGraph();
+  util::Rng rng(7);
+  EdgeDropout drop(&g, EdgeDropKind::kDropEdge, 0.5);
+  const auto a = drop.SampleKeptEdges(&rng, 0);
+  const auto b = drop.SampleKeptEdges(&rng, 1);
+  EXPECT_NE(a, b);  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace layergcn::graph

@@ -1,0 +1,219 @@
+// Tests of the extension models: LayerGCN-SSL (paper §VI future work) and
+// the content-feature variants (paper §II-B), plus the cluster-feature
+// generator behind them.
+
+#include <cmath>
+#include <memory>
+
+#include "core/layergcn_content.h"
+#include "core/layergcn_ssl.h"
+#include "core/model_factory.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+#include "train/trainer.h"
+
+namespace layergcn::core {
+namespace {
+
+data::SyntheticConfig SmallConfig() {
+  data::SyntheticConfig cfg;
+  cfg.name = "ext";
+  cfg.num_users = 120;
+  cfg.num_items = 60;
+  cfg.num_interactions = 1200;
+  cfg.num_clusters = 4;
+  return cfg;
+}
+
+train::TrainConfig FastTrain() {
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_layers = 2;
+  cfg.batch_size = 256;
+  cfg.max_epochs = 10;
+  cfg.early_stop_patience = 100;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(ClusterFeaturesTest, ShapeAndClusterSimilarityStructure) {
+  const std::vector<int> clusters{0, 0, 1, 1, 2};
+  const tensor::Matrix f =
+      data::MakeClusterFeatures(clusters, 3, 8, /*noise=*/0.05, 7);
+  EXPECT_EQ(f.rows(), 5);
+  EXPECT_EQ(f.cols(), 8);
+  // Same-cluster rows must be far more similar than cross-cluster rows.
+  auto cosine = [&](int64_t a, int64_t b) {
+    tensor::Matrix ra(1, 8), rb(1, 8);
+    std::copy(f.row(a), f.row(a) + 8, ra.row(0));
+    std::copy(f.row(b), f.row(b) + 8, rb.row(0));
+    return tensor::RowwiseCosine(ra, rb, 1e-12f)(0, 0);
+  };
+  EXPECT_GT(cosine(0, 1), 0.9f);   // same cluster
+  EXPECT_GT(cosine(2, 3), 0.9f);
+  EXPECT_LT(std::fabs(cosine(0, 2)), 0.7f);  // different clusters
+}
+
+TEST(ClusterFeaturesTest, DeterministicAndNoiseSensitive) {
+  const std::vector<int> clusters{0, 1, 0, 1};
+  const tensor::Matrix a = data::MakeClusterFeatures(clusters, 2, 6, 0.1, 3);
+  const tensor::Matrix b = data::MakeClusterFeatures(clusters, 2, 6, 0.1, 3);
+  EXPECT_TRUE(a.Equals(b));
+  const tensor::Matrix c = data::MakeClusterFeatures(clusters, 2, 6, 0.1, 4);
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ClusterFeaturesDeathTest, BadClusterIdAborts) {
+  EXPECT_DEATH((void)data::MakeClusterFeatures({0, 5}, 2, 4, 0.1, 1),
+               "cluster id");
+}
+
+TEST(GenerateWithClustersTest, MatchesPlainGeneratorStream) {
+  const data::SyntheticConfig cfg = SmallConfig();
+  const auto plain = data::GenerateInteractions(cfg, 11);
+  const auto with = data::GenerateInteractionsWithClusters(cfg, 11);
+  ASSERT_EQ(plain.size(), with.interactions.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].user, with.interactions[i].user);
+    EXPECT_EQ(plain[i].item, with.interactions[i].item);
+  }
+  EXPECT_EQ(with.user_clusters.size(), static_cast<size_t>(cfg.num_users));
+  EXPECT_EQ(with.item_clusters.size(), static_cast<size_t>(cfg.num_items));
+  for (int c : with.user_clusters) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, cfg.num_clusters);
+  }
+}
+
+TEST(LayerGcnSslTest, TrainsAndLossIncludesSslTerm) {
+  const data::SyntheticConfig gen = SmallConfig();
+  data::Dataset ds = data::ChronologicalSplitDataset(
+      gen.name, gen.num_users, gen.num_items,
+      data::GenerateInteractions(gen, 21));
+  train::TrainConfig cfg = FastTrain();
+
+  // With weight 0 the SSL model must match plain LayerGCN exactly (same
+  // rng consumption aside — so compare losses qualitatively instead: the
+  // weighted model's loss must exceed the unweighted one at epoch 1, since
+  // InfoNCE of in-batch negatives is positive).
+  SslOptions on;
+  on.weight = 0.5f;
+  LayerGcnSsl with_ssl(on);
+  util::Rng r1(cfg.seed);
+  with_ssl.Init(ds, cfg, &r1);
+  with_ssl.BeginEpoch(1, &r1);
+  const double loss_on = with_ssl.TrainEpoch(&r1, nullptr);
+
+  SslOptions off;
+  off.weight = 0.f;
+  LayerGcnSsl without_ssl(off);
+  util::Rng r2(cfg.seed);
+  without_ssl.Init(ds, cfg, &r2);
+  without_ssl.BeginEpoch(1, &r2);
+  const double loss_off = without_ssl.TrainEpoch(&r2, nullptr);
+
+  EXPECT_GT(loss_on, loss_off);
+  EXPECT_TRUE(std::isfinite(loss_on));
+}
+
+TEST(LayerGcnSslTest, EndToEndImprovesOverUntrained) {
+  const data::SyntheticConfig gen = SmallConfig();
+  data::Dataset ds = data::ChronologicalSplitDataset(
+      gen.name, gen.num_users, gen.num_items,
+      data::GenerateInteractions(gen, 23));
+  LayerGcnSsl model;
+  train::TrainConfig cfg = FastTrain();
+  cfg.max_epochs = 15;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_GT(r.test_metrics.recall.at(20), 0.0);
+  EXPECT_LT(r.epoch_losses.back(), r.epoch_losses.front());
+}
+
+TEST(LayerGcnSslTest, FactoryConstructible) {
+  EXPECT_NE(core::CreateModel("LayerGCN-SSL"), nullptr);
+}
+
+class ContentModeTest : public ::testing::TestWithParam<ContentMode> {};
+
+TEST_P(ContentModeTest, TrainsAndProjectionLearns) {
+  const data::SyntheticConfig gen = SmallConfig();
+  const auto out = data::GenerateInteractionsWithClusters(gen, 31);
+  data::Dataset ds = data::ChronologicalSplitDataset(
+      gen.name, gen.num_users, gen.num_items, out.interactions);
+
+  // Unified node feature matrix: users then items.
+  std::vector<int> clusters = out.user_clusters;
+  clusters.insert(clusters.end(), out.item_clusters.begin(),
+                  out.item_clusters.end());
+  tensor::Matrix features =
+      data::MakeClusterFeatures(clusters, gen.num_clusters, 12, 0.2, 33);
+
+  LayerGcnContent model(features, GetParam());
+  train::TrainConfig cfg = FastTrain();
+  util::Rng rng(cfg.seed);
+  model.Init(ds, cfg, &rng);
+  const tensor::Matrix w_before = model.projection().value;
+  model.BeginEpoch(1, &rng);
+  const double first = model.TrainEpoch(&rng, nullptr);
+  model.BeginEpoch(2, &rng);
+  const double second = model.TrainEpoch(&rng, nullptr);
+  EXPECT_TRUE(std::isfinite(first));
+  EXPECT_LT(second, first);
+  EXPECT_FALSE(model.projection().value.Equals(w_before))
+      << "content projection received no gradient";
+
+  model.PrepareEval();
+  const tensor::Matrix scores = model.ScoreUsers({0, 1});
+  EXPECT_EQ(scores.rows(), 2);
+  EXPECT_EQ(scores.cols(), ds.num_items);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ContentModeTest,
+                         ::testing::Values(ContentMode::kEgoFusion,
+                                           ContentMode::kLateFusion),
+                         [](const ::testing::TestParamInfo<ContentMode>& i) {
+                           return i.param == ContentMode::kEgoFusion
+                                      ? "EgoFusion"
+                                      : "LateFusion";
+                         });
+
+TEST(ContentModeTest, ModesProduceDifferentEmbeddingWidths) {
+  const data::SyntheticConfig gen = SmallConfig();
+  const auto out = data::GenerateInteractionsWithClusters(gen, 41);
+  data::Dataset ds = data::ChronologicalSplitDataset(
+      gen.name, gen.num_users, gen.num_items, out.interactions);
+  std::vector<int> clusters = out.user_clusters;
+  clusters.insert(clusters.end(), out.item_clusters.begin(),
+                  out.item_clusters.end());
+  tensor::Matrix features =
+      data::MakeClusterFeatures(clusters, gen.num_clusters, 12, 0.2, 43);
+  train::TrainConfig cfg = FastTrain();
+
+  LayerGcnContent ego(features, ContentMode::kEgoFusion);
+  util::Rng r1(1);
+  ego.Init(ds, cfg, &r1);
+  ego.BeginEpoch(1, &r1);
+  ego.PrepareEval();
+  EXPECT_EQ(ego.final_embeddings().cols(), cfg.embedding_dim);
+
+  LayerGcnContent late(features, ContentMode::kLateFusion);
+  util::Rng r2(1);
+  late.Init(ds, cfg, &r2);
+  late.BeginEpoch(1, &r2);
+  late.PrepareEval();
+  EXPECT_EQ(late.final_embeddings().cols(), cfg.embedding_dim * 2);
+}
+
+TEST(ContentModeDeathTest, WrongFeatureRowCountAborts) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  tensor::Matrix features(3, 4);  // wrong: needs num_nodes rows
+  LayerGcnContent model(features, ContentMode::kEgoFusion);
+  train::TrainConfig cfg = FastTrain();
+  util::Rng rng(1);
+  EXPECT_DEATH(model.Init(ds, cfg, &rng), "feature matrix");
+}
+
+}  // namespace
+}  // namespace layergcn::core

@@ -1,0 +1,283 @@
+// Tests of the auxiliary library features: leave-one-out splitting,
+// beyond-accuracy metrics, popularity-weighted negative sampling, and the
+// hyper-parameter search driver.
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/api.h"
+#include "eval/beyond_accuracy.h"
+#include "experiments/grid_search.h"
+#include "gtest/gtest.h"
+#include "models/bpr_mf.h"
+#include "test_util.h"
+
+namespace layergcn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Leave-one-out split.
+// ---------------------------------------------------------------------------
+
+TEST(LeaveOneOutTest, LastTwoInteractionsHeldOutPerUser) {
+  std::vector<data::Interaction> xs = {
+      {0, 0, 10}, {0, 1, 20}, {0, 2, 30}, {0, 3, 40},  // user 0: 4
+      {1, 0, 5},  {1, 1, 15}, {1, 2, 25},              // user 1: 3
+      {2, 0, 7},  {2, 1, 8},                           // user 2: 2 (all train)
+  };
+  const data::Split s = data::LeaveOneOutSplit(xs);
+  EXPECT_EQ(s.train.size(), 5u);  // 2 + 1 + 2
+  ASSERT_EQ(s.valid.size(), 2u);
+  ASSERT_EQ(s.test.size(), 2u);
+  // User 0: valid = item 2 (ts 30), test = item 3 (ts 40).
+  EXPECT_EQ(s.valid[0].item, 2);
+  EXPECT_EQ(s.test[0].item, 3);
+  // User 1: valid = item 1, test = item 2.
+  EXPECT_EQ(s.valid[1].item, 1);
+  EXPECT_EQ(s.test[1].item, 2);
+}
+
+TEST(LeaveOneOutTest, ChronologyRespectedNotInputOrder) {
+  std::vector<data::Interaction> xs = {
+      {0, 3, 40}, {0, 0, 10}, {0, 2, 30}, {0, 1, 20}};
+  const data::Split s = data::LeaveOneOutSplit(xs);
+  ASSERT_EQ(s.test.size(), 1u);
+  EXPECT_EQ(s.test[0].item, 3);   // latest timestamp
+  EXPECT_EQ(s.valid[0].item, 2);  // second-latest
+}
+
+TEST(LeaveOneOutTest, DatasetBuildsAndTrains) {
+  data::SyntheticConfig gen;
+  gen.num_users = 100;
+  gen.num_items = 50;
+  gen.num_interactions = 900;
+  data::Dataset ds = data::LeaveOneOutDataset(
+      "loo", gen.num_users, gen.num_items,
+      data::GenerateInteractions(gen, 3));
+  EXPECT_GT(ds.num_train(), 0);
+  EXPECT_GT(static_cast<int64_t>(ds.test_users.size()), 0);
+  // Each test user holds out exactly one item under this protocol.
+  for (int32_t u : ds.test_users) {
+    EXPECT_EQ(ds.test_items[static_cast<size_t>(u)].size(), 1u);
+  }
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_layers = 2;
+  cfg.max_epochs = 3;
+  cfg.batch_size = 256;
+  cfg.seed = 4;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_EQ(r.epochs_run, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Beyond-accuracy metrics.
+// ---------------------------------------------------------------------------
+
+TEST(BeyondAccuracyTest, OracleConcentrationVsSpread) {
+  // 20 users, 10 items; each user's single training item never collides
+  // with the item the "spread" scorer prefers for them.
+  std::vector<data::Interaction> train;
+  for (int32_t u = 0; u < 20; ++u) {
+    train.push_back({u, (u % 10 + 5) % 10, u});
+  }
+  const data::Dataset ds = data::BuildDataset("ba", 20, 10, train, {}, {});
+  std::vector<int32_t> users;
+  for (int32_t u = 0; u < ds.num_users; ++u) users.push_back(u);
+
+  // Scorer A: everyone gets the same ranking => minimal coverage.
+  eval::ScoreFn concentrated = [&](const std::vector<int32_t>& us) {
+    tensor::Matrix m(static_cast<int64_t>(us.size()), ds.num_items);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = static_cast<float>(c);
+      }
+    }
+    return m;
+  };
+  // Scorer B: each user prefers a different item => high coverage.
+  eval::ScoreFn spread = [&](const std::vector<int32_t>& us) {
+    tensor::Matrix m(static_cast<int64_t>(us.size()), ds.num_items);
+    for (size_t r = 0; r < us.size(); ++r) {
+      m(static_cast<int64_t>(r), us[r] % ds.num_items) = 1.f;
+    }
+    return m;
+  };
+  const auto a = eval::EvaluateBeyondAccuracy(ds, concentrated, users, 1);
+  const auto b = eval::EvaluateBeyondAccuracy(ds, spread, users, 1);
+  EXPECT_LT(a.coverage, b.coverage);
+  EXPECT_GT(a.gini, b.gini);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+TEST(BeyondAccuracyTest, PopularityReflectsItemDegrees) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  std::vector<int32_t> users{0, 1, 2};
+  // Recommend only the globally most-popular item per user.
+  int32_t top_item = 0;
+  for (int32_t i = 1; i < ds.num_items; ++i) {
+    if (ds.train_graph.ItemDegree(i) >
+        ds.train_graph.ItemDegree(top_item)) {
+      top_item = i;
+    }
+  }
+  eval::ScoreFn popular_only = [&](const std::vector<int32_t>& us) {
+    tensor::Matrix m(static_cast<int64_t>(us.size()), ds.num_items);
+    for (int64_t r = 0; r < m.rows(); ++r) m(r, top_item) = 1.f;
+    return m;
+  };
+  const auto metrics =
+      eval::EvaluateBeyondAccuracy(ds, popular_only, users, 1);
+  // Users who already interacted with top_item get their next-best (index
+  // order), so avg popularity is at most the top degree.
+  EXPECT_LE(metrics.avg_popularity,
+            static_cast<double>(ds.train_graph.ItemDegree(top_item)));
+  EXPECT_GT(metrics.avg_popularity, 0.0);
+}
+
+TEST(BeyondAccuracyTest, EmptyUserListYieldsZeros) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  const auto m = eval::EvaluateBeyondAccuracy(
+      ds,
+      [&](const std::vector<int32_t>& us) {
+        return tensor::Matrix(static_cast<int64_t>(us.size()), ds.num_items);
+      },
+      {}, 5);
+  EXPECT_DOUBLE_EQ(m.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_popularity, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Popularity-weighted negative sampling.
+// ---------------------------------------------------------------------------
+
+TEST(PopularityNegativesTest, PopularItemsSampledMoreOften) {
+  // Item 0 is very popular; items 1..9 have one interaction each; user 20
+  // interacted with nothing relevant.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t u = 0; u < 10; ++u) edges.emplace_back(u, 0);
+  for (int32_t i = 1; i < 10; ++i) edges.emplace_back(10 + i, i);
+  edges.emplace_back(20, 10);  // keeps user 20 in the sampler's universe
+  graph::BipartiteGraph g(21, 11, edges);
+
+  auto count_negatives = [&](train::NegativeSampling strategy) {
+    train::BprSampler sampler(&g, strategy);
+    util::Rng rng(5);
+    std::map<int32_t, int> counts;
+    for (int epoch = 0; epoch < 40; ++epoch) {
+      sampler.BeginEpoch(&rng);
+      train::BprBatch batch;
+      while (sampler.NextBatch(64, &rng, &batch)) {
+        for (int64_t k = 0; k < batch.size(); ++k) {
+          ++counts[batch.neg_items[static_cast<size_t>(k)]];
+        }
+      }
+    }
+    return counts;
+  };
+  auto uniform = count_negatives(train::NegativeSampling::kUniform);
+  auto popular = count_negatives(train::NegativeSampling::kPopularity);
+  // Under popularity sampling, item 0 (degree 10) must appear far more
+  // often than under uniform sampling.
+  EXPECT_GT(popular[0], uniform[0] * 2);
+}
+
+TEST(PopularityNegativesTest, NegativesStillValid) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  train::BprSampler sampler(&ds.train_graph,
+                            train::NegativeSampling::kPopularity);
+  util::Rng rng(6);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    sampler.BeginEpoch(&rng);
+    train::BprBatch batch;
+    while (sampler.NextBatch(8, &rng, &batch)) {
+      for (int64_t k = 0; k < batch.size(); ++k) {
+        EXPECT_FALSE(ds.train_graph.HasInteraction(
+            batch.users[static_cast<size_t>(k)],
+            batch.neg_items[static_cast<size_t>(k)]));
+      }
+    }
+  }
+}
+
+TEST(PopularityNegativesTest, ModelTrainsWithPopularityNegatives) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  core::LayerGcn model;
+  train::TrainConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_layers = 2;
+  cfg.batch_size = 8;
+  cfg.max_epochs = 6;
+  cfg.seed = 7;
+  cfg.negative_sampling = train::NegativeSampling::kPopularity;
+  const train::TrainResult r = train::FitRecommender(&model, ds, cfg);
+  EXPECT_LT(r.epoch_losses.back(), r.epoch_losses.front());
+}
+
+// ---------------------------------------------------------------------------
+// Grid search.
+// ---------------------------------------------------------------------------
+
+TEST(GridSearchTest, ExhaustiveGridCoversAllAssignments) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  train::TrainConfig base;
+  base.embedding_dim = 8;
+  base.num_layers = 1;
+  base.batch_size = 8;
+  base.max_epochs = 3;
+  const std::vector<experiments::SearchDimension> dims = {
+      experiments::L2RegDimension({1e-4, 1e-3}),
+      experiments::LearningRateDimension({1e-3, 1e-2}),
+  };
+  experiments::SearchOptions opts;
+  opts.validation_k = 2;
+  opts.report_ks = {2};
+  const auto result = experiments::GridSearch(
+      [] { return std::make_unique<models::BprMf>(); }, ds, base, dims, opts);
+  EXPECT_EQ(result.trials.size(), 4u);
+  std::set<std::pair<double, double>> seen;
+  for (const auto& t : result.trials) {
+    seen.emplace(t.assignment[0], t.assignment[1]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  // The winner's score equals the max across trials.
+  double best = 0;
+  for (const auto& t : result.trials) best = std::max(best, t.valid_score);
+  EXPECT_DOUBLE_EQ(result.best.valid_score, best);
+  EXPECT_FALSE(result.Report(dims).empty());
+}
+
+TEST(GridSearchTest, MaxTrialsSubsamples) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  train::TrainConfig base;
+  base.embedding_dim = 8;
+  base.num_layers = 1;
+  base.batch_size = 8;
+  base.max_epochs = 2;
+  const std::vector<experiments::SearchDimension> dims = {
+      experiments::L2RegDimension({1e-5, 1e-4, 1e-3, 1e-2}),
+      experiments::NumLayersDimension({1, 2, 3}),
+  };
+  experiments::SearchOptions opts;
+  opts.max_trials = 5;
+  opts.validation_k = 2;
+  opts.report_ks = {2};
+  const auto result = experiments::GridSearch(
+      [] { return std::make_unique<models::BprMf>(); }, ds, base, dims, opts);
+  EXPECT_EQ(result.trials.size(), 5u);
+}
+
+TEST(GridSearchTest, DimensionSettersApply) {
+  train::TrainConfig cfg;
+  experiments::EdgeDropRatioDimension({0.0}).apply(&cfg, 0.0);
+  EXPECT_EQ(cfg.edge_drop_kind, graph::EdgeDropKind::kNone);
+  experiments::EmbeddingDimDimension({32}).apply(&cfg, 32);
+  EXPECT_EQ(cfg.embedding_dim, 32);
+  experiments::NumLayersDimension({5}).apply(&cfg, 5);
+  EXPECT_EQ(cfg.num_layers, 5);
+}
+
+}  // namespace
+}  // namespace layergcn

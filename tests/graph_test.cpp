@@ -1,0 +1,122 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace layergcn::graph {
+namespace {
+
+BipartiteGraph SmallGraph() {
+  // Users {0,1,2}, items {0,1}: edges 0-0, 0-1, 1-0, 2-1.
+  return BipartiteGraph(3, 2, {{0, 0}, {0, 1}, {1, 0}, {2, 1}});
+}
+
+TEST(BipartiteGraphTest, CountsAndDegrees) {
+  BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.num_users(), 3);
+  EXPECT_EQ(g.num_items(), 2);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.UserDegree(0), 2);
+  EXPECT_EQ(g.UserDegree(1), 1);
+  EXPECT_EQ(g.UserDegree(2), 1);
+  EXPECT_EQ(g.ItemDegree(0), 2);
+  EXPECT_EQ(g.ItemDegree(1), 2);
+}
+
+TEST(BipartiteGraphTest, DeduplicatesInteractions) {
+  BipartiteGraph g(2, 2, {{0, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.UserDegree(0), 1);
+}
+
+TEST(BipartiteGraphTest, ItemNodeOffset) {
+  BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.ItemNode(0), 3);
+  EXPECT_EQ(g.ItemNode(1), 4);
+}
+
+TEST(BipartiteGraphTest, AdjacencyIsSymmetricBlockStructure) {
+  BipartiteGraph g = SmallGraph();
+  sparse::CsrMatrix a = sparse::CsrMatrix::FromCoo(g.Adjacency());
+  EXPECT_EQ(a.nnz(), 8);  // 4 edges x 2 directions
+  EXPECT_TRUE(a.IsSymmetric());
+  // User-user and item-item blocks must be zero (Eq. 4).
+  EXPECT_EQ(a.At(0, 1), 0.f);
+  EXPECT_EQ(a.At(3, 4), 0.f);
+  EXPECT_EQ(a.At(0, 3), 1.f);  // user 0 - item 0
+  EXPECT_EQ(a.At(4, 2), 1.f);  // item 1 - user 2
+}
+
+TEST(BipartiteGraphTest, NormalizedAdjacencyValues) {
+  BipartiteGraph g = SmallGraph();
+  sparse::CsrMatrix norm = g.NormalizedAdjacency();
+  // Entry (u=0, item0 node=3): 1/sqrt(d_u0 * d_i0) = 1/sqrt(2*2) = 0.5.
+  EXPECT_NEAR(norm.At(0, 3), 0.5f, 1e-6f);
+  // (u=1, item0): 1/sqrt(1*2).
+  EXPECT_NEAR(norm.At(1, 3), 1.f / std::sqrt(2.f), 1e-6f);
+  EXPECT_TRUE(norm.IsSymmetric(1e-6f));
+}
+
+TEST(BipartiteGraphTest, AdjacencySubsetUsesSubsetDegrees) {
+  BipartiteGraph g = SmallGraph();
+  // Keep only edges 0 (u0-i0) and 3 (u2-i1): every endpoint now degree 1.
+  sparse::CsrMatrix norm = g.NormalizedAdjacencySubset({0, 3});
+  EXPECT_EQ(norm.nnz(), 4);
+  EXPECT_NEAR(norm.At(0, 3), 1.f, 1e-6f);  // re-normalized on pruned graph
+  EXPECT_NEAR(norm.At(2, 4), 1.f, 1e-6f);
+  EXPECT_EQ(norm.At(0, 4), 0.f);
+}
+
+TEST(BipartiteGraphTest, DegreeSensitiveEdgeWeightsMatchEq5) {
+  BipartiteGraph g = SmallGraph();
+  const auto w = g.DegreeSensitiveEdgeWeights();
+  ASSERT_EQ(w.size(), 4u);
+  // Edges sorted by (user, item): (0,0), (0,1), (1,0), (2,1).
+  EXPECT_NEAR(w[0], 1.0 / (std::sqrt(2.0) * std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(w[1], 1.0 / (std::sqrt(2.0) * std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(w[2], 1.0 / (std::sqrt(1.0) * std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(w[3], 1.0 / (std::sqrt(1.0) * std::sqrt(2.0)), 1e-12);
+}
+
+TEST(BipartiteGraphTest, HasInteraction) {
+  BipartiteGraph g = SmallGraph();
+  EXPECT_TRUE(g.HasInteraction(0, 0));
+  EXPECT_TRUE(g.HasInteraction(2, 1));
+  EXPECT_FALSE(g.HasInteraction(1, 1));
+  EXPECT_FALSE(g.HasInteraction(2, 0));
+}
+
+TEST(BipartiteGraphTest, UserItemsSortedAscending) {
+  BipartiteGraph g(2, 4, {{0, 3}, {0, 1}, {0, 2}});
+  const auto& items = g.user_items()[0];
+  EXPECT_EQ(items, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_TRUE(g.user_items()[1].empty());
+}
+
+TEST(BipartiteGraphTest, ItemDegreeCdf) {
+  // Item degrees: i0 -> 2, i1 -> 2 plus an item with degree 1 and an
+  // isolated item.
+  BipartiteGraph g(3, 4, {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 2}});
+  const auto cdf = g.ItemDegreeCdf({0.0, 1.0, 2.0, 10.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.25);  // only the isolated item has degree <= 0
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);   // + the degree-1 item
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraph g(0, 0, {});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.num_nodes(), 0);
+}
+
+TEST(BipartiteGraphDeathTest, OutOfRangeIdsAbort) {
+  EXPECT_DEATH(BipartiteGraph(2, 2, {{2, 0}}), "user id");
+  EXPECT_DEATH(BipartiteGraph(2, 2, {{0, 5}}), "item id");
+}
+
+}  // namespace
+}  // namespace layergcn::graph

@@ -1,0 +1,120 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace layergcn::tensor {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.f);
+  }
+}
+
+TEST(MatrixTest, FillConstructorAndFill) {
+  Matrix m(2, 2, 3.5f);
+  EXPECT_EQ(m(1, 1), 3.5f);
+  m.Fill(-1.f);
+  EXPECT_EQ(m(0, 0), -1.f);
+  m.Zero();
+  EXPECT_EQ(m(0, 1), 0.f);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 3.f);
+  EXPECT_EQ(m(1, 0), 4.f);
+}
+
+TEST(MatrixTest, ScalarWrapper) {
+  Matrix s = Matrix::Scalar(2.5f);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_EQ(s.scalar(), 2.5f);
+}
+
+TEST(MatrixDeathTest, ScalarOfNonScalarAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH((void)m.scalar(), "not a scalar");
+}
+
+TEST(MatrixDeathTest, AtOutOfRangeAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH((void)m.at(2, 0), "out of");
+  EXPECT_DEATH((void)m.at(0, -1), "out of");
+}
+
+TEST(MatrixTest, RowPointerAccess) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.row(1)[0], 3.f);
+  m.row(0)[1] = 9.f;
+  EXPECT_EQ(m(0, 1), 9.f);
+}
+
+TEST(MatrixTest, XavierUniformBounds) {
+  util::Rng rng(5);
+  Matrix m(100, 50);
+  m.XavierUniform(&rng);
+  const float a = std::sqrt(6.f / (100 + 50));
+  float mn = 1e9f, mx = -1e9f;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    mn = std::min(mn, m.data()[i]);
+    mx = std::max(mx, m.data()[i]);
+  }
+  EXPECT_GE(mn, -a);
+  EXPECT_LE(mx, a);
+  EXPECT_LT(mn, -a * 0.8f);  // actually spreads over the range
+  EXPECT_GT(mx, a * 0.8f);
+}
+
+TEST(MatrixTest, GaussianInitStats) {
+  util::Rng rng(6);
+  Matrix m(200, 50);
+  m.GaussianInit(&rng, 0.5f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 0.25, 0.02);
+}
+
+TEST(MatrixTest, EqualsAndAllClose) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{1, 2}});
+  Matrix c = Matrix::FromRows({{1, 2.0001f}});
+  Matrix d(2, 1);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_TRUE(a.AllClose(c, 1e-3f));
+  EXPECT_FALSE(a.AllClose(c, 1e-6f));
+  EXPECT_FALSE(a.AllClose(d));  // shape mismatch
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 20, 1.f);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("20x20"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace layergcn::tensor

@@ -1,0 +1,220 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "eval/evaluator.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace layergcn::eval {
+namespace {
+
+TEST(RecallTest, HandComputedCases) {
+  // Ground truth {1, 3}; ranked [3, 0, 1, 2].
+  const std::vector<int32_t> ranked{3, 0, 1, 2};
+  const std::vector<int32_t> gt{1, 3};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, gt, 1), 0.5);   // hit 3
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, gt, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, gt, 3), 1.0);   // hit 1 too
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, gt, 10), 1.0);  // k > list length
+}
+
+TEST(RecallTest, EmptyGroundTruthIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2}, {}, 2), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  const std::vector<int32_t> gt{0, 1};
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 2, 3}, gt, 2), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 0, 2, 3}, gt, 2), 1.0);  // order within top-2
+}
+
+TEST(NdcgTest, HandComputedPartialHit) {
+  // GT {2}; ranked [0, 2, 1]: hit at rank 2 -> DCG = 1/log2(3),
+  // IDCG = 1/log2(2) = 1.
+  const double expected = 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({0, 2, 1}, {2}, 3), expected, 1e-12);
+}
+
+TEST(NdcgTest, LaterHitsWorthLess) {
+  const std::vector<int32_t> gt{5};
+  const double early = NdcgAtK({5, 1, 2, 3}, gt, 4);
+  const double late = NdcgAtK({1, 2, 3, 5}, gt, 4);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(NdcgTest, IdcgTruncatesAtK) {
+  // |GT| = 3 but K = 2: ideal DCG uses only 2 slots, so two hits in the
+  // top-2 give NDCG = 1.
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1, 9, 9}, {0, 1, 2}, 2), 1.0);
+}
+
+TEST(PrecisionTest, HandComputed) {
+  // GT {1, 3}; ranked [3, 0, 1, 2].
+  const std::vector<int32_t> ranked{3, 0, 1, 2};
+  const std::vector<int32_t> gt{1, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, gt, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, gt, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, gt, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {}, 2), 0.0);
+}
+
+TEST(HitRateTest, HandComputed) {
+  const std::vector<int32_t> ranked{5, 7, 2};
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, {2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, {2}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, {9}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, {}, 3), 0.0);
+}
+
+TEST(MapTest, HandComputed) {
+  // GT {0, 2}; ranked [0, 1, 2]: precisions at hits 1/1 and 2/3;
+  // AP@3 = (1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecisionAtK({0, 1, 2}, {0, 2}, 3), (1.0 + 2.0 / 3) / 2,
+              1e-12);
+  // Perfect ranking gives AP = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({0, 2, 1}, {0, 2}, 3), 1.0);
+  // No hits -> 0.
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({5, 6}, {0}, 2), 0.0);
+}
+
+TEST(MrrTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({4, 9, 1}, {1}), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({4, 9, 1}, {1, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({4, 9}, {8}), 0.0);
+}
+
+TEST(MetricRelationTest, RecallPrecisionIdentity) {
+  // recall * |GT| == precision * K (both count the same hits).
+  const std::vector<int32_t> ranked{9, 4, 2, 7, 0};
+  const std::vector<int32_t> gt{0, 2, 5};
+  for (int k : {1, 2, 3, 4, 5}) {
+    EXPECT_NEAR(RecallAtK(ranked, gt, k) * static_cast<double>(gt.size()),
+                PrecisionAtK(ranked, gt, k) * k, 1e-12);
+  }
+}
+
+TEST(TopKTest, SelectsLargestInOrder) {
+  const float scores[] = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  EXPECT_EQ(TopKIndices(scores, 5, 3), (std::vector<int32_t>{1, 3, 2}));
+}
+
+TEST(TopKTest, KLargerThanN) {
+  const float scores[] = {0.2f, 0.8f};
+  EXPECT_EQ(TopKIndices(scores, 2, 5), (std::vector<int32_t>{1, 0}));
+}
+
+TEST(TopKTest, ExclusionSkipsMarkedItems) {
+  const float scores[] = {0.9f, 0.8f, 0.7f, 0.6f};
+  std::vector<bool> excluded{true, false, true, false};
+  EXPECT_EQ(TopKIndices(scores, 4, 2, &excluded),
+            (std::vector<int32_t>{1, 3}));
+}
+
+TEST(TopKTest, TiesBrokenByLowerIndex) {
+  const float scores[] = {0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(TopKIndices(scores, 4, 2), (std::vector<int32_t>{0, 1}));
+}
+
+TEST(RankingMetricsTest, ToStringListsBothFamilies) {
+  RankingMetrics m;
+  m.recall[10] = 0.25;
+  m.ndcg[10] = 0.125;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("R@10"), std::string::npos);
+  EXPECT_NE(s.find("N@10"), std::string::npos);
+}
+
+// Evaluator integration: brute-force verification on the tiny dataset with
+// a hand-crafted scoring function.
+TEST(EvaluatorTest, MatchesBruteForceOnTinyDataset) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  // Score = item id (favors high-numbered items), same for all users.
+  ScoreFn score = [&](const std::vector<int32_t>& users) {
+    tensor::Matrix m(static_cast<int64_t>(users.size()), ds.num_items);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = static_cast<float>(c);
+      }
+    }
+    return m;
+  };
+  Evaluator evaluator(&ds, {2});
+  const RankingMetrics got = evaluator.Evaluate(score, EvalSplit::kTest);
+
+  // Brute force.
+  double recall_sum = 0, ndcg_sum = 0;
+  for (int32_t u : ds.test_users) {
+    std::vector<int32_t> ranked;
+    for (int32_t i = ds.num_items - 1; i >= 0 && ranked.size() < 2; --i) {
+      if (!ds.train_graph.HasInteraction(u, i)) ranked.push_back(i);
+    }
+    recall_sum += RecallAtK(ranked, ds.test_items[static_cast<size_t>(u)], 2);
+    ndcg_sum += NdcgAtK(ranked, ds.test_items[static_cast<size_t>(u)], 2);
+  }
+  const double n = static_cast<double>(ds.test_users.size());
+  EXPECT_NEAR(got.recall.at(2), recall_sum / n, 1e-9);
+  EXPECT_NEAR(got.ndcg.at(2), ndcg_sum / n, 1e-9);
+}
+
+TEST(EvaluatorTest, PerfectOracleScoresPerfectRecall) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  // Oracle: +1 for ground-truth items.
+  ScoreFn oracle = [&](const std::vector<int32_t>& users) {
+    tensor::Matrix m(static_cast<int64_t>(users.size()), ds.num_items);
+    for (size_t r = 0; r < users.size(); ++r) {
+      for (int32_t i : ds.test_items[static_cast<size_t>(users[r])]) {
+        m(static_cast<int64_t>(r), i) = 1.f;
+      }
+    }
+    return m;
+  };
+  Evaluator evaluator(&ds, {5});
+  const RankingMetrics got = evaluator.Evaluate(oracle, EvalSplit::kTest);
+  EXPECT_DOUBLE_EQ(got.recall.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(got.ndcg.at(5), 1.0);
+}
+
+TEST(EvaluatorTest, SmallChunkSizeGivesSameResult) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  ScoreFn score = [&](const std::vector<int32_t>& users) {
+    tensor::Matrix m(static_cast<int64_t>(users.size()), ds.num_items);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = static_cast<float>((users[static_cast<size_t>(r)] * 7 + c * 13) % 5);
+      }
+    }
+    return m;
+  };
+  Evaluator big(&ds, {3}, /*chunk_size=*/512);
+  Evaluator small(&ds, {3}, /*chunk_size=*/1);
+  const auto a = big.Evaluate(score, EvalSplit::kTest);
+  const auto b = small.Evaluate(score, EvalSplit::kTest);
+  EXPECT_DOUBLE_EQ(a.recall.at(3), b.recall.at(3));
+  EXPECT_DOUBLE_EQ(a.ndcg.at(3), b.ndcg.at(3));
+}
+
+TEST(EvaluatorTest, PerUserValuesAverageToAggregate) {
+  const data::Dataset ds = layergcn::testing::TinyDataset();
+  ScoreFn score = [&](const std::vector<int32_t>& users) {
+    tensor::Matrix m(static_cast<int64_t>(users.size()), ds.num_items);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      for (int64_t c = 0; c < m.cols(); ++c) {
+        m(r, c) = static_cast<float>((c * 31 + users[static_cast<size_t>(r)]) % 7);
+      }
+    }
+    return m;
+  };
+  Evaluator evaluator(&ds, {3});
+  const auto agg = evaluator.Evaluate(score, EvalSplit::kTest);
+  const auto per = evaluator.EvaluatePerUser(score, EvalSplit::kTest, 3);
+  ASSERT_EQ(per.recall.size(), ds.test_users.size());
+  double sum = 0;
+  for (double r : per.recall) sum += r;
+  EXPECT_NEAR(agg.recall.at(3), sum / static_cast<double>(per.recall.size()),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace layergcn::eval

@@ -1,0 +1,229 @@
+// Property-based tests of the paper's theoretical claims (§IV) and of core
+// invariants, swept over randomized instances with TEST_P.
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "graph/edge_dropout.h"
+#include "gtest/gtest.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace layergcn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Proposition 2 (Eq. 20): when cos(x^l, x⁰) < 0, the refined layer
+// x^l·cos(θ) is closer to x⁰ than x^l itself:
+//   ‖x^l cos(θ) − x⁰‖ <= ‖x^l − x⁰‖.
+// The paper's derivation bounds the divergence; we verify the inequality on
+// random vector pairs with negative cosine.
+// ---------------------------------------------------------------------------
+
+class OverSmoothingBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverSmoothingBoundTest, RefinementReducesDivergenceWhenCosNegative) {
+  util::Rng rng(GetParam());
+  int tested = 0;
+  while (tested < 50) {
+    tensor::Matrix xl(1, 8), x0(1, 8);
+    xl.GaussianInit(&rng, 1.f);
+    x0.GaussianInit(&rng, 1.f);
+    const float cos_theta = tensor::RowwiseCosine(xl, x0, 1e-12f)(0, 0);
+    if (cos_theta >= 0.f) continue;
+    ++tested;
+    const double d_lgn =
+        std::sqrt(tensor::SumSquares(tensor::Sub(xl, x0)));
+    const double d_lr = std::sqrt(
+        tensor::SumSquares(tensor::Sub(tensor::Scale(xl, cos_theta), x0)));
+    EXPECT_LE(d_lr, d_lgn + 1e-5)
+        << "cos=" << cos_theta << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverSmoothingBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Refinement output bound: |cos + eps| <= 1 + eps, so the refined layer's
+// row norms never exceed (1 + eps)·‖h‖ — refinement only attenuates.
+// ---------------------------------------------------------------------------
+
+class RefinementBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinementBoundTest, RefinedNormNeverExceedsOriginal) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const int rows = 20;
+  const float eps = 1e-8f;
+  tensor::Matrix h(rows, GetParam() + 2), x0(rows, GetParam() + 2);
+  h.GaussianInit(&rng, 1.f);
+  x0.GaussianInit(&rng, 1.f);
+  tensor::Matrix a = tensor::RowwiseCosine(h, x0, eps);
+  tensor::Matrix refined = tensor::ScaleRows(h, tensor::AddScalar(a, eps));
+  tensor::Matrix norm_h = tensor::RowL2Norms(h);
+  tensor::Matrix norm_r = tensor::RowL2Norms(refined);
+  for (int64_t r = 0; r < rows; ++r) {
+    EXPECT_LE(norm_r(r, 0), norm_h(r, 0) * (1.f + 2e-6f) + eps);
+    EXPECT_GE(a(r, 0), -1.f - 1e-6f);
+    EXPECT_LE(a(r, 0), 1.f + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RefinementBoundTest,
+                         ::testing::Values(1, 2, 6, 14, 30));
+
+// ---------------------------------------------------------------------------
+// LightGCN over-smoothing (Eq. 15): on a connected bipartite graph, deep
+// propagation drives the (normalized) representations of connected nodes
+// together; the mean pairwise distance across edges shrinks relative to the
+// initial embeddings.
+// ---------------------------------------------------------------------------
+
+class OverSmoothingDynamicsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverSmoothingDynamicsTest, DeepPropagationShrinksSamePartDistances) {
+  // Note: on a *bipartite* graph Â has the eigenvalue −1 (parity
+  // oscillation), so distances across user-item edges alternate rather than
+  // vanish; the over-smoothing of Eq. 15 manifests within one part under
+  // even powers of Â. We therefore measure user-user distances for users
+  // sharing an item, after an even number of layers.
+  util::Rng rng(GetParam());
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  const int32_t nu = 12, ni = 8;
+  for (int32_t u = 0; u < nu; ++u) {
+    edges.emplace_back(u, u % ni);  // ring-ish backbone
+    edges.emplace_back(u, rng.NextInt(0, ni));
+  }
+  graph::BipartiteGraph g(nu, ni, edges);
+  sparse::CsrMatrix adj = g.NormalizedAdjacency();
+
+  tensor::Matrix x(g.num_nodes(), 6);
+  x.GaussianInit(&rng, 1.f);
+
+  // User pairs sharing at least one item.
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (int32_t a = 0; a < nu; ++a) {
+    for (int32_t b = a + 1; b < nu; ++b) {
+      for (int32_t i : g.user_items()[static_cast<size_t>(a)]) {
+        if (g.HasInteraction(b, i)) {
+          pairs.emplace_back(a, b);
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(pairs.empty());
+
+  auto mean_pair_distance = [&](const tensor::Matrix& emb) {
+    // Distances between L2-normalized embeddings: scale-free, so the
+    // shrinking reflects direction alignment (over-smoothing), not the
+    // shrinking norms of Â^l X.
+    tensor::Matrix n = tensor::NormalizeRowsL2(emb);
+    double total = 0;
+    for (const auto& [a, b] : pairs) {
+      double d = 0;
+      for (int64_t c = 0; c < n.cols(); ++c) {
+        const double diff = n(a, c) - n(b, c);
+        d += diff * diff;
+      }
+      total += std::sqrt(d);
+    }
+    return total / static_cast<double>(pairs.size());
+  };
+
+  const double before = mean_pair_distance(x);
+  tensor::Matrix deep = x;
+  for (int l = 0; l < 16; ++l) deep = adj.Multiply(deep);
+  const double after = mean_pair_distance(deep);
+  EXPECT_LT(after, before * 0.5)
+      << "16-layer propagation should over-smooth same-part nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverSmoothingDynamicsTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// DegreeDrop expectation property (Eq. 5): across many resamples, the
+// empirical keep frequency of an edge decreases with the product of its
+// endpoint degrees.
+// ---------------------------------------------------------------------------
+
+class DegreeDropBiasTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DegreeDropBiasTest, KeepFrequencyAntiCorrelatesWithDegreeProduct) {
+  util::Rng rng(7);
+  data::SyntheticConfig cfg;
+  cfg.num_users = 80;
+  cfg.num_items = 40;
+  cfg.num_interactions = 600;
+  const auto interactions = data::GenerateInteractions(cfg, 17);
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (const auto& x : interactions) pairs.emplace_back(x.user, x.item);
+  graph::BipartiteGraph g(cfg.num_users, cfg.num_items, pairs);
+  graph::EdgeDropout drop(&g, graph::EdgeDropKind::kDegreeDrop, GetParam());
+
+  std::vector<int> kept_count(static_cast<size_t>(g.num_edges()), 0);
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t e : drop.SampleKeptEdges(&rng, t)) {
+      ++kept_count[static_cast<size_t>(e)];
+    }
+  }
+  // Spearman-style check: mean keep rate of the lowest-degree-product
+  // quartile must exceed that of the highest quartile.
+  std::vector<std::pair<double, int>> by_weight;  // (degree product, kept)
+  const auto w = g.DegreeSensitiveEdgeWeights();
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    by_weight.emplace_back(1.0 / (w[static_cast<size_t>(e)] *
+                                  w[static_cast<size_t>(e)]),
+                           kept_count[static_cast<size_t>(e)]);
+  }
+  std::sort(by_weight.begin(), by_weight.end());
+  const size_t q = by_weight.size() / 4;
+  double low = 0, high = 0;
+  for (size_t i = 0; i < q; ++i) {
+    low += by_weight[i].second;
+    high += by_weight[by_weight.size() - 1 - i].second;
+  }
+  EXPECT_GT(low, high)
+      << "low-degree edges must survive more often (ratio " << GetParam()
+      << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DegreeDropBiasTest,
+                         ::testing::Values(0.2, 0.4, 0.6));
+
+// ---------------------------------------------------------------------------
+// Normalized adjacency invariants over random graphs.
+// ---------------------------------------------------------------------------
+
+class AdjacencyInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdjacencyInvariantTest, SymmetricBoundedAndBlockStructured) {
+  util::Rng rng(GetParam());
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  const int32_t nu = 20, ni = 15;
+  for (int k = 0; k < 60; ++k) {
+    edges.emplace_back(rng.NextInt(0, nu), rng.NextInt(0, ni));
+  }
+  graph::BipartiteGraph g(nu, ni, edges);
+  sparse::CsrMatrix adj = g.NormalizedAdjacency();
+  EXPECT_TRUE(adj.IsSymmetric(1e-6f));
+  for (float v : adj.values()) {
+    EXPECT_GT(v, 0.f);
+    EXPECT_LE(v, 1.f + 1e-6f);
+  }
+  // No user-user or item-item entries.
+  for (int32_t u = 0; u < nu; ++u) {
+    for (int64_t p = adj.row_ptr()[u]; p < adj.row_ptr()[u + 1]; ++p) {
+      EXPECT_GE(adj.col_idx()[static_cast<size_t>(p)], nu);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyInvariantTest,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace layergcn

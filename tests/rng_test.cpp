@@ -1,0 +1,205 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace layergcn::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  const int n = 20000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng parent(31);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextU64() == child2.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(WeightedSampleTest, ReturnsRequestedCountDistinctSorted) {
+  Rng rng(37);
+  std::vector<double> w(50, 1.0);
+  const auto out = WeightedSampleWithoutReplacement(w, 20, &rng);
+  ASSERT_EQ(out.size(), 20u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1], out[i]);  // sorted and distinct
+  }
+  for (int64_t v : out) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(WeightedSampleTest, KEqualsNReturnsEverything) {
+  Rng rng(41);
+  std::vector<double> w{1.0, 2.0, 3.0};
+  const auto out = WeightedSampleWithoutReplacement(w, 3, &rng);
+  EXPECT_EQ(out, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(WeightedSampleTest, ZeroKReturnsEmpty) {
+  Rng rng(43);
+  std::vector<double> w{1.0, 2.0};
+  EXPECT_TRUE(WeightedSampleWithoutReplacement(w, 0, &rng).empty());
+}
+
+TEST(WeightedSampleTest, ZeroWeightNeverChosenWhenAvoidable) {
+  Rng rng(47);
+  std::vector<double> w{1.0, 0.0, 1.0, 1.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto out = WeightedSampleWithoutReplacement(w, 3, &rng);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), 1) == out.end())
+        << "zero-weight index selected";
+  }
+}
+
+TEST(WeightedSampleTest, HeavyWeightSelectedMoreOften) {
+  Rng rng(53);
+  // Index 0 weighs 10x more than each of the others; when sampling 1 of 11
+  // it should be picked far more often than 1/11 of the time.
+  std::vector<double> w(11, 1.0);
+  w[0] = 10.0;
+  int zero_count = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto out = WeightedSampleWithoutReplacement(w, 1, &rng);
+    if (out[0] == 0) ++zero_count;
+  }
+  // Expected frequency 10/20 = 0.5; uniform would be 1/11 ≈ 0.09.
+  EXPECT_GT(zero_count, trials / 4);
+}
+
+TEST(UniformSampleTest, DistinctSortedInRange) {
+  Rng rng(59);
+  for (int64_t k : {0ll, 1ll, 5ll, 50ll, 100ll}) {
+    const auto out = UniformSampleWithoutReplacement(100, k, &rng);
+    ASSERT_EQ(static_cast<int64_t>(out.size()), k);
+    for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1], out[i]);
+    for (int64_t v : out) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(UniformSampleTest, SparseAndDensePathsCoverUniformly) {
+  Rng rng(61);
+  // Sparse path: k << n.
+  std::vector<int> counts(100, 0);
+  for (int t = 0; t < 3000; ++t) {
+    for (int64_t v : UniformSampleWithoutReplacement(100, 5, &rng)) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  // Each index expected 150 times; allow generous slack.
+  for (int c : counts) {
+    EXPECT_GT(c, 75);
+    EXPECT_LT(c, 250);
+  }
+}
+
+}  // namespace
+}  // namespace layergcn::util

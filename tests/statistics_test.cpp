@@ -1,0 +1,84 @@
+#include "data/statistics.h"
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace layergcn::data {
+namespace {
+
+TEST(DegreeStatsTest, HandComputed) {
+  const DegreeStats s = ComputeDegreeStats({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 4);
+}
+
+TEST(DegreeStatsTest, EmptyAndSingleton) {
+  const DegreeStats empty = ComputeDegreeStats({});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  const DegreeStats one = ComputeDegreeStats({7});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.gini, 0.0);
+}
+
+TEST(DegreeStatsTest, GiniUniformIsZero) {
+  const DegreeStats s = ComputeDegreeStats({5, 5, 5, 5, 5});
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+}
+
+TEST(DegreeStatsTest, GiniExtremeConcentration) {
+  // All mass on one node of n: G = (n-1)/n.
+  std::vector<int32_t> degrees(10, 0);
+  degrees[3] = 100;
+  const DegreeStats s = ComputeDegreeStats(degrees);
+  EXPECT_NEAR(s.gini, 0.9, 1e-12);
+  EXPECT_NEAR(s.top10_share, 1.0, 1e-12);
+}
+
+TEST(DegreeStatsTest, GiniOrdersSkewness) {
+  const DegreeStats flat = ComputeDegreeStats({10, 11, 9, 10, 10, 12, 8});
+  const DegreeStats skew = ComputeDegreeStats({1, 1, 1, 1, 1, 1, 64});
+  EXPECT_LT(flat.gini, skew.gini);
+}
+
+TEST(LogDegreeHistogramTest, Buckets) {
+  int64_t zeros = 0;
+  // degrees 1 -> bucket 0; 2,3 -> bucket 1; 4..7 -> bucket 2; 8 -> bucket 3
+  const auto hist = LogDegreeHistogram({0, 1, 2, 3, 4, 7, 8}, &zeros);
+  EXPECT_EQ(zeros, 1);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[2], 2);
+  EXPECT_EQ(hist[3], 1);
+}
+
+TEST(GraphStatsTest, BipartiteGraphDensityAndSides) {
+  graph::BipartiteGraph g(3, 4, {{0, 0}, {0, 1}, {1, 0}, {2, 3}});
+  const GraphStats s = ComputeGraphStats(g);
+  EXPECT_NEAR(s.density, 4.0 / 12.0, 1e-12);
+  EXPECT_EQ(s.user_degrees.count, 3);
+  EXPECT_EQ(s.item_degrees.count, 4);
+  EXPECT_NEAR(s.user_degrees.mean, 4.0 / 3.0, 1e-12);
+  EXPECT_NE(s.ToString().find("density"), std::string::npos);
+}
+
+TEST(GraphStatsTest, YelpMoreSkewedThanMooc) {
+  // The Fig. 4 contrast expressed as Gini: Yelp's item degrees are more
+  // unequal than MOOC's.
+  const Dataset mooc = MakeBenchmarkDataset("mooc", 0.3, 5);
+  const Dataset yelp = MakeBenchmarkDataset("yelp", 0.3, 5);
+  const GraphStats sm = ComputeGraphStats(mooc.train_graph);
+  const GraphStats sy = ComputeGraphStats(yelp.train_graph);
+  EXPECT_GT(sy.item_degrees.gini, sm.item_degrees.gini);
+  EXPECT_GT(sm.item_degrees.mean, sy.item_degrees.mean);
+}
+
+}  // namespace
+}  // namespace layergcn::data

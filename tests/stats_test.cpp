@@ -1,0 +1,101 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace layergcn::eval {
+namespace {
+
+TEST(MeanStdTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+  EXPECT_NEAR(SampleStdDev({2, 4, 4, 4, 5, 5, 7, 9}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5, 5, 5}), 0.0);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryAndKnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  for (double x : {0.1, 0.35, 0.5, 0.8}) {
+    EXPECT_NEAR(IncompleteBeta(1, 1, x), x, 1e-10);
+  }
+  // I_x(a,b) = 1 − I_{1−x}(b,a).
+  EXPECT_NEAR(IncompleteBeta(2.5, 4.0, 0.3),
+              1.0 - IncompleteBeta(4.0, 2.5, 0.7), 1e-10);
+  // I_{0.5}(a,a) = 0.5 by symmetry.
+  EXPECT_NEAR(IncompleteBeta(3.0, 3.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  // For df=10, t=2.228 is the 97.5% quantile -> two-sided p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(2.228, 10), 0.05, 1e-3);
+  // df=4, t=2.776 -> p ≈ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(2.776, 4), 0.05, 1e-3);
+  // t=0 -> p = 1.
+  EXPECT_NEAR(StudentTTwoSidedP(0.0, 7), 1.0, 1e-12);
+  // Symmetric in the sign of t.
+  EXPECT_NEAR(StudentTTwoSidedP(-1.5, 9), StudentTTwoSidedP(1.5, 9), 1e-12);
+}
+
+TEST(PairedTTestTest, DetectsClearDifference) {
+  // b consistently 0.1 above a.
+  std::vector<double> a, b;
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.NextDouble();
+    a.push_back(base);
+    b.push_back(base + 0.1 + 0.01 * rng.NextGaussian());
+  }
+  const TTestResult r = PairedTTest(b, a);
+  EXPECT_GT(r.t_statistic, 3.0);
+  EXPECT_LT(r.p_value, 0.05);
+  EXPECT_EQ(r.degrees_of_freedom, 19);
+}
+
+TEST(PairedTTestTest, NoDifferenceGivesHighP) {
+  std::vector<double> a, b;
+  util::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.NextDouble();
+    a.push_back(base + 0.05 * rng.NextGaussian());
+    b.push_back(base + 0.05 * rng.NextGaussian());
+  }
+  const TTestResult r = PairedTTest(a, b);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesGivePOne) {
+  const std::vector<double> a{1, 2, 3};
+  const TTestResult r = PairedTTest(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.t_statistic, 0.0);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifferenceGivesPZero) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{2, 3, 4};
+  const TTestResult r = PairedTTest(b, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(PairedTTestDeathTest, MismatchedSizesAbort) {
+  EXPECT_DEATH((void)PairedTTest({1, 2}, {1}), "");
+}
+
+TEST(PairedTTestTest, MatchesManualComputation) {
+  // diffs = {1, 2, 3}: mean 2, sd 1, t = 2/(1/sqrt(3)) = 2*sqrt(3).
+  const std::vector<double> a{2, 4, 6};
+  const std::vector<double> b{1, 2, 3};
+  const TTestResult r = PairedTTest(a, b);
+  EXPECT_NEAR(r.t_statistic, 2.0 * std::sqrt(3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace layergcn::eval

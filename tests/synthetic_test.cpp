@@ -1,0 +1,139 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace layergcn::data {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 50;
+  cfg.num_interactions = 1000;
+  const auto a = GenerateInteractions(cfg, 7);
+  const auto b = GenerateInteractions(cfg, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 50;
+  cfg.num_interactions = 500;
+  const auto a = GenerateInteractions(cfg, 1);
+  const auto b = GenerateInteractions(cfg, 2);
+  int same = 0;
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    same += (a[i].user == b[i].user && a[i].item == b[i].item);
+  }
+  EXPECT_LT(same, static_cast<int>(a.size()) / 4);
+}
+
+TEST(SyntheticTest, NoDuplicatePairsAndIdsInRange) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 40;
+  cfg.num_interactions = 800;
+  const auto xs = GenerateInteractions(cfg, 3);
+  std::set<std::pair<int32_t, int32_t>> seen;
+  for (const auto& x : xs) {
+    EXPECT_GE(x.user, 0);
+    EXPECT_LT(x.user, cfg.num_users);
+    EXPECT_GE(x.item, 0);
+    EXPECT_LT(x.item, cfg.num_items);
+    EXPECT_GE(x.timestamp, 0);
+    EXPECT_LT(x.timestamp, cfg.time_span);
+    EXPECT_TRUE(seen.emplace(x.user, x.item).second) << "duplicate pair";
+  }
+}
+
+TEST(SyntheticTest, ReachesRequestedCountWhenSparse) {
+  SyntheticConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_items = 200;
+  cfg.num_interactions = 2000;  // 2% density: plenty of room
+  EXPECT_EQ(GenerateInteractions(cfg, 5).size(), 2000u);
+}
+
+TEST(SyntheticTest, SaturatedGraphTerminates) {
+  SyntheticConfig cfg;
+  cfg.num_users = 5;
+  cfg.num_items = 4;
+  cfg.num_interactions = 100;  // impossible: only 20 cells exist
+  const auto xs = GenerateInteractions(cfg, 5);
+  EXPECT_LE(xs.size(), 20u);
+  EXPECT_GE(xs.size(), 10u);  // should still fill most of the graph
+}
+
+TEST(SyntheticPresetTest, TableOneShapeRelations) {
+  // The scaled presets must preserve Table I's qualitative relations.
+  const SyntheticConfig mooc = MoocLikeConfig();
+  const SyntheticConfig games = GamesLikeConfig();
+  const SyntheticConfig food = FoodLikeConfig();
+  const SyntheticConfig yelp = YelpLikeConfig();
+  // MOOC: users outnumber items by >10x (start-up platform pattern).
+  EXPECT_GT(mooc.num_users / mooc.num_items, 10);
+  // Yelp has the largest item universe; Food the most users among Amazon.
+  EXPECT_GT(yelp.num_items, food.num_items);
+  EXPECT_GT(food.num_items, games.num_items);
+  EXPECT_GT(yelp.num_interactions, food.num_interactions);
+  // Yelp's item popularity is the most skewed (Fig. 4).
+  EXPECT_GT(yelp.item_popularity_alpha, mooc.item_popularity_alpha);
+}
+
+TEST(SyntheticPresetTest, ScaleMultipliesSizes) {
+  const SyntheticConfig base = GamesLikeConfig(1.0);
+  const SyntheticConfig big = GamesLikeConfig(2.0);
+  EXPECT_EQ(big.num_users, base.num_users * 2);
+  EXPECT_EQ(big.num_items, base.num_items * 2);
+  EXPECT_EQ(big.num_interactions, base.num_interactions * 2);
+}
+
+TEST(SyntheticPresetTest, BenchmarkConfigDispatch) {
+  EXPECT_EQ(BenchmarkConfig("mooc").name, "mooc");
+  EXPECT_EQ(BenchmarkConfig("yelp").name, "yelp");
+  EXPECT_EQ(BenchmarkDatasetNames(),
+            (std::vector<std::string>{"mooc", "games", "food", "yelp"}));
+}
+
+TEST(SyntheticPresetDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH((void)BenchmarkConfig("netflix"), "unknown");
+}
+
+TEST(MakeBenchmarkDatasetTest, ProducesTrainableSplit) {
+  Dataset ds = MakeBenchmarkDataset("games", 0.2, 11);
+  EXPECT_GT(ds.num_train(), 0);
+  EXPECT_GT(ds.num_test(), 0);
+  EXPECT_FALSE(ds.test_users.empty());
+  EXPECT_EQ(ds.name, "games");
+  EXPECT_GT(ds.SparsityPercent(), 90.0);
+  // Ground truth items must never collide with training items.
+  for (int32_t u : ds.test_users) {
+    for (int32_t i : ds.test_items[static_cast<size_t>(u)]) {
+      EXPECT_FALSE(ds.train_graph.HasInteraction(u, i));
+    }
+  }
+}
+
+TEST(MakeBenchmarkDatasetTest, MoocItemsDenserThanYelp) {
+  // Fig. 4's contrast: MOOC items accumulate far higher degrees.
+  Dataset mooc = MakeBenchmarkDataset("mooc", 0.3, 13);
+  Dataset yelp = MakeBenchmarkDataset("yelp", 0.3, 13);
+  auto mean_item_degree = [](const Dataset& ds) {
+    double sum = 0;
+    for (int32_t d : ds.train_graph.item_degrees()) sum += d;
+    return sum / static_cast<double>(ds.num_items);
+  };
+  EXPECT_GT(mean_item_degree(mooc), 5.0 * mean_item_degree(yelp));
+}
+
+}  // namespace
+}  // namespace layergcn::data

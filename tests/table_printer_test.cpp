@@ -1,0 +1,55 @@
+#include "util/table_printer.h"
+
+#include "gtest/gtest.h"
+
+namespace layergcn::util {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t("Title");
+  t.SetHeader({"Model", "R@20"});
+  t.AddRow({"LightGCN", "0.3321"});
+  t.AddRow({"LayerGCN", "0.3979"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| Model    |"), std::string::npos);
+  EXPECT_NE(s.find("| LayerGCN |"), std::string::npos);
+  // Rules above header, below header, below body.
+  size_t rules = 0;
+  for (size_t pos = s.find("+-"); pos != std::string::npos;
+       pos = s.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.39788), "0.3979");  // rounds
+  EXPECT_EQ(TablePrinter::Num(1.0, 2), "1.00");
+  EXPECT_EQ(TablePrinter::Num(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvPlainValuesUnquoted) {
+  TablePrinter t;
+  t.SetHeader({"k", "v"});
+  t.AddRow({"1", "2.5"});
+  EXPECT_EQ(t.ToCsv(), "k,v\n1,2.5\n");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace layergcn::util

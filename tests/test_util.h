@@ -1,0 +1,113 @@
+// Shared helpers for the unit tests: random matrices, numerical gradient
+// checking against the autograd engine, and tiny fixture datasets.
+
+#ifndef LAYERGCN_TESTS_TEST_UTIL_H_
+#define LAYERGCN_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace layergcn::testing {
+
+/// Uniform random matrix in [lo, hi].
+inline tensor::Matrix RandomMatrix(int64_t rows, int64_t cols, util::Rng* rng,
+                                   float lo = -1.f, float hi = 1.f) {
+  tensor::Matrix m(rows, cols);
+  m.UniformInit(rng, lo, hi);
+  return m;
+}
+
+/// A loss builder: receives a tape and leaf Vars (one per parameter, in
+/// order) and returns a scalar Var.
+using LossBuilder =
+    std::function<ag::Var(ag::Tape*, const std::vector<ag::Var>&)>;
+
+/// Checks d(loss)/d(params) against central differences. `params` are
+/// perturbed in place and restored. Gradients must match within
+/// rel_tol (relative to max magnitude) or abs_tol, whichever is looser.
+/// At most `max_checks` entries per parameter are probed (strided).
+inline void ExpectGradientsMatch(const LossBuilder& build,
+                                 std::vector<tensor::Matrix*> params,
+                                 float eps = 1e-2f, float rel_tol = 2e-2f,
+                                 float abs_tol = 2e-3f,
+                                 int64_t max_checks = 64) {
+  // Analytic gradients.
+  std::vector<tensor::Matrix> grads;
+  grads.reserve(params.size());
+  for (tensor::Matrix* p : params) grads.emplace_back(p->rows(), p->cols());
+  {
+    ag::Tape tape;
+    std::vector<ag::Var> leaves;
+    for (size_t i = 0; i < params.size(); ++i) {
+      leaves.push_back(tape.Parameter(params[i], &grads[i]));
+    }
+    ag::Var loss = build(&tape, leaves);
+    tape.Backward(loss);
+  }
+  auto eval_loss = [&]() -> double {
+    ag::Tape tape;
+    std::vector<ag::Var> leaves;
+    std::vector<tensor::Matrix> sink;
+    sink.reserve(params.size());
+    for (tensor::Matrix* p : params) sink.emplace_back(p->rows(), p->cols());
+    for (size_t i = 0; i < params.size(); ++i) {
+      leaves.push_back(tape.Parameter(params[i], &sink[i]));
+    }
+    return tape.value(build(&tape, leaves)).scalar();
+  };
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    tensor::Matrix* p = params[pi];
+    const int64_t n = p->size();
+    const int64_t stride = std::max<int64_t>(1, n / max_checks);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float orig = p->data()[i];
+      p->data()[i] = orig + eps;
+      const double up = eval_loss();
+      p->data()[i] = orig - eps;
+      const double down = eval_loss();
+      p->data()[i] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = grads[pi].data()[i];
+      const double scale =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric,
+                  std::max(static_cast<double>(abs_tol),
+                           static_cast<double>(rel_tol) * scale))
+          << "param " << pi << " entry " << i;
+    }
+  }
+}
+
+/// A tiny deterministic dataset: 6 users, 5 items, hand-written
+/// chronology so the split is stable. Every user has train/valid/test
+/// items.
+inline data::Dataset TinyDataset() {
+  std::vector<data::Interaction> all;
+  int64_t ts = 0;
+  // Users 0-2 like items 0-2; users 3-5 like items 2-4 (two clusters).
+  const int32_t cluster_a[][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2},
+                                  {2, 0}, {2, 1}, {2, 2}, {0, 2}};
+  const int32_t cluster_b[][2] = {{3, 2}, {3, 3}, {4, 3}, {4, 4}, {4, 2},
+                                  {5, 3}, {5, 4}, {5, 2}, {3, 4}};
+  for (const auto& p : cluster_a) all.push_back({p[0], p[1], ts++});
+  for (const auto& p : cluster_b) all.push_back({p[0], p[1], ts++});
+  // Interleave a second wave so every user appears in the held-out tail.
+  const int32_t tail[][2] = {{0, 3}, {1, 3}, {2, 3}, {3, 0}, {4, 0}, {5, 0},
+                             {0, 4}, {1, 4}, {2, 4}, {3, 1}, {4, 1}, {5, 1}};
+  for (const auto& p : tail) all.push_back({p[0], p[1], ts++});
+  return data::ChronologicalSplitDataset("tiny", 6, 5, std::move(all), 0.6,
+                                         0.2);
+}
+
+}  // namespace layergcn::testing
+
+#endif  // LAYERGCN_TESTS_TEST_UTIL_H_

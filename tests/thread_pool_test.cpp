@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace layergcn::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(&pool, 0, 100, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, [&](int64_t) { ++calls; });
+  ParallelFor(&pool, 7, 3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(&pool, 10, 20, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, GlobalPoolWorks) {
+  std::atomic<int> counter{0};
+  ParallelFor(0, 64, [&](int64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  ParallelFor(&pool, 0, 10, [&](int64_t i) {
+    order.push_back(static_cast<int>(i));  // single worker: no race
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace layergcn::util
