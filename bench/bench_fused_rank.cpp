@@ -1,0 +1,199 @@
+// Benchmark: fused blocked score-and-rank kernel vs. the seed's
+// materialize-then-rank evaluation pipeline.
+//
+// The baseline below is a faithful local replica of the pre-fusion
+// evaluator: per user chunk it materializes the full |chunk| x |items|
+// score matrix with the naive row x row inner-product loop (double
+// accumulator, exactly the old tensor::MatMul NT branch), builds a fresh
+// vector<bool> exclusion mask per user, selects the top-K with
+// eval::TopKIndices, and rescans the ranked list once per (user, K) pair
+// via RecallAtK / NdcgAtK. The fused path is the production
+// Evaluator::Evaluate(user_emb, item_emb, split) route.
+//
+// Emits BENCH_fused_rank.json with both timings, the speedup, and the
+// max absolute metric difference (acceptance: >= 3x and <= 1e-6 at the
+// --full 50k x 20k size).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "experiments/env.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace layergcn;
+
+namespace {
+
+// The seed's NT-layout MatMul: one double accumulator per output element,
+// no blocking, no transposed copy of `b`.
+void NaiveScoresNT(const tensor::Matrix& a, const tensor::Matrix& b,
+                   tensor::Matrix* c) {
+  const int64_t m = a.rows(), n = b.rows(), kk = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c->row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      double acc = 0.0;
+      for (int64_t p = 0; p < kk; ++p) acc += ai[p] * bj[p];
+      ci[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+// The seed's evaluation pipeline, chunk by chunk.
+eval::RankingMetrics NaiveEvaluate(const data::Dataset& ds,
+                                   const tensor::Matrix& user_emb,
+                                   const tensor::Matrix& item_emb,
+                                   const std::vector<int>& ks,
+                                   int64_t chunk_size) {
+  const std::vector<int32_t>& users = ds.test_users;
+  const auto& truth = ds.test_items;
+  const auto& adjacency = ds.train_graph.user_items();
+  int max_k = 0;
+  for (int k : ks) max_k = std::max(max_k, k);
+
+  std::vector<double> recall(ks.size(), 0.0), ndcg(ks.size(), 0.0);
+  int64_t counted = 0;
+  tensor::Matrix scores(chunk_size, ds.num_items);
+  for (size_t lo = 0; lo < users.size(); lo += chunk_size) {
+    const size_t hi =
+        std::min(users.size(), lo + static_cast<size_t>(chunk_size));
+    std::vector<int32_t> chunk(users.begin() + lo, users.begin() + hi);
+    tensor::Matrix block(static_cast<int64_t>(chunk.size()), user_emb.cols());
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      std::copy(user_emb.row(chunk[r]),
+                user_emb.row(chunk[r]) + user_emb.cols(), block.row(r));
+    }
+    NaiveScoresNT(block, item_emb, &scores);
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      const int32_t u = chunk[r];
+      std::vector<bool> excluded(static_cast<size_t>(ds.num_items), false);
+      for (int32_t item : adjacency[static_cast<size_t>(u)]) {
+        excluded[static_cast<size_t>(item)] = true;
+      }
+      const std::vector<int32_t> ranked = eval::TopKIndices(
+          scores.row(static_cast<int64_t>(r)), ds.num_items, max_k,
+          &excluded);
+      const auto& gt = truth[static_cast<size_t>(u)];
+      for (size_t ki = 0; ki < ks.size(); ++ki) {
+        recall[ki] += eval::RecallAtK(ranked, gt, ks[ki]);
+        ndcg[ki] += eval::NdcgAtK(ranked, gt, ks[ki]);
+      }
+      ++counted;
+    }
+  }
+  eval::RankingMetrics out;
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    out.recall[ks[ki]] = counted > 0 ? recall[ki] / counted : 0.0;
+    out.ndcg[ks[ki]] = counted > 0 ? ndcg[ki] / counted : 0.0;
+  }
+  return out;
+}
+
+double MaxMetricDiff(const eval::RankingMetrics& a,
+                     const eval::RankingMetrics& b,
+                     const std::vector<int>& ks) {
+  double diff = 0.0;
+  for (int k : ks) {
+    diff = std::max(diff, std::abs(a.recall.at(k) - b.recall.at(k)));
+    diff = std::max(diff, std::abs(a.ndcg.at(k) - b.ndcg.at(k)));
+  }
+  return diff;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Fused score-and-rank kernel vs. seed pipeline",
+                           env);
+
+  // --full reproduces the acceptance size (50k users x 20k items); the fast
+  // profile shrinks proportionally so the bench stays interactive on a
+  // small box.
+  data::SyntheticConfig cfg;
+  cfg.name = "fused-bench";
+  const double s = env.Scale(0.08, 1.0);
+  cfg.num_users = static_cast<int32_t>(50000 * s);
+  cfg.num_items = static_cast<int32_t>(20000 * s);
+  cfg.num_interactions = static_cast<int64_t>(1500000 * s);
+  cfg.num_clusters = 32;
+  const data::Dataset ds = data::ChronologicalSplitDataset(
+      cfg.name, cfg.num_users, cfg.num_items,
+      data::GenerateInteractions(cfg, env.seed));
+  std::printf("%s\n", ds.Summary().c_str());
+
+  const int64_t dim = 64;
+  util::Rng rng(env.seed);
+  tensor::Matrix user_emb(ds.num_users, dim), item_emb(ds.num_items, dim);
+  for (int64_t i = 0; i < user_emb.size(); ++i) {
+    user_emb.data()[i] = rng.NextFloat() - 0.5f;
+  }
+  for (int64_t i = 0; i < item_emb.size(); ++i) {
+    item_emb.data()[i] = rng.NextFloat() - 0.5f;
+  }
+
+  const std::vector<int> ks{10, 20, 50};
+  const eval::Evaluator evaluator(&ds, ks);
+
+  std::printf("ranking %zu test users over %d items (dim %ld)...\n",
+              ds.test_users.size(), ds.num_items, static_cast<long>(dim));
+
+  util::Timer naive_timer;
+  const eval::RankingMetrics naive =
+      NaiveEvaluate(ds, user_emb, item_emb, ks, /*chunk_size=*/512);
+  const double naive_s = naive_timer.ElapsedSeconds();
+  std::printf("  naive  %8.3fs  %s\n", naive_s, naive.ToString().c_str());
+
+  util::Timer fused_timer;
+  const eval::RankingMetrics fused =
+      evaluator.Evaluate(user_emb, item_emb, eval::EvalSplit::kTest);
+  const double fused_s = fused_timer.ElapsedSeconds();
+  std::printf("  fused  %8.3fs  %s\n", fused_s, fused.ToString().c_str());
+
+  const double diff = MaxMetricDiff(naive, fused, ks);
+  const double speedup = fused_s > 0.0 ? naive_s / fused_s : 0.0;
+  const double users = static_cast<double>(ds.test_users.size());
+  std::printf("speedup %.2fx, max |metric diff| %.3g\n", speedup, diff);
+
+  FILE* out = std::fopen("BENCH_fused_rank.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fused_rank.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"fused_rank\",\n"
+               "  \"num_users\": %d,\n"
+               "  \"num_items\": %d,\n"
+               "  \"test_users\": %zu,\n"
+               "  \"embedding_dim\": %ld,\n"
+               "  \"ks\": [10, 20, 50],\n"
+               "  \"naive_seconds\": %.6f,\n"
+               "  \"fused_seconds\": %.6f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"naive_users_per_second\": %.1f,\n"
+               "  \"fused_users_per_second\": %.1f,\n"
+               "  \"max_metric_abs_diff\": %.3g\n"
+               "}\n",
+               ds.num_users, ds.num_items, ds.test_users.size(),
+               static_cast<long>(dim), naive_s, fused_s, speedup,
+               naive_s > 0.0 ? users / naive_s : 0.0,
+               fused_s > 0.0 ? users / fused_s : 0.0, diff);
+  std::fclose(out);
+  std::printf("wrote BENCH_fused_rank.json\n");
+
+  const bool ok = speedup >= 3.0 && diff <= 1e-6;
+  std::printf("acceptance (>=3x, <=1e-6): %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

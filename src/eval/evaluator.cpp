@@ -8,20 +8,30 @@
 namespace layergcn::eval {
 
 Evaluator::Evaluator(const data::Dataset* dataset, std::vector<int> ks,
-                     int64_t chunk_size)
-    : dataset_(dataset), ks_(std::move(ks)), chunk_size_(chunk_size) {
+                     int64_t chunk_size, FusedRankConfig fused)
+    : dataset_(dataset), ks_(std::move(ks)), chunk_size_(chunk_size),
+      fused_(fused) {
   LAYERGCN_CHECK(dataset != nullptr);
   LAYERGCN_CHECK(!ks_.empty());
   LAYERGCN_CHECK_GT(chunk_size_, 0);
   max_k_ = *std::max_element(ks_.begin(), ks_.end());
 }
 
+const std::vector<int32_t>& Evaluator::SplitUsers(EvalSplit split) const {
+  return split == EvalSplit::kValidation ? dataset_->valid_users
+                                         : dataset_->test_users;
+}
+
+const std::vector<std::vector<int32_t>>& Evaluator::SplitTruth(
+    EvalSplit split) const {
+  return split == EvalSplit::kValidation ? dataset_->valid_items
+                                         : dataset_->test_items;
+}
+
 RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
                                    EvalSplit split) const {
-  const auto& users = split == EvalSplit::kValidation ? dataset_->valid_users
-                                                      : dataset_->test_users;
-  const auto& truth = split == EvalSplit::kValidation ? dataset_->valid_items
-                                                      : dataset_->test_items;
+  const auto& users = SplitUsers(split);
+  const auto& truth = SplitTruth(split);
   RankingMetrics out;
   for (int k : ks_) {
     out.recall[k] = 0.0;
@@ -31,7 +41,10 @@ RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
 
   const auto& user_items = dataset_->train_graph.user_items();
   const int64_t num_items = dataset_->num_items;
+  const MultiKMetrics multi_k(ks_);
 
+  std::vector<double> recall_total(ks_.size(), 0.0);
+  std::vector<double> ndcg_total(ks_.size(), 0.0);
   for (size_t begin = 0; begin < users.size();
        begin += static_cast<size_t>(chunk_size_)) {
     const size_t end =
@@ -43,49 +56,86 @@ RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
                    scores.cols() == num_items)
         << "score matrix must be |users| x num_items";
 
-    // Rank and accumulate per user; parallel over the chunk with per-thread
-    // partial sums folded in deterministically afterwards.
-    std::vector<std::vector<double>> recall_parts(
-        chunk.size(), std::vector<double>(ks_.size(), 0.0));
-    std::vector<std::vector<double>> ndcg_parts(
-        chunk.size(), std::vector<double>(ks_.size(), 0.0));
+    // Rank and accumulate per user; parallel over the chunk with per-user
+    // partial results folded in deterministically afterwards. Every cutoff
+    // is derived from one pass over the ranked list (prefix sums), and
+    // training items are skipped via the sorted adjacency list.
+    std::vector<double> recall_parts(chunk.size() * ks_.size(), 0.0);
+    std::vector<double> ndcg_parts(chunk.size() * ks_.size(), 0.0);
     util::ParallelFor(0, static_cast<int64_t>(chunk.size()), [&](int64_t r) {
       const int32_t u = chunk[static_cast<size_t>(r)];
-      // Exclude training items (all-ranking protocol).
-      std::vector<bool> excluded(static_cast<size_t>(num_items), false);
-      for (int32_t i : user_items[static_cast<size_t>(u)]) {
-        excluded[static_cast<size_t>(i)] = true;
-      }
-      const std::vector<int32_t> ranked =
-          TopKIndices(scores.row(r), num_items, max_k_, &excluded);
-      const auto& gt = truth[static_cast<size_t>(u)];
-      for (size_t ki = 0; ki < ks_.size(); ++ki) {
-        recall_parts[static_cast<size_t>(r)][ki] =
-            RecallAtK(ranked, gt, ks_[ki]);
-        ndcg_parts[static_cast<size_t>(r)][ki] = NdcgAtK(ranked, gt, ks_[ki]);
-      }
+      const std::vector<int32_t> ranked = TopKIndicesSortedExclude(
+          scores.row(r), num_items, max_k_,
+          user_items[static_cast<size_t>(u)]);
+      multi_k.Compute(ranked, truth[static_cast<size_t>(u)],
+                      recall_parts.data() + r * static_cast<int64_t>(ks_.size()),
+                      ndcg_parts.data() + r * static_cast<int64_t>(ks_.size()));
     });
     for (size_t r = 0; r < chunk.size(); ++r) {
       for (size_t ki = 0; ki < ks_.size(); ++ki) {
-        out.recall[ks_[ki]] += recall_parts[r][ki];
-        out.ndcg[ks_[ki]] += ndcg_parts[r][ki];
+        recall_total[ki] += recall_parts[r * ks_.size() + ki];
+        ndcg_total[ki] += ndcg_parts[r * ks_.size() + ki];
       }
     }
   }
   const double n = static_cast<double>(users.size());
+  for (size_t ki = 0; ki < ks_.size(); ++ki) {
+    out.recall[ks_[ki]] = recall_total[ki] / n;
+    out.ndcg[ks_[ki]] = ndcg_total[ki] / n;
+  }
+  return out;
+}
+
+std::vector<std::vector<int32_t>> Evaluator::RankSplit(
+    const tensor::Matrix& user_emb, const tensor::Matrix& item_emb,
+    EvalSplit split, int k) const {
+  LAYERGCN_CHECK_EQ(item_emb.rows(), dataset_->num_items)
+      << "item embedding block must have one row per item";
+  LAYERGCN_CHECK_GE(user_emb.rows(), dataset_->num_users)
+      << "user embedding block must cover every user id";
+  return FusedScoreTopK(user_emb, SplitUsers(split), item_emb, k,
+                        &dataset_->train_graph.user_items(), fused_);
+}
+
+RankingMetrics Evaluator::Evaluate(const tensor::Matrix& user_emb,
+                                   const tensor::Matrix& item_emb,
+                                   EvalSplit split) const {
+  const auto& users = SplitUsers(split);
+  const auto& truth = SplitTruth(split);
+  RankingMetrics out;
   for (int k : ks_) {
-    out.recall[k] /= n;
-    out.ndcg[k] /= n;
+    out.recall[k] = 0.0;
+    out.ndcg[k] = 0.0;
+  }
+  if (users.empty()) return out;
+
+  const std::vector<std::vector<int32_t>> ranked =
+      RankSplit(user_emb, item_emb, split, max_k_);
+  const MultiKMetrics multi_k(ks_);
+  std::vector<double> recall(ks_.size());
+  std::vector<double> ndcg(ks_.size());
+  std::vector<double> recall_total(ks_.size(), 0.0);
+  std::vector<double> ndcg_total(ks_.size(), 0.0);
+  for (size_t r = 0; r < users.size(); ++r) {
+    multi_k.Compute(ranked[r], truth[static_cast<size_t>(users[r])],
+                    recall.data(), ndcg.data());
+    for (size_t ki = 0; ki < ks_.size(); ++ki) {
+      recall_total[ki] += recall[ki];
+      ndcg_total[ki] += ndcg[ki];
+    }
+  }
+  const double n = static_cast<double>(users.size());
+  for (size_t ki = 0; ki < ks_.size(); ++ki) {
+    out.recall[ks_[ki]] = recall_total[ki] / n;
+    out.ndcg[ks_[ki]] = ndcg_total[ki] / n;
   }
   return out;
 }
 
 Evaluator::PerUser Evaluator::EvaluatePerUser(const ScoreFn& score_fn,
                                               EvalSplit split, int k) const {
-  const auto& users = split == EvalSplit::kValidation ? dataset_->valid_users
-                                                      : dataset_->test_users;
-  const auto& truth = split == EvalSplit::kValidation ? dataset_->valid_items
-                                                      : dataset_->test_items;
+  const auto& users = SplitUsers(split);
+  const auto& truth = SplitTruth(split);
   const auto& user_items = dataset_->train_graph.user_items();
   const int64_t num_items = dataset_->num_items;
 
@@ -101,16 +151,30 @@ Evaluator::PerUser Evaluator::EvaluatePerUser(const ScoreFn& score_fn,
     const tensor::Matrix scores = score_fn(chunk);
     util::ParallelFor(0, static_cast<int64_t>(chunk.size()), [&](int64_t r) {
       const int32_t u = chunk[static_cast<size_t>(r)];
-      std::vector<bool> excluded(static_cast<size_t>(num_items), false);
-      for (int32_t i : user_items[static_cast<size_t>(u)]) {
-        excluded[static_cast<size_t>(i)] = true;
-      }
-      const std::vector<int32_t> ranked =
-          TopKIndices(scores.row(r), num_items, k, &excluded);
+      const std::vector<int32_t> ranked = TopKIndicesSortedExclude(
+          scores.row(r), num_items, k, user_items[static_cast<size_t>(u)]);
       const auto& gt = truth[static_cast<size_t>(u)];
       out.recall[begin + static_cast<size_t>(r)] = RecallAtK(ranked, gt, k);
       out.ndcg[begin + static_cast<size_t>(r)] = NdcgAtK(ranked, gt, k);
     });
+  }
+  return out;
+}
+
+Evaluator::PerUser Evaluator::EvaluatePerUser(const tensor::Matrix& user_emb,
+                                              const tensor::Matrix& item_emb,
+                                              EvalSplit split, int k) const {
+  const auto& users = SplitUsers(split);
+  const auto& truth = SplitTruth(split);
+  PerUser out;
+  out.recall.resize(users.size());
+  out.ndcg.resize(users.size());
+  const std::vector<std::vector<int32_t>> ranked =
+      RankSplit(user_emb, item_emb, split, k);
+  for (size_t r = 0; r < users.size(); ++r) {
+    const auto& gt = truth[static_cast<size_t>(users[r])];
+    out.recall[r] = RecallAtK(ranked[r], gt, k);
+    out.ndcg[r] = NdcgAtK(ranked[r], gt, k);
   }
   return out;
 }

@@ -2,7 +2,12 @@
 //
 // The Evaluator is model-agnostic: it pulls score rows through a callback so
 // any scoring function (GCN embeddings, MF, VAE decoders) can be plugged in.
-// Scoring and ranking run in parallel over user chunks.
+// Inner-product models can instead hand over their user/item embedding
+// blocks, which routes evaluation through the fused blocked score-and-rank
+// kernel (eval/fused_rank.h) — the full |users| x |items| score matrix is
+// never materialized. Both paths compute every Recall@K / NDCG@K cutoff in
+// a single pass per user (eval::MultiKMetrics) and exclude training items
+// via the user's sorted adjacency list.
 
 #ifndef LAYERGCN_EVAL_EVALUATOR_H_
 #define LAYERGCN_EVAL_EVALUATOR_H_
@@ -11,6 +16,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "eval/fused_rank.h"
 #include "eval/metrics.h"
 #include "tensor/matrix.h"
 
@@ -28,14 +34,25 @@ enum class EvalSplit { kValidation, kTest };
 class Evaluator {
  public:
   /// `dataset` must outlive the evaluator. `ks` are the cutoffs (paper uses
-  /// {10, 20, 50}).
+  /// {10, 20, 50}). `fused` tunes the fused kernel used by the
+  /// embedding-block overloads (set fused.enabled = false to force the
+  /// exact-reference materialize-then-rank path).
   Evaluator(const data::Dataset* dataset, std::vector<int> ks,
-            int64_t chunk_size = 512);
+            int64_t chunk_size = 512, FusedRankConfig fused = {});
 
   /// Computes mean Recall@K / NDCG@K over all users with ground truth in
   /// the chosen split. Training items are excluded from the candidates
-  /// (all-ranking protocol).
+  /// (all-ranking protocol). Scores arrive chunk-wise via `score_fn`.
   RankingMetrics Evaluate(const ScoreFn& score_fn, EvalSplit split) const;
+
+  /// Fused-kernel overload for inner-product models: `user_emb` holds one
+  /// row per user (row u = user u; extra trailing rows are ignored) and
+  /// `item_emb` one row per item, score(u, i) = <user_emb[u], item_emb[i]>.
+  /// Produces the same metrics as the ScoreFn overload for the equivalent
+  /// scoring function.
+  RankingMetrics Evaluate(const tensor::Matrix& user_emb,
+                          const tensor::Matrix& item_emb,
+                          EvalSplit split) const;
 
   /// Per-user metric values (for paired significance tests): one entry per
   /// user with ground truth, in `users()` order.
@@ -45,14 +62,27 @@ class Evaluator {
   };
   PerUser EvaluatePerUser(const ScoreFn& score_fn, EvalSplit split,
                           int k) const;
+  PerUser EvaluatePerUser(const tensor::Matrix& user_emb,
+                          const tensor::Matrix& item_emb, EvalSplit split,
+                          int k) const;
 
   const std::vector<int>& ks() const { return ks_; }
+  const FusedRankConfig& fused_config() const { return fused_; }
 
  private:
+  const std::vector<int32_t>& SplitUsers(EvalSplit split) const;
+  const std::vector<std::vector<int32_t>>& SplitTruth(EvalSplit split) const;
+
+  /// Top-`k` rankings for every user of the split, via the fused kernel.
+  std::vector<std::vector<int32_t>> RankSplit(const tensor::Matrix& user_emb,
+                                              const tensor::Matrix& item_emb,
+                                              EvalSplit split, int k) const;
+
   const data::Dataset* dataset_;
   std::vector<int> ks_;
   int max_k_;
   int64_t chunk_size_;
+  FusedRankConfig fused_;
 };
 
 }  // namespace layergcn::eval

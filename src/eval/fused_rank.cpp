@@ -1,0 +1,201 @@
+#include "eval/fused_rank.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "eval/metrics.h"
+#include "tensor/gemm.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace layergcn::eval {
+namespace {
+
+// Heap entry ordered by (score desc, index asc) — the TopKIndices order.
+struct HeapEntry {
+  float score;
+  int32_t idx;
+};
+
+// True when `a` ranks strictly below `b`.
+inline bool Worse(const HeapEntry& a, const HeapEntry& b) {
+  return a.score != b.score ? a.score < b.score : a.idx > b.idx;
+}
+
+// Bounded min-heap over a flat array: the root is the worst kept entry.
+inline void HeapPush(HeapEntry* h, int64_t* size, int64_t cap, HeapEntry e) {
+  if (*size < cap) {
+    int64_t i = (*size)++;
+    h[i] = e;
+    while (i > 0) {
+      const int64_t parent = (i - 1) / 2;
+      if (!Worse(h[i], h[parent])) break;
+      std::swap(h[i], h[parent]);
+      i = parent;
+    }
+    return;
+  }
+  if (!Worse(h[0], e)) return;
+  h[0] = e;
+  int64_t i = 0;
+  for (;;) {
+    const int64_t l = 2 * i + 1;
+    const int64_t r = 2 * i + 2;
+    int64_t worst = i;
+    if (l < cap && Worse(h[l], h[worst])) worst = l;
+    if (r < cap && Worse(h[r], h[worst])) worst = r;
+    if (worst == i) break;
+    std::swap(h[i], h[worst]);
+    i = worst;
+  }
+}
+
+// Exact-reference fallback: materialize one score row per user with the
+// ascending-depth scalar dot, mark exclusions in a fresh flag vector, rank
+// with TopKIndices — the seed pipeline, kept as the bit-level oracle.
+void ReferenceTopK(const tensor::Matrix& user_emb,
+                   const std::vector<int32_t>& user_ids,
+                   const tensor::Matrix& item_emb, int k,
+                   const std::vector<std::vector<int32_t>>* exclude,
+                   int64_t lo, int64_t hi,
+                   std::vector<std::vector<int32_t>>* out) {
+  const int64_t num_items = item_emb.rows();
+  const int64_t depth = item_emb.cols();
+  for (int64_t r = lo; r < hi; ++r) {
+    const int32_t u = user_ids[static_cast<size_t>(r)];
+    const float* urow = user_emb.row(u);
+    std::vector<float> scores(static_cast<size_t>(num_items), 0.f);
+    for (int64_t i = 0; i < num_items; ++i) {
+      const float* irow = item_emb.row(i);
+      float acc = 0.f;
+      for (int64_t p = 0; p < depth; ++p) acc += urow[p] * irow[p];
+      scores[static_cast<size_t>(i)] = acc;
+    }
+    std::vector<bool> flags(static_cast<size_t>(num_items), false);
+    if (exclude != nullptr) {
+      for (int32_t i : (*exclude)[static_cast<size_t>(u)]) {
+        flags[static_cast<size_t>(i)] = true;
+      }
+    }
+    (*out)[static_cast<size_t>(r)] =
+        TopKIndices(scores.data(), num_items, k, &flags);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int32_t>> FusedScoreTopK(
+    const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
+    const tensor::Matrix& item_emb, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config) {
+  LAYERGCN_CHECK_GT(k, 0);
+  LAYERGCN_CHECK_EQ(user_emb.cols(), item_emb.cols())
+      << "user/item embedding width mismatch";
+  const int64_t num_users = static_cast<int64_t>(user_ids.size());
+  const int64_t num_items = item_emb.rows();
+  const int64_t depth = item_emb.cols();
+  std::vector<std::vector<int32_t>> out(user_ids.size());
+  if (num_users == 0 || num_items == 0) return out;
+
+  // Optional dedicated pool (determinism tests sweep the worker count).
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = &util::ThreadPool::Global();
+  if (config.num_threads > 0) {
+    local_pool = std::make_unique<util::ThreadPool>(config.num_threads);
+    pool = local_pool.get();
+  }
+
+  if (!config.enabled) {
+    util::ParallelForRanges(pool, 0, num_users, [&](int64_t lo, int64_t hi) {
+      ReferenceTopK(user_emb, user_ids, item_emb, k, exclude, lo, hi, &out);
+    });
+    return out;
+  }
+
+  // Item embeddings transposed once to (depth x num_items): the micro-kernel
+  // streams items with unit stride and the panel is shared by every tile.
+  tensor::Matrix items_t(depth, num_items);
+  for (int64_t i = 0; i < num_items; ++i) {
+    const float* src = item_emb.row(i);
+    for (int64_t p = 0; p < depth; ++p) items_t(p, i) = src[p];
+  }
+
+  const int64_t user_tile = std::max<int64_t>(1, config.user_tile);
+  const int64_t item_tile = std::max<int64_t>(tensor::kGemmTileN,
+                                              config.item_tile);
+  const int64_t cap = std::min<int64_t>(k, num_items);
+  const int64_t num_tiles = (num_users + user_tile - 1) / user_tile;
+
+  util::ParallelForRanges(pool, 0, num_tiles, [&](int64_t tile_lo,
+                                                  int64_t tile_hi) {
+    // Per-worker scratch, allocated once per range and reused across tiles:
+    // the score block, the bounded heaps, and the exclusion cursors.
+    std::vector<float> scores(static_cast<size_t>(user_tile * item_tile));
+    std::vector<HeapEntry> heaps(static_cast<size_t>(user_tile * cap));
+    std::vector<int64_t> heap_sizes(static_cast<size_t>(user_tile));
+    std::vector<const float*> user_rows(static_cast<size_t>(user_tile));
+    std::vector<size_t> cursors(static_cast<size_t>(user_tile));
+
+    for (int64_t tile = tile_lo; tile < tile_hi; ++tile) {
+      const int64_t base = tile * user_tile;
+      const int64_t m = std::min(user_tile, num_users - base);
+      for (int64_t r = 0; r < m; ++r) {
+        user_rows[static_cast<size_t>(r)] =
+            user_emb.row(user_ids[static_cast<size_t>(base + r)]);
+        heap_sizes[static_cast<size_t>(r)] = 0;
+        cursors[static_cast<size_t>(r)] = 0;
+      }
+
+      for (int64_t j0 = 0; j0 < num_items; j0 += item_tile) {
+        const int64_t jn = std::min(item_tile, num_items - j0);
+        std::fill(scores.begin(), scores.begin() + m * jn, 0.f);
+        GemmMicroPanel(user_rows.data(), m, depth, items_t, j0, jn,
+                       scores.data(), jn);
+
+        // Stream the block into the heaps; item tiles arrive in ascending
+        // order, so each user's sorted exclusion list is walked by a single
+        // monotone cursor instead of a per-user flag vector.
+        for (int64_t r = 0; r < m; ++r) {
+          const std::vector<int32_t>* exc =
+              exclude != nullptr
+                  ? &(*exclude)[static_cast<size_t>(
+                        user_ids[static_cast<size_t>(base + r)])]
+                  : nullptr;
+          size_t& cur = cursors[static_cast<size_t>(r)];
+          const float* srow = scores.data() + r * jn;
+          HeapEntry* heap = heaps.data() + r * cap;
+          int64_t* hs = &heap_sizes[static_cast<size_t>(r)];
+          for (int64_t j = 0; j < jn; ++j) {
+            const int32_t item = static_cast<int32_t>(j0 + j);
+            if (exc != nullptr) {
+              while (cur < exc->size() && (*exc)[cur] < item) ++cur;
+              if (cur < exc->size() && (*exc)[cur] == item) {
+                ++cur;
+                continue;
+              }
+            }
+            HeapPush(heap, hs, cap, HeapEntry{srow[j], item});
+          }
+        }
+      }
+
+      for (int64_t r = 0; r < m; ++r) {
+        HeapEntry* heap = heaps.data() + r * cap;
+        const int64_t hs = heap_sizes[static_cast<size_t>(r)];
+        std::sort(heap, heap + hs,
+                  [](const HeapEntry& a, const HeapEntry& b) {
+                    return Worse(b, a);
+                  });
+        std::vector<int32_t>& ranked = out[static_cast<size_t>(base + r)];
+        ranked.resize(static_cast<size_t>(hs));
+        for (int64_t i = 0; i < hs; ++i) {
+          ranked[static_cast<size_t>(i)] = heap[i].idx;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace layergcn::eval

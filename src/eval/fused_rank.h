@@ -1,0 +1,60 @@
+// Fused blocked score-and-rank kernel for all-ranking evaluation.
+//
+// The all-ranking protocol scores every item for every evaluated user and
+// keeps the top-K. The materialize-then-rank pipeline builds a
+// |chunk| x |items| score matrix first and ranks each row afterwards; this
+// kernel fuses the two: for each user tile x item tile it computes a small
+// score block with the register-blocked GEMM micro-kernel
+// (tensor/gemm.h), drops training items inline by walking the user's
+// sorted adjacency list (no per-user vector<bool>), and streams the
+// surviving scores into a bounded per-user top-K heap. The full score
+// matrix is never materialized; per-worker scratch (score tile + heaps) is
+// allocated once per row range and reused.
+//
+// Ranking order matches eval::TopKIndices exactly: items ordered by
+// (score desc, index asc). That total order makes the top-K set unique, so
+// the result is deterministic for any tile size or worker count.
+
+#ifndef LAYERGCN_EVAL_FUSED_RANK_H_
+#define LAYERGCN_EVAL_FUSED_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace layergcn::eval {
+
+/// Tuning knobs for the fused kernel.
+struct FusedRankConfig {
+  /// When false, ranking uses the exact-reference materialize-then-rank
+  /// fallback (naive dot products + TopKIndices) — the bit-level oracle the
+  /// fused path is tested against.
+  bool enabled = true;
+  /// Users scored per tile (heaps live in the scratch of one worker).
+  int64_t user_tile = 64;
+  /// Items scored per tile (score block is user_tile x item_tile floats).
+  int64_t item_tile = 1024;
+  /// Worker count: 0 = the global thread pool, otherwise a dedicated pool
+  /// of this size (used by the determinism tests).
+  int num_threads = 0;
+};
+
+/// Top-K item rankings (best first) for each requested user.
+///
+/// `user_emb` holds one row per *node or user* — `user_ids[r]` indexes into
+/// it — and `item_emb` one row per item; both must share the same width.
+/// The score of (user u, item i) is the inner product of their rows.
+/// `exclude` (optional) maps each user id to its sorted-ascending list of
+/// excluded items (training interactions); excluded items never appear in
+/// the ranking. Returns one ranked list per entry of `user_ids`, each of
+/// length min(k, num_items - |excluded|).
+std::vector<std::vector<int32_t>> FusedScoreTopK(
+    const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
+    const tensor::Matrix& item_emb, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {});
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_FUSED_RANK_H_

@@ -110,6 +110,90 @@ double ReciprocalRank(const std::vector<int32_t>& ranked,
   return 0.0;
 }
 
+std::vector<int32_t> TopKIndicesSortedExclude(
+    const float* scores, int64_t n, int k,
+    const std::vector<int32_t>& excluded_sorted) {
+  LAYERGCN_CHECK_GT(k, 0);
+  using Entry = std::pair<float, int64_t>;  // (score, -index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  size_t cur = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    while (cur < excluded_sorted.size() && excluded_sorted[cur] < i) ++cur;
+    if (cur < excluded_sorted.size() && excluded_sorted[cur] == i) {
+      ++cur;
+      continue;
+    }
+    const Entry e{scores[i], -i};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push(e);
+    } else if (e > heap.top()) {
+      heap.pop();
+      heap.push(e);
+    }
+  }
+  std::vector<int32_t> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<int32_t>(-heap.top().second);
+    heap.pop();
+  }
+  return out;
+}
+
+MultiKMetrics::MultiKMetrics(std::vector<int> ks) : ks_(std::move(ks)) {
+  LAYERGCN_CHECK(!ks_.empty());
+  for (int k : ks_) LAYERGCN_CHECK_GT(k, 0);
+  max_k_ = *std::max_element(ks_.begin(), ks_.end());
+  order_.resize(ks_.size());
+  for (size_t i = 0; i < ks_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(),
+            [this](size_t a, size_t b) { return ks_[a] < ks_[b]; });
+  cum_discount_.resize(static_cast<size_t>(max_k_) + 1, 0.0);
+  for (int i = 1; i <= max_k_; ++i) {
+    cum_discount_[static_cast<size_t>(i)] =
+        cum_discount_[static_cast<size_t>(i) - 1] +
+        1.0 / std::log2(static_cast<double>(i) + 1.0);
+  }
+}
+
+void MultiKMetrics::Compute(const std::vector<int32_t>& ranked,
+                            const std::vector<int32_t>& ground_truth,
+                            double* recall, double* ndcg) const {
+  for (size_t i = 0; i < ks_.size(); ++i) {
+    recall[i] = 0.0;
+    ndcg[i] = 0.0;
+  }
+  if (ground_truth.empty()) return;
+  const double inv_gt = 1.0 / static_cast<double>(ground_truth.size());
+  const auto record = [&](size_t ki, int hits, double dcg) {
+    recall[ki] = static_cast<double>(hits) * inv_gt;
+    const int ideal =
+        std::min<int>(ks_[ki], static_cast<int>(ground_truth.size()));
+    const double idcg = cum_discount_[static_cast<size_t>(ideal)];
+    ndcg[ki] = idcg > 0.0 ? dcg / idcg : 0.0;
+  };
+
+  const int limit = std::min<int>(max_k_, static_cast<int>(ranked.size()));
+  int hits = 0;
+  double dcg = 0.0;
+  size_t oi = 0;
+  for (int pos = 0; pos < limit; ++pos) {
+    if (std::binary_search(ground_truth.begin(), ground_truth.end(),
+                           ranked[static_cast<size_t>(pos)])) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+    while (oi < order_.size() && ks_[order_[oi]] == pos + 1) {
+      record(order_[oi], hits, dcg);
+      ++oi;
+    }
+  }
+  // Cutoffs beyond the list length saturate at the full-list prefix.
+  while (oi < order_.size()) {
+    record(order_[oi], hits, dcg);
+    ++oi;
+  }
+}
+
 std::vector<int32_t> TopKIndices(const float* scores, int64_t n, int k,
                                  const std::vector<bool>* excluded) {
   LAYERGCN_CHECK_GT(k, 0);

@@ -59,6 +59,41 @@ double ReciprocalRank(const std::vector<int32_t>& ranked,
 std::vector<int32_t> TopKIndices(const float* scores, int64_t n, int k,
                                  const std::vector<bool>* excluded = nullptr);
 
+/// Same selection, but exclusions arrive as a sorted-ascending index list
+/// that is walked by a monotone cursor — no per-call flag vector of size n.
+std::vector<int32_t> TopKIndicesSortedExclude(
+    const float* scores, int64_t n, int k,
+    const std::vector<int32_t>& excluded_sorted);
+
+/// Single-pass Recall@K / NDCG@K over a whole cutoff set.
+///
+/// The naive per-K formulas rescan the ranked list once per (user, K) pair;
+/// this helper walks the list once, maintaining the running hit count and
+/// DCG, and emits every cutoff as its position streams by (prefix sums).
+/// IDCG comes from a cumulative discount table built at construction, so
+/// Compute() allocates nothing and is safe to call concurrently.
+class MultiKMetrics {
+ public:
+  /// `ks` are the cutoffs, in the order Compute() reports them.
+  explicit MultiKMetrics(std::vector<int> ks);
+
+  /// Fills recall[i] / ndcg[i] with the metric at ks[i] for one user.
+  /// `ground_truth` must be sorted ascending; both outputs must hold
+  /// ks().size() entries. Matches RecallAtK / NdcgAtK exactly.
+  void Compute(const std::vector<int32_t>& ranked,
+               const std::vector<int32_t>& ground_truth, double* recall,
+               double* ndcg) const;
+
+  const std::vector<int>& ks() const { return ks_; }
+  int max_k() const { return max_k_; }
+
+ private:
+  std::vector<int> ks_;
+  std::vector<size_t> order_;  // indices into ks_, ascending by cutoff
+  int max_k_ = 0;
+  std::vector<double> cum_discount_;  // [i] = Σ_{j<i} 1/log2(j + 2)
+};
+
 }  // namespace layergcn::eval
 
 #endif  // LAYERGCN_EVAL_METRICS_H_

@@ -1,5 +1,7 @@
 #include "models/embedding_recommender.h"
 
+#include <algorithm>
+
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -103,21 +105,32 @@ void EmbeddingRecommender::PrepareEval() {
   ag::Var x0 = tape.Parameter(&embeddings_.value, &embeddings_.grad);
   ag::Var final_emb = Propagate(&tape, x0, /*training=*/false, nullptr);
   final_cache_ = tape.value(final_emb);
+
+  // Split the unified table into its user/item blocks once; scoring and the
+  // fused evaluator read these directly (rows are contiguous in the unified
+  // node space: users first, items after).
+  const int64_t nu = dataset_->num_users;
+  const int64_t ni = dataset_->num_items;
+  const int64_t width = final_cache_.cols();
+  user_cache_ = tensor::Matrix(nu, width);
+  item_cache_ = tensor::Matrix(ni, width);
+  std::copy(final_cache_.row(0), final_cache_.row(0) + nu * width,
+            user_cache_.data());
+  std::copy(final_cache_.row(nu), final_cache_.row(nu) + ni * width,
+            item_cache_.data());
 }
 
 tensor::Matrix EmbeddingRecommender::ScoreUsers(
     const std::vector<int32_t>& users) const {
   LAYERGCN_CHECK(!final_cache_.empty())
       << "PrepareEval() must run before scoring";
-  const tensor::Matrix user_block = tensor::GatherRows(final_cache_, users);
-  // Item block: rows N_U .. N_U + N_I.
-  std::vector<int32_t> item_rows(static_cast<size_t>(dataset_->num_items));
-  for (int32_t i = 0; i < dataset_->num_items; ++i) {
-    item_rows[static_cast<size_t>(i)] = dataset_->num_users + i;
-  }
-  const tensor::Matrix item_block =
-      tensor::GatherRows(final_cache_, item_rows);
-  return tensor::MatMul(user_block, item_block, false, true);
+  const tensor::Matrix user_block = tensor::GatherRows(user_cache_, users);
+  return tensor::MatMul(user_block, item_cache_, false, true);
+}
+
+train::EmbeddingView EmbeddingRecommender::GetEmbeddingView() const {
+  if (final_cache_.empty()) return {};
+  return {&user_cache_, &item_cache_};
 }
 
 std::vector<train::Parameter*> EmbeddingRecommender::Params() {

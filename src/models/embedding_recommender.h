@@ -37,6 +37,9 @@ class EmbeddingRecommender : public train::Recommender {
                     std::vector<double>* batch_losses) override;
   void PrepareEval() override;
   tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  /// User/item blocks of the final embeddings — lets the evaluator rank
+  /// through the fused blocked kernel (score = inner product, Eq. 10).
+  train::EmbeddingView GetEmbeddingView() const override;
   std::vector<train::Parameter*> Params() override;
 
   /// Final node embeddings computed by the last PrepareEval() (N x T', where
@@ -83,6 +86,8 @@ class EmbeddingRecommender : public train::Recommender {
   std::unique_ptr<graph::EdgeDropout> edge_dropout_;
   std::unique_ptr<train::BprSampler> sampler_;
   tensor::Matrix final_cache_;
+  tensor::Matrix user_cache_;  // rows 0..N_U of final_cache_
+  tensor::Matrix item_cache_;  // rows N_U..N_U+N_I of final_cache_
   bool uses_dropout_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace layergcn::sparse {
 
@@ -61,15 +62,43 @@ tensor::Matrix CsrMatrix::Multiply(const tensor::Matrix& dense) const {
       << dense.rows() << "x" << dense.cols();
   tensor::Matrix out(rows_, dense.cols());
   const int64_t t = dense.cols();
-#pragma omp parallel for schedule(dynamic, 64) if (nnz() * t > 131072)
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* dst = out.row(r);
-    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const float w = values_[static_cast<size_t>(p)];
-      const float* src = dense.row(col_idx_[static_cast<size_t>(p)]);
-      for (int64_t c = 0; c < t; ++c) dst[c] += w * src[c];
+  const auto run_rows = [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* dst = out.row(r);
+      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const float w = values_[static_cast<size_t>(p)];
+        const float* src = dense.row(col_idx_[static_cast<size_t>(p)]);
+#pragma omp simd
+        for (int64_t c = 0; c < t; ++c) dst[c] += w * src[c];
+      }
     }
+  };
+
+  // Parallelize over nnz-balanced row ranges on the shared thread pool
+  // (output rows are disjoint, so there are no write conflicts and the
+  // result is independent of the worker count). row_ptr_ is the cumulative
+  // nnz, so balanced boundaries come from a lower_bound per range.
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  const int64_t ranges = std::min<int64_t>(pool.num_threads(), rows_);
+  if (ranges <= 1 || nnz() * t < 131072) {
+    run_rows(0, rows_);
+    return out;
   }
+  std::vector<int64_t> bounds(static_cast<size_t>(ranges) + 1, 0);
+  bounds[static_cast<size_t>(ranges)] = rows_;
+  for (int64_t i = 1; i < ranges; ++i) {
+    const int64_t target = nnz() * i / ranges;
+    const auto it =
+        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target);
+    const int64_t row =
+        std::min<int64_t>(it - row_ptr_.begin(), rows_);
+    bounds[static_cast<size_t>(i)] =
+        std::max(row, bounds[static_cast<size_t>(i) - 1]);
+  }
+  util::ParallelFor(&pool, 0, ranges, [&](int64_t i) {
+    run_rows(bounds[static_cast<size_t>(i)], bounds[static_cast<size_t>(i) + 1]);
+  });
   return out;
 }
 

@@ -1,0 +1,63 @@
+// Cache- and register-blocked GEMM kernels.
+//
+// The hot paths of the library are dense score computation (user_emb ·
+// item_embᵀ during all-ranking evaluation) and the dense matmuls inside the
+// autograd tape. Both route through the blocked kernel here instead of the
+// naive triple loop: the inner dimension is walked with the depth (k) loop
+// outermost inside a register tile, so every operand access is unit-stride
+// and the 4x16 accumulator tile stays in vector registers — FMA-friendly
+// and auto-vectorizable without -ffast-math.
+//
+// Numerical contract: each output element accumulates its k products in
+// ascending-k order in float, exactly like the scalar reference
+//
+//   for (p = 0; p < k; ++p) acc += a[p] * b[p];
+//
+// so the blocked kernel is bit-identical to that reference (vectorization
+// across *different* output elements never reorders the sum of any single
+// element). The fused evaluation kernel (eval/fused_rank.h) relies on this
+// to produce the same rankings as the materialize-then-rank path.
+//
+// Parallelism uses util::ThreadPool (row-range partitioning), so it no
+// longer silently depends on OpenMP being linked; `#pragma omp simd` hints
+// remain on the innermost loops and degrade gracefully to compiler
+// auto-vectorization when OpenMP is absent.
+
+#ifndef LAYERGCN_TENSOR_GEMM_H_
+#define LAYERGCN_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace layergcn::tensor {
+
+/// Register tile sizes of the micro-kernel (rows x cols of the output
+/// tile held in accumulators). Exposed so the fused ranking kernel can pick
+/// item-tile sizes that are multiples of kGemmTileN.
+inline constexpr int64_t kGemmTileM = 4;
+inline constexpr int64_t kGemmTileN = 16;
+
+/// Computes c[r][j] += sum_p a_rows[r][p] * b.row(p)[j0 + j] for
+/// r in [0, m) and j in [0, n), where `c` is row-major with leading
+/// dimension `ldc` and each a_rows[r] points at a depth-`k` row.
+///
+/// `b` must be a (k x >= j0+n) row-major matrix — i.e. the *already
+/// transposed* right operand, so the j loop is unit-stride. `c` is
+/// accumulated into (callers zero it first when they want `=`).
+///
+/// Serial; callers partition work across rows of `c`.
+void GemmMicroPanel(const float* const* a_rows, int64_t m, int64_t k,
+                    const Matrix& b, int64_t j0, int64_t n, float* c,
+                    int64_t ldc);
+
+/// Blocked GEMM: returns op(a) · op(b) with op = transpose when the flag is
+/// set. Bit-identical to the ascending-k scalar float reference for every
+/// element. Parallel over output rows via util::ThreadPool when the
+/// problem is large enough.
+Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool trans_a,
+                   bool trans_b);
+
+}  // namespace layergcn::tensor
+
+#endif  // LAYERGCN_TENSOR_GEMM_H_

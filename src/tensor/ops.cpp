@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
+
 namespace layergcn::tensor {
 namespace {
 
@@ -80,66 +82,11 @@ Matrix AddScalar(const Matrix& a, float c) {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
-  const int64_t m = trans_a ? a.cols() : a.rows();
-  const int64_t k = trans_a ? a.rows() : a.cols();
-  const int64_t k2 = trans_b ? b.cols() : b.rows();
-  const int64_t n = trans_b ? b.rows() : b.cols();
-  LAYERGCN_CHECK_EQ(k, k2) << "MatMul inner dimension mismatch";
-  Matrix out(m, n);
-
-  // All four layouts are reduced to the plain (i,k)x(k,j) triple loop with
-  // the k-loop innermost-but-one, which keeps unit-stride access on `out`
-  // and on the non-transposed operand.
-  if (!trans_a && !trans_b) {
-#pragma omp parallel for schedule(static) if (m * n * k > 262144)
-    for (int64_t i = 0; i < m; ++i) {
-      float* out_row = out.row(i);
-      const float* a_row = a.row(i);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a_row[p];
-        if (av == 0.f) continue;
-        const float* b_row = b.row(p);
-        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-#pragma omp parallel for schedule(static) if (m * n * k > 262144)
-    for (int64_t i = 0; i < m; ++i) {
-      float* out_row = out.row(i);
-      const float* a_row = a.row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        const float* b_row = b.row(j);
-        double acc = 0.0;
-        for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-        out_row[j] = static_cast<float>(acc);
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    // out[i][j] += a[p][i] * b[p][j]; iterate p outer for unit stride.
-    for (int64_t p = 0; p < k; ++p) {
-      const float* a_row = a.row(p);
-      const float* b_row = b.row(p);
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = a_row[i];
-        if (av == 0.f) continue;
-        float* out_row = out.row(i);
-        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  } else {  // trans_a && trans_b
-    for (int64_t i = 0; i < m; ++i) {
-      float* out_row = out.row(i);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a(p, i);
-        if (av == 0.f) continue;
-        const float* b_col = b.data() + p;  // b(j, p) strided
-        for (int64_t j = 0; j < n; ++j) {
-          out_row[j] += av * b_col[j * b.cols()];
-        }
-      }
-    }
-  }
-  return out;
+  // All four transpose layouts route through the blocked register-tiled
+  // kernel, which parallelizes over output rows on the shared thread pool
+  // (the old triple loop ran the trans_a layouts serial and depended on
+  // OpenMP for the rest).
+  return GemmBlocked(a, b, trans_a, trans_b);
 }
 
 Matrix Transpose(const Matrix& a) {

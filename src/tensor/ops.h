@@ -4,7 +4,8 @@
 // composes them into differentiable ops. All kernels check shapes with
 // LAYERGCN_CHECK and accumulate reductions in double for numerical
 // stability. Kernels never touch RNG state, so they are safe to
-// parallelize (OpenMP) without affecting reproducibility.
+// parallelize (thread pool / OpenMP) without affecting reproducibility.
+// MatMul routes through the blocked kernel in tensor/gemm.h.
 
 #ifndef LAYERGCN_TENSOR_OPS_H_
 #define LAYERGCN_TENSOR_OPS_H_

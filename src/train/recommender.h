@@ -70,6 +70,19 @@ struct TrainConfig {
   int imp_num_groups = 3;
 };
 
+/// Read-only view of the factorized scoring state of inner-product models:
+/// `user` holds one row per user, `item` one row per item, and the score of
+/// (u, i) is the dot product of their rows. Models expose it (after
+/// PrepareEval()) so the evaluator can rank through the fused blocked
+/// kernel without materializing score matrices; models whose scores are
+/// not a plain inner product return an invalid view and are evaluated
+/// through ScoreUsers().
+struct EmbeddingView {
+  const tensor::Matrix* user = nullptr;
+  const tensor::Matrix* item = nullptr;
+  bool valid() const { return user != nullptr && item != nullptr; }
+};
+
 /// Abstract recommender trained by the Trainer and scored by the Evaluator.
 class Recommender {
  public:
@@ -98,6 +111,11 @@ class Recommender {
   /// Preference scores: |users| x num_items.
   virtual tensor::Matrix ScoreUsers(
       const std::vector<int32_t>& users) const = 0;
+
+  /// Fast-path scoring state for the fused evaluation kernel. Valid only
+  /// after PrepareEval(); the default (invalid) view routes evaluation
+  /// through ScoreUsers().
+  virtual EmbeddingView GetEmbeddingView() const { return {}; }
 
   /// All trainable parameters (for the optimizer / snapshotting).
   virtual std::vector<Parameter*> Params() = 0;

@@ -31,6 +31,17 @@ eval::ScoreFn MakeScoreFn(Recommender* model) {
   };
 }
 
+// Inner-product models rank through the fused blocked kernel; everything
+// else goes through the chunked ScoreFn pipeline. Both paths produce the
+// same metrics for the same scores.
+eval::RankingMetrics EvaluateModel(Recommender* model,
+                                   const eval::Evaluator& evaluator,
+                                   eval::EvalSplit split) {
+  const EmbeddingView view = model->GetEmbeddingView();
+  if (view.valid()) return evaluator.Evaluate(*view.user, *view.item, split);
+  return evaluator.Evaluate(MakeScoreFn(model), split);
+}
+
 }  // namespace
 
 void Recommender::BeginEpoch(int /*epoch*/, util::Rng* /*rng*/) {}
@@ -72,15 +83,14 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
       model->PrepareEval();
       CheckpointMetrics cm;
       cm.epoch = epoch;
-      cm.metrics = test_eval.Evaluate(MakeScoreFn(model),
-                                      eval::EvalSplit::kTest);
+      cm.metrics = EvaluateModel(model, test_eval, eval::EvalSplit::kTest);
       checkpoints->push_back(std::move(cm));
     }
 
     if (epoch % config.eval_every != 0) continue;
     model->PrepareEval();
     const eval::RankingMetrics vm =
-        valid_eval.Evaluate(MakeScoreFn(model), eval::EvalSplit::kValidation);
+        EvaluateModel(model, valid_eval, eval::EvalSplit::kValidation);
     const double score = vm.recall.at(options.validation_k);
     result.valid_curve.emplace_back(epoch, score);
     if (options.verbose) {
@@ -104,8 +114,7 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
     RestoreParams(model->Params(), best_snapshot);
   }
   model->PrepareEval();
-  result.test_metrics =
-      test_eval.Evaluate(MakeScoreFn(model), eval::EvalSplit::kTest);
+  result.test_metrics = EvaluateModel(model, test_eval, eval::EvalSplit::kTest);
   return result;
 }
 
@@ -115,7 +124,7 @@ eval::RankingMetrics EvaluateRecommender(Recommender* model,
                                          eval::EvalSplit split) {
   model->PrepareEval();
   eval::Evaluator evaluator(&dataset, ks);
-  return evaluator.Evaluate(MakeScoreFn(model), split);
+  return EvaluateModel(model, evaluator, split);
 }
 
 }  // namespace layergcn::train

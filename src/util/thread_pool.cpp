@@ -5,6 +5,14 @@
 #include "util/logging.h"
 
 namespace layergcn::util {
+namespace {
+
+// True on threads that live inside a ThreadPool. ParallelFor{,Ranges} check
+// it to run inline instead of submitting nested work: Wait() counts *all*
+// in-flight tasks, so a worker waiting on its own pool would never return.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -42,6 +50,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -69,7 +78,7 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   const int64_t n = end - begin;
   if (n <= 0) return;
   const int workers = pool->num_threads();
-  if (n == 1 || workers <= 1) {
+  if (n == 1 || workers <= 1 || t_in_pool_worker) {
     for (int64_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -89,6 +98,31 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body) {
   ParallelFor(&ThreadPool::Global(), begin, end, body);
+}
+
+void ParallelForRanges(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int workers = pool->num_threads();
+  if (workers <= 1 || n == 1 || t_in_pool_worker) {
+    body(begin, end);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(workers, n);
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t lo = begin + c * chunk_size;
+    const int64_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    pool->Submit([lo, hi, &body] { body(lo, hi); });
+  }
+  pool->Wait();
+}
+
+void ParallelForRanges(int64_t begin, int64_t end,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  ParallelForRanges(&ThreadPool::Global(), begin, end, body);
 }
 
 }  // namespace layergcn::util

@@ -56,13 +56,27 @@ class ThreadPool {
 
 /// Runs body(i) for every i in [begin, end), split into contiguous chunks
 /// across the pool. Blocks until complete. `body` must be safe to call
-/// concurrently for distinct i.
+/// concurrently for distinct i. When called from inside a pool worker the
+/// loop runs inline (nested waits on the same pool would deadlock).
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
 
 /// ParallelFor on the global pool.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
+
+/// Range-based variant for kernels that keep per-range scratch: splits
+/// [begin, end) into at most num_threads() contiguous ranges and runs
+/// body(lo, hi) for each. The partition is deterministic for a given worker
+/// count, and each range is handled by a single invocation, so `body` can
+/// allocate scratch once and reuse it across the range. Runs inline when
+/// called from inside a pool worker.
+void ParallelForRanges(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int64_t, int64_t)>& body);
+
+/// ParallelForRanges on the global pool.
+void ParallelForRanges(int64_t begin, int64_t end,
+                       const std::function<void(int64_t, int64_t)>& body);
 
 }  // namespace layergcn::util
 

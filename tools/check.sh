@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build and test the tree in the two configurations that
+# matter before landing a change.
+#
+#   1. Release        — the configuration benchmarks and users run.
+#   2. ASan + UBSan   — catches the memory/UB bugs the fast kernels are most
+#                       at risk of (out-of-bounds tile edges, races in the
+#                       thread-pool partitioning).
+#
+# Usage: tools/check.sh [build-root]     (default: build-check/)
+# Exits non-zero on the first failing build or test.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/build-check}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="${build_root}/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -S "${repo_root}" -B "${dir}" "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
+
+echo "=== all checks passed ==="
