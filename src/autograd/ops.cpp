@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -32,7 +33,7 @@ Var Add(Var a, Var b) {
   return tp->Emit(std::move(out), rg, [a, b](Tape* tape, const Matrix& g) {
     tape->AccumulateGrad(a, g);
     tape->AccumulateGrad(b, g);
-  });
+  }, "bw.add");
 }
 
 Var Sub(Var a, Var b) {
@@ -42,7 +43,7 @@ Var Sub(Var a, Var b) {
   return tp->Emit(std::move(out), rg, [a, b](Tape* tape, const Matrix& g) {
     tape->AccumulateGrad(a, g);
     tape->AccumulateGrad(b, t::Negate(g));
-  });
+  }, "bw.sub");
 }
 
 Var Scale(Var a, float alpha) {
@@ -51,7 +52,7 @@ Var Scale(Var a, float alpha) {
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a, alpha](Tape* tape, const Matrix& g) {
                     tape->AccumulateGrad(a, t::Scale(g, alpha));
-                  });
+                  }, "bw.scale");
 }
 
 Var AddScalar(Var a, float c) {
@@ -60,7 +61,7 @@ Var AddScalar(Var a, float c) {
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a](Tape* tape, const Matrix& g) {
                     tape->AccumulateGrad(a, g);
-                  });
+                  }, "bw.add_scalar");
 }
 
 Var Negate(Var a) { return Scale(a, -1.f); }
@@ -72,11 +73,12 @@ Var Hadamard(Var a, Var b) {
   return tp->Emit(std::move(out), rg, [a, b](Tape* tape, const Matrix& g) {
     tape->AccumulateGrad(a, t::Hadamard(g, tape->value(b)));
     tape->AccumulateGrad(b, t::Hadamard(g, tape->value(a)));
-  });
+  }, "bw.hadamard");
 }
 
 Var MatMul(Var a, Var b, bool trans_a, bool trans_b) {
   Tape* tp = SameTape(a, b);
+  OBS_SPAN("fw.matmul");
   Matrix out = t::MatMul(tp->value(a), tp->value(b), trans_a, trans_b);
   const bool rg = tp->requires_grad(a) || tp->requires_grad(b);
   return tp->Emit(
@@ -110,7 +112,8 @@ Var MatMul(Var a, Var b, bool trans_a, bool trans_b) {
           }
           tape->AccumulateGrad(b, std::move(db));
         }
-      });
+      },
+      "bw.matmul");
 }
 
 Var Transpose(Var a) {
@@ -119,18 +122,19 @@ Var Transpose(Var a) {
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a](Tape* tape, const Matrix& g) {
                     tape->AccumulateGrad(a, t::Transpose(g));
-                  });
+                  }, "bw.transpose");
 }
 
 Var SpMM(const sparse::CsrMatrix* m, const sparse::CsrMatrix* m_transpose,
          Var x) {
   LAYERGCN_CHECK(m != nullptr && m_transpose != nullptr);
   Tape* tp = TapeOf(x);
+  OBS_SPAN("fw.spmm");
   Matrix out = m->Multiply(tp->value(x));
   return tp->Emit(std::move(out), tp->requires_grad(x),
                   [m_transpose, x](Tape* tape, const Matrix& g) {
                     tape->AccumulateGrad(x, m_transpose->Multiply(g));
-                  });
+                  }, "bw.spmm");
 }
 
 Var SpMMSymmetric(const sparse::CsrMatrix* m, Var x) {
@@ -139,6 +143,7 @@ Var SpMMSymmetric(const sparse::CsrMatrix* m, Var x) {
 
 Var GatherRows(Var x, std::vector<int32_t> rows) {
   Tape* tp = TapeOf(x);
+  OBS_SPAN("fw.gather_rows");
   Matrix out = t::GatherRows(tp->value(x), rows);
   return tp->Emit(
       std::move(out), tp->requires_grad(x),
@@ -146,7 +151,8 @@ Var GatherRows(Var x, std::vector<int32_t> rows) {
         Matrix dx(tape->value(x).rows(), tape->value(x).cols());
         t::ScatterAddRows(&dx, rows, g);
         tape->AccumulateGrad(x, std::move(dx));
-      });
+      },
+      "bw.gather_rows");
 }
 
 Var ScaleRows(Var x, Var s) {
@@ -160,11 +166,12 @@ Var ScaleRows(Var x, Var s) {
     if (tape->requires_grad(s)) {
       tape->AccumulateGrad(s, t::RowDots(g, tape->value(x)));
     }
-  });
+  }, "bw.scale_rows");
 }
 
 Var RowDots(Var a, Var b) {
   Tape* tp = SameTape(a, b);
+  OBS_SPAN("fw.row_dots");
   Matrix out = t::RowDots(tp->value(a), tp->value(b));
   const bool rg = tp->requires_grad(a) || tp->requires_grad(b);
   return tp->Emit(std::move(out), rg, [a, b](Tape* tape, const Matrix& g) {
@@ -175,11 +182,12 @@ Var RowDots(Var a, Var b) {
     if (tape->requires_grad(b)) {
       tape->AccumulateGrad(b, t::ScaleRows(tape->value(a), g));
     }
-  });
+  }, "bw.row_dots");
 }
 
 Var RowwiseCosine(Var a, Var b, float eps) {
   Tape* tp = SameTape(a, b);
+  OBS_SPAN("fw.rowwise_cosine");
   Matrix out = t::RowwiseCosine(tp->value(a), tp->value(b), eps);
   const bool rg = tp->requires_grad(a) || tp->requires_grad(b);
   return tp->Emit(
@@ -246,7 +254,8 @@ Var RowwiseCosine(Var a, Var b, float eps) {
         }
         if (need_a) tape->AccumulateGrad(a, std::move(da));
         if (need_b) tape->AccumulateGrad(b, std::move(db));
-      });
+      },
+      "bw.rowwise_cosine");
 }
 
 Var AddRowVector(Var x, Var bias) {
@@ -258,7 +267,7 @@ Var AddRowVector(Var x, Var bias) {
     if (tape->requires_grad(bias)) {
       tape->AccumulateGrad(bias, t::ColSums(g));
     }
-  });
+  }, "bw.add_row_vector");
 }
 
 Var NormalizeRows(Var x, float eps) {
@@ -289,7 +298,8 @@ Var NormalizeRows(Var x, float eps) {
           }
         }
         tape->AccumulateGrad(x, std::move(dx));
-      });
+      },
+      "bw.normalize_rows");
 }
 
 Var Sigmoid(Var a) {
@@ -304,7 +314,7 @@ Var Sigmoid(Var a) {
                       dx.data()[i] = g.data()[i] * s * (1.f - s);
                     }
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.sigmoid");
 }
 
 Var Tanh(Var a) {
@@ -319,7 +329,7 @@ Var Tanh(Var a) {
                       dx.data()[i] = g.data()[i] * (1.f - th * th);
                     }
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.tanh");
 }
 
 Var Relu(Var a) {
@@ -333,7 +343,7 @@ Var Relu(Var a) {
                       dx.data()[i] = x.data()[i] > 0.f ? g.data()[i] : 0.f;
                     }
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.relu");
 }
 
 Var LeakyRelu(Var a, float slope) {
@@ -348,11 +358,12 @@ Var LeakyRelu(Var a, float slope) {
                           x.data()[i] > 0.f ? g.data()[i] : slope * g.data()[i];
                     }
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.leaky_relu");
 }
 
 Var Softplus(Var a) {
   Tape* tp = TapeOf(a);
+  OBS_SPAN("fw.softplus");
   Matrix out = t::Softplus(tp->value(a));
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a](Tape* tape, const Matrix& g) {
@@ -360,7 +371,7 @@ Var Softplus(Var a) {
                     Matrix dx = t::Sigmoid(tape->value(a));
                     t::HadamardInPlace(&dx, g);
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.softplus");
 }
 
 Var Exp(Var a) {
@@ -371,7 +382,7 @@ Var Exp(Var a) {
                   [a, saved = std::move(saved)](Tape* tape, const Matrix& g) {
                     Matrix dx = t::Hadamard(g, saved);
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.exp");
 }
 
 Var Log(Var a) {
@@ -385,7 +396,7 @@ Var Log(Var a) {
                       dx.data()[i] = g.data()[i] / x.data()[i];
                     }
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.log");
 }
 
 Var Square(Var a) {
@@ -396,7 +407,7 @@ Var Square(Var a) {
                     Matrix dx = t::Hadamard(g, tape->value(a));
                     t::ScaleInPlace(&dx, 2.f);
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.square");
 }
 
 Var Dropout(Var x, const Matrix& mask) {
@@ -413,7 +424,7 @@ Var Sum(Var a) {
                     const Matrix& x = tape->value(a);
                     Matrix dx(x.rows(), x.cols(), g.scalar());
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.sum");
 }
 
 Var Mean(Var a) {
@@ -427,7 +438,7 @@ Var Mean(Var a) {
                     const float v = g.scalar() / static_cast<float>(x.size());
                     Matrix dx(x.rows(), x.cols(), v);
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.mean");
 }
 
 Var SumSquares(Var a) {
@@ -437,12 +448,13 @@ Var SumSquares(Var a) {
                   [a](Tape* tape, const Matrix& g) {
                     Matrix dx = t::Scale(tape->value(a), 2.f * g.scalar());
                     tape->AccumulateGrad(a, std::move(dx));
-                  });
+                  }, "bw.sum_squares");
 }
 
 Var AddN(const std::vector<Var>& xs) {
   LAYERGCN_CHECK(!xs.empty()) << "AddN needs at least one input";
   Tape* tp = TapeOf(xs[0]);
+  OBS_SPAN("fw.add_n");
   Matrix out = tp->value(xs[0]);
   bool rg = tp->requires_grad(xs[0]);
   for (size_t i = 1; i < xs.size(); ++i) {
@@ -453,7 +465,7 @@ Var AddN(const std::vector<Var>& xs) {
   return tp->Emit(std::move(out), rg,
                   [xs](Tape* tape, const Matrix& g) {
                     for (Var x : xs) tape->AccumulateGrad(x, g);
-                  });
+                  }, "bw.add_n");
 }
 
 Var LinComb(const std::vector<Var>& xs, Var w) {
@@ -486,7 +498,8 @@ Var LinComb(const std::vector<Var>& xs, Var w) {
           }
         }
         if (need_dw) tape->AccumulateGrad(w, std::move(dw));
-      });
+      },
+      "bw.lin_comb");
 }
 
 Var ConcatCols(const std::vector<Var>& xs) {
@@ -510,7 +523,7 @@ Var ConcatCols(const std::vector<Var>& xs) {
       }
       offset += w;
     }
-  });
+  }, "bw.concat_cols");
 }
 
 Var SoftmaxRows(Var a) {
@@ -534,7 +547,8 @@ Var SoftmaxRows(Var a) {
           }
         }
         tape->AccumulateGrad(a, std::move(dx));
-      });
+      },
+      "bw.softmax_rows");
 }
 
 Var LogSoftmaxRows(Var a) {
@@ -557,7 +571,8 @@ Var LogSoftmaxRows(Var a) {
           }
         }
         tape->AccumulateGrad(a, std::move(dx));
-      });
+      },
+      "bw.log_softmax_rows");
 }
 
 }  // namespace layergcn::ag

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -47,10 +48,12 @@ bool Tape::requires_grad(Var v) const { return node(v).requires_grad; }
 
 const Matrix& Tape::grad(Var v) const { return node(v).grad; }
 
-Var Tape::Emit(Matrix value, bool requires_grad, BackwardFn backward) {
+Var Tape::Emit(Matrix value, bool requires_grad, BackwardFn backward,
+               const char* op_name) {
   Node n;
   n.owned_value = std::move(value);
   n.requires_grad = requires_grad;
+  n.op_name = op_name;
   if (requires_grad) n.backward = std::move(backward);
   nodes_.push_back(std::move(n));
   return Var{this, static_cast<int32_t>(nodes_.size() - 1)};
@@ -91,10 +94,18 @@ void Tape::Backward(Var loss) {
       << "Backward() requires a scalar (1x1) loss";
   AccumulateGrad(loss, Matrix::Scalar(1.f));
 
+  OBS_SPAN("tape.backward");
   for (int64_t i = loss.id; i >= 0; --i) {
     Node& n = nodes_[static_cast<size_t>(i)];
     if (!n.requires_grad || n.grad.empty()) continue;
-    if (n.backward) n.backward(this, n.grad);
+    if (n.backward) {
+      if (n.op_name != nullptr) {
+        OBS_SPAN_DYNAMIC(n.op_name);
+        n.backward(this, n.grad);
+      } else {
+        n.backward(this, n.grad);
+      }
+    }
     if (n.grad_sink != nullptr) tensor::AddInPlace(n.grad_sink, n.grad);
   }
 }

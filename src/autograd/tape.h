@@ -78,8 +78,11 @@ class Tape {
   using BackwardFn = std::function<void(Tape*, const Matrix&)>;
 
   /// Records an interior node. `requires_grad` should be true iff any input
-  /// requires grad; `backward` may be empty in that case.
-  Var Emit(Matrix value, bool requires_grad, BackwardFn backward);
+  /// requires grad; `backward` may be empty in that case. `op_name`, when
+  /// given, must be a string literal (stored by pointer); it labels the
+  /// node's backward closure in trace spans and per-op timing counters.
+  Var Emit(Matrix value, bool requires_grad, BackwardFn backward,
+           const char* op_name = nullptr);
 
   /// Adds `g` into the gradient buffer of `v` (allocating it on first use).
   /// No-op if `v` does not require grad.
@@ -96,6 +99,7 @@ class Tape {
     Matrix grad;                       // lazily allocated
     bool requires_grad = false;
     BackwardFn backward;
+    const char* op_name = nullptr;     // string literal; labels trace spans
   };
 
   const Node& node(Var v) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +31,7 @@ const std::vector<std::vector<int32_t>>& Evaluator::SplitTruth(
 
 RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
                                    EvalSplit split) const {
+  OBS_SPAN("eval.evaluate");
   const auto& users = SplitUsers(split);
   const auto& truth = SplitTruth(split);
   RankingMetrics out;
@@ -100,6 +102,7 @@ std::vector<std::vector<int32_t>> Evaluator::RankSplit(
 RankingMetrics Evaluator::Evaluate(const tensor::Matrix& user_emb,
                                    const tensor::Matrix& item_emb,
                                    EvalSplit split) const {
+  OBS_SPAN("eval.evaluate");
   const auto& users = SplitUsers(split);
   const auto& truth = SplitTruth(split);
   RankingMetrics out;

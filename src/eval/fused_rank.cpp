@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "eval/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -97,6 +98,14 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
   const int64_t depth = item_emb.cols();
   std::vector<std::vector<int32_t>> out(user_ids.size());
   if (num_users == 0 || num_items == 0) return out;
+  OBS_SPAN("eval.fused_rank");
+  OBS_COUNT("fused_rank.calls", 1);
+  OBS_COUNT("fused_rank.users_ranked", num_users);
+  // The fused kernel streams the full score matrix through GemmMicroPanel;
+  // account for that GEMM work here since the micro-kernel itself is not
+  // instrumented (it is the innermost hot loop).
+  OBS_COUNT("gemm.calls", 1);
+  OBS_COUNT("gemm.flops", 2 * num_users * num_items * depth);
 
   // Optional dedicated pool (determinism tests sweep the worker count).
   std::unique_ptr<util::ThreadPool> local_pool;
@@ -129,6 +138,8 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
 
   util::ParallelForRanges(pool, 0, num_tiles, [&](int64_t tile_lo,
                                                   int64_t tile_hi) {
+    OBS_SPAN("eval.fused_rank.tiles");
+    OBS_COUNT("fused_rank.tiles", tile_hi - tile_lo);
     // Per-worker scratch, allocated once per range and reused across tiles:
     // the score block, the bounded heaps, and the exclusion cursors.
     std::vector<float> scores(static_cast<size_t>(user_tile * item_tile));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -85,12 +86,28 @@ double EmbeddingRecommender::TrainEpoch(util::Rng* rng,
   double total = 0.0;
   int64_t batches = 0;
   std::vector<train::Parameter*> params = Params();
-  while (sampler_->NextBatch(config_.batch_size, rng, &batch)) {
+  // Iterate by the known batch count (instead of draining NextBatch) so the
+  // per-batch span never opens for the empty trailing call.
+  const int64_t num_batches = sampler_->NumBatches(config_.batch_size);
+  for (int64_t b = 0; b < num_batches; ++b) {
+    OBS_SPAN("train.batch");
+    {
+      OBS_SPAN("train.sampler");
+      const bool ok = sampler_->NextBatch(config_.batch_size, rng, &batch);
+      LAYERGCN_CHECK(ok) << "sampler exhausted before NumBatches()";
+    }
     ag::Tape tape;
     ag::Var x0 = tape.Parameter(&embeddings_.value, &embeddings_.grad);
-    ag::Var loss = BatchLoss(&tape, x0, batch, rng);
-    tape.Backward(loss);
-    adam_.Step(params);
+    ag::Var loss;
+    {
+      OBS_SPAN("train.forward");
+      loss = BatchLoss(&tape, x0, batch, rng);
+    }
+    {
+      OBS_SPAN("train.backward");
+      tape.Backward(loss);
+    }
+    adam_.Step(params);  // opens its own "adam.step" span
     AfterBatch();
     const double loss_value = tape.value(loss).scalar();
     total += loss_value;

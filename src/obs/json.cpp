@@ -1,0 +1,451 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace layergcn::obs {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_.push_back(',');
+    has_elements_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_.push_back(',');
+    has_elements_.back() = true;
+  }
+  AppendJsonString(k, &out_);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  AppendJsonString(v, &out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_.append("null");
+    return *this;
+  }
+  char buf[32];
+  // %.17g round-trips every IEEE-754 double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_.append(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  BeforeValue();
+  out_.append(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_.append(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (!ParseValue(out, 0)) {
+      if (error != nullptr) {
+        *error = message_ + " at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool Fail(const char* msg) {
+    message_ = msg;
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool HexDigit(char c, uint32_t* out) {
+    if (c >= '0' && c <= '9') {
+      *out = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      *out = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      *out = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            uint32_t d;
+            if (!HexDigit(text_[pos_ + static_cast<size_t>(i)], &d)) {
+              return Fail("bad \\u escape");
+            }
+            cp = (cp << 4) | d;
+          }
+          pos_ += 4;
+          // Surrogate pair handling for completeness.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 6 <= text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            uint32_t lo = 0;
+            bool ok = true;
+            for (int i = 0; i < 4; ++i) {
+              uint32_t d;
+              if (!HexDigit(text_[pos_ + 2 + static_cast<size_t>(i)], &d)) {
+                ok = false;
+                break;
+              }
+              lo = (lo << 4) | d;
+            }
+            if (ok && lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              pos_ += 6;
+            }
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("invalid fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("invalid exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  return parser.Parse(out, error);
+}
+
+}  // namespace layergcn::obs

@@ -1,0 +1,76 @@
+// Minimal JSON support shared by the observability sinks: a streaming
+// writer (metrics snapshots, Chrome traces, JSONL telemetry) and a strict
+// recursive-descent parser (tests and tools/validate_jsonl).
+//
+// The writer emits compact, valid JSON: strings are escaped, and non-finite
+// doubles — which JSON cannot represent — are written as null.
+
+#ifndef LAYERGCN_OBS_JSON_H_
+#define LAYERGCN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace layergcn::obs {
+
+/// Appends the JSON string literal (quotes + escapes) for `s` to `out`.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Streaming writer with automatic comma/colon placement.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Number(double v);  // non-finite -> null
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// The document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: true once the first element was written.
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (numbers as double, objects keep insertion order).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with `key`, or nullptr. Objects only.
+  const JsonValue* Find(std::string_view key) const;
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+};
+
+/// Strict parse of a complete JSON document (no trailing garbage). On
+/// failure returns false and, when `error` is non-null, a message with the
+/// byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace layergcn::obs
+
+#endif  // LAYERGCN_OBS_JSON_H_

@@ -1,0 +1,57 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace layergcn::obs {
+namespace {
+
+// Metrics default ON (sharded bumps are nanoseconds and every sink wants
+// them); tracing defaults OFF (it buffers one event per span).
+std::atomic<uint32_t> g_flags{kMetricsBit};
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+uint32_t AssignThreadId() {
+  return g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+uint32_t Flags() { return g_flags.load(std::memory_order_relaxed); }
+
+bool Enabled() { return (Flags() & kMetricsBit) != 0; }
+
+void SetEnabled(bool on) {
+  if (on) {
+    g_flags.fetch_or(kMetricsBit, std::memory_order_relaxed);
+  } else {
+    g_flags.fetch_and(~kMetricsBit, std::memory_order_relaxed);
+  }
+}
+
+bool TraceEnabled() { return (Flags() & kTraceBit) != 0; }
+
+void SetTraceEnabled(bool on) {
+  if (on) {
+    g_flags.fetch_or(kTraceBit, std::memory_order_relaxed);
+  } else {
+    g_flags.fetch_and(~kTraceBit, std::memory_order_relaxed);
+  }
+}
+
+uint32_t ThreadId() {
+  thread_local const uint32_t id = AssignThreadId();
+  return id;
+}
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace layergcn::obs

@@ -1,0 +1,68 @@
+// Run-wide observability: runtime switches, thread ids, monotonic clock,
+// and the zero-cost-when-disabled instrumentation macros.
+//
+// Layering: layergcn_obs sits *below* layergcn_util (the thread pool and
+// logging are themselves instrumented), so nothing in src/obs may include a
+// util/ header. The subsystem has three independent pieces:
+//
+//   obs/metrics.h   — MetricsRegistry: counters / gauges / histograms with
+//                     lock-free per-thread shards merged on snapshot.
+//   obs/trace.h     — RAII trace spans exported as Chrome trace-event JSON.
+//   obs/telemetry.h — structured JSONL sink the trainer streams epochs into.
+//
+// Gating is two-level:
+//   * compile time: the LAYERGCN_OBS CMake option (default ON) defines
+//     LAYERGCN_OBS_ENABLED; when OFF every OBS_* macro expands to nothing
+//     and instrumented code carries zero cost.
+//   * run time: Flags() is a single relaxed atomic load; a disabled span
+//     costs exactly that one load + branch. Metrics default ON (sharded
+//     counter bumps are nanoseconds), tracing defaults OFF (it buffers
+//     events).
+
+#ifndef LAYERGCN_OBS_OBS_H_
+#define LAYERGCN_OBS_OBS_H_
+
+#include <cstdint>
+
+#ifndef LAYERGCN_OBS_ENABLED
+#define LAYERGCN_OBS_ENABLED 1
+#endif
+
+namespace layergcn::obs {
+
+// Bit mask of the runtime switches, readable with one atomic load.
+enum : uint32_t {
+  kMetricsBit = 1u << 0,
+  kTraceBit = 1u << 1,
+};
+
+/// Current switch mask (relaxed load; the only cost of a disabled site).
+uint32_t Flags();
+
+/// Master metrics switch (counters, gauges, histograms, span accumulation).
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Trace-span recording switch (events buffered for Chrome export).
+bool TraceEnabled();
+void SetTraceEnabled(bool on);
+
+/// Small dense id of the calling thread (0 = first thread to ask). Stable
+/// for the thread's lifetime; also used by util/logging for per-line ids.
+uint32_t ThreadId();
+
+/// Microseconds on the steady clock since the first call in the process.
+/// All span timestamps share this epoch.
+uint64_t NowMicros();
+
+}  // namespace layergcn::obs
+
+// NowMicros() for instrumentation sites: compiles to 0 when the subsystem
+// is compiled out, so paired OBS_COUNT(..., now - start) math folds away.
+#if LAYERGCN_OBS_ENABLED
+#define OBS_NOW_US() ::layergcn::obs::NowMicros()
+#else
+#define OBS_NOW_US() (static_cast<uint64_t>(0))
+#endif
+
+#endif  // LAYERGCN_OBS_OBS_H_

@@ -1,0 +1,51 @@
+#include "obs/telemetry.h"
+
+#include "obs/json.h"
+
+namespace layergcn::obs {
+
+std::string EpochTelemetryJson(const EpochTelemetry& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("epoch");
+  w.Key("epoch").Int(r.epoch);
+  w.Key("loss").Number(r.loss);
+  w.Key("batch_count").Int(r.batch_count);
+  w.Key("batch_loss_min").Number(r.batch_loss_min);
+  w.Key("batch_loss_max").Number(r.batch_loss_max);
+  w.Key("batch_loss_mean").Number(r.batch_loss_mean);
+  w.Key("grad_norm").Number(r.grad_norm);
+  w.Key("embedding_norm").Number(r.embedding_norm);
+  w.Key("adam_lr").Number(r.adam_lr);
+  w.Key("adam_steps").Int(r.adam_steps);
+  w.Key("neg_sampled").Int(r.neg_sampled);
+  w.Key("neg_rejected").Int(r.neg_rejected);
+  w.Key("epoch_seconds").Number(r.epoch_seconds);
+  w.Key("sampler_seconds").Number(r.sampler_seconds);
+  w.Key("forward_seconds").Number(r.forward_seconds);
+  w.Key("backward_seconds").Number(r.backward_seconds);
+  w.Key("adam_seconds").Number(r.adam_seconds);
+  if (r.has_eval) {
+    w.Key("eval_k").Int(r.eval_k);
+    w.Key("eval_recall").Number(r.eval_recall);
+    w.Key("eval_ndcg").Number(r.eval_ndcg);
+    w.Key("eval_seconds").Number(r.eval_seconds);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+TelemetrySink::TelemetrySink(const std::string& path)
+    : path_(path), out_(path) {}
+
+void TelemetrySink::WriteEpoch(const EpochTelemetry& record) {
+  WriteLine(EpochTelemetryJson(record));
+}
+
+void TelemetrySink::WriteLine(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << json_object << "\n";
+  out_.flush();
+}
+
+}  // namespace layergcn::obs

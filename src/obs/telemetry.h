@@ -1,0 +1,82 @@
+// Structured JSONL training telemetry.
+//
+// The trainer streams one EpochTelemetry record per epoch into a
+// TelemetrySink; each record is a single JSON object on its own line,
+// flushed immediately so a crashed or killed run keeps every completed
+// epoch. tools/validate_jsonl checks the output, and experiments can
+// aggregate runs by following TrainResult::telemetry_path.
+
+#ifndef LAYERGCN_OBS_TELEMETRY_H_
+#define LAYERGCN_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace layergcn::obs {
+
+/// Everything the trainer knows about one epoch.
+struct EpochTelemetry {
+  int epoch = 0;
+  double loss = 0.0;
+
+  // Per-batch loss statistics within the epoch.
+  int64_t batch_count = 0;
+  double batch_loss_min = 0.0;
+  double batch_loss_max = 0.0;
+  double batch_loss_mean = 0.0;
+
+  // Optimizer / parameter state.
+  double grad_norm = 0.0;       // L2 of the last batch's gradients
+  double embedding_norm = 0.0;  // L2 over all parameter values
+  double adam_lr = 0.0;
+  int64_t adam_steps = 0;  // cumulative optimizer steps
+
+  // BPR sampler behaviour this epoch.
+  int64_t neg_sampled = 0;
+  int64_t neg_rejected = 0;
+
+  // Wall-clock breakdown (seconds) this epoch.
+  double epoch_seconds = 0.0;
+  double sampler_seconds = 0.0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double adam_seconds = 0.0;
+
+  // Validation metrics, present only on evaluated epochs.
+  bool has_eval = false;
+  int eval_k = 0;
+  double eval_recall = 0.0;
+  double eval_ndcg = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// Append-oriented JSONL file sink (thread-safe per line).
+class TelemetrySink {
+ public:
+  /// Opens (truncates) `path`. Check ok() before use.
+  explicit TelemetrySink(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
+
+  /// Writes one {"type":"epoch",...} line.
+  void WriteEpoch(const EpochTelemetry& record);
+
+  /// Writes an arbitrary pre-rendered JSON object as one line. The caller
+  /// guarantees `json_object` is a single valid JSON value with no newline.
+  void WriteLine(const std::string& json_object);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+/// Renders an epoch record as its JSONL line (exposed for tests).
+std::string EpochTelemetryJson(const EpochTelemetry& record);
+
+}  // namespace layergcn::obs
+
+#endif  // LAYERGCN_OBS_TELEMETRY_H_

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace layergcn::obs {
+namespace {
+
+// Per-thread event buffer. Owned by its thread; the mutex exists so export
+// and thread-exit retirement can read/move the events safely while the
+// owner appends (appends are uncontended in the steady state).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  mutable std::mutex mu;  // guards buffers/retired membership
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+
+  ThreadBuffer* BufferForThisThread() {
+    // The registration wrapper retires the buffer's events when the thread
+    // exits so short-lived pool threads are not lost.
+    thread_local struct Registration {
+      ThreadBuffer buffer;
+      Impl* owner;
+
+      explicit Registration(Impl* impl) : owner(impl) {
+        std::lock_guard<std::mutex> lock(owner->mu);
+        owner->live.push_back(&buffer);
+      }
+      ~Registration() {
+        std::lock_guard<std::mutex> lock(owner->mu);
+        {
+          std::lock_guard<std::mutex> buf_lock(buffer.mu);
+          owner->retired.insert(owner->retired.end(), buffer.events.begin(),
+                                buffer.events.end());
+          buffer.events.clear();
+        }
+        owner->live.erase(
+            std::find(owner->live.begin(), owner->live.end(), &buffer));
+      }
+    } registration(this);
+    return &registration.buffer;
+  }
+};
+
+TraceRecorder::Impl* TraceRecorder::impl() {
+  // Leaked: thread_local Registration destructors run after static
+  // destruction begins on the main thread.
+  static Impl* instance = new Impl();
+  return instance;
+}
+
+const TraceRecorder::Impl* TraceRecorder::impl() const {
+  return const_cast<TraceRecorder*>(this)->impl();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  ThreadBuffer* buffer = impl()->BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  const Impl* i = impl();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(i->mu);
+    out = i->retired;
+    for (ThreadBuffer* buffer : i->live) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("ph").String("X");
+    w.Key("ts").Uint(e.start_us);
+    w.Key("dur").Uint(e.dur_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(e.tid);
+    w.Key("args").BeginObject();
+    w.Key("depth").Uint(e.depth);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << ChromeTraceJson() << "\n";
+  return out.good();
+}
+
+void TraceRecorder::Clear() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  i->retired.clear();
+  for (ThreadBuffer* buffer : i->live) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+size_t TraceRecorder::NumEvents() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  size_t n = i->retired.size();
+  for (ThreadBuffer* buffer : i->live) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+namespace internal {
+
+SpanSite::SpanSite(const char* span_name)
+    : name(span_name),
+      sum_us(MetricsRegistry::Global().GetCounter(std::string("span.") +
+                                                  span_name + ".sum_us")),
+      count(MetricsRegistry::Global().GetCounter(std::string("span.") +
+                                                 span_name + ".count")) {}
+
+}  // namespace internal
+
+void SpanGuard::Open(uint32_t flags) {
+  flags_ = flags;
+  if (flags_ == 0) return;
+  depth_ = t_span_depth++;
+  start_us_ = NowMicros();
+}
+
+SpanGuard::SpanGuard(const internal::SpanSite* site) : site_(site) {
+  Open(Flags());
+}
+
+SpanGuard::SpanGuard(const char* dynamic_name) : name_(dynamic_name) {
+  Open(Flags());
+}
+
+SpanGuard::~SpanGuard() {
+  if (flags_ == 0) return;
+  const uint64_t end_us = NowMicros();
+  --t_span_depth;
+  const uint64_t dur = end_us - start_us_;
+  const char* name = site_ != nullptr ? site_->name : name_;
+  if ((flags_ & kTraceBit) != 0) {
+    TraceRecorder::Global().Record(
+        TraceEvent{name, start_us_, dur, ThreadId(), depth_});
+  }
+  if ((flags_ & kMetricsBit) != 0) {
+    if (site_ != nullptr) {
+      site_->sum_us->Add(dur);
+      site_->count->Increment();
+    } else {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      registry.GetCounter(std::string("span.") + name + ".sum_us")->Add(dur);
+      registry.GetCounter(std::string("span.") + name + ".count")
+          ->Increment();
+    }
+  }
+}
+
+}  // namespace layergcn::obs

@@ -1,0 +1,136 @@
+// RAII trace spans with Chrome trace-event JSON export.
+//
+// OBS_SPAN("gemm") opens a span that closes at end of scope. Each completed
+// span becomes one event {name, start_us, dur_us, tid, depth} in a
+// per-thread buffer; WriteChromeTrace() merges the buffers into a
+// chrome://tracing-loadable "X" (complete-event) document, where nesting is
+// reconstructed from interval containment per thread row.
+//
+// Cost model: a span site whose runtime switches are all off is one relaxed
+// atomic load and a branch. With metrics on it additionally accumulates
+// span.<name>.sum_us / span.<name>.count in the MetricsRegistry (two
+// sharded adds); with tracing on it appends one event under the calling
+// thread's buffer mutex (uncontended — the buffer is thread-owned, the lock
+// exists only so export can read live buffers safely).
+//
+// Span names must be string literals (or otherwise outlive the recorder);
+// events store the pointer, not a copy.
+
+#ifndef LAYERGCN_OBS_TRACE_H_
+#define LAYERGCN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace layergcn::obs {
+
+/// One completed span.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;  // NowMicros() epoch
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  uint32_t depth = 0;  // nesting depth on its thread at open time
+};
+
+/// Process-wide span store.
+class TraceRecorder {
+ public:
+  /// The global instance (leaked singleton: thread-exit flushes may run
+  /// during static destruction).
+  static TraceRecorder& Global();
+
+  /// Appends one event to the calling thread's buffer.
+  void Record(const TraceEvent& event);
+
+  /// Every recorded event (live + retired buffers), sorted by
+  /// (tid, start_us, depth). Safe to call while other threads record.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Renders Snapshot() as a Chrome trace-event JSON document.
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Drops every recorded event.
+  void Clear();
+
+  /// Number of recorded events (tests).
+  size_t NumEvents() const;
+
+ private:
+  TraceRecorder() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+namespace internal {
+
+// Per-call-site state created once by OBS_SPAN: the span name plus its
+// pre-resolved metric counters (so the hot path never touches the registry
+// lock).
+struct SpanSite {
+  explicit SpanSite(const char* span_name);
+
+  const char* name;
+  Counter* sum_us;
+  Counter* count;
+};
+
+}  // namespace internal
+
+/// RAII span. Prefer the OBS_SPAN macro; the dynamic-name constructor is
+/// for sites whose name is only known at run time (e.g. per-op autograd
+/// timings) and pays a registry lookup per close when metrics are on.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const internal::SpanSite* site);
+  explicit SpanGuard(const char* dynamic_name);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  void Open(uint32_t flags);
+
+  const internal::SpanSite* site_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+  uint32_t flags_ = 0;  // switches latched at open
+};
+
+}  // namespace layergcn::obs
+
+#if LAYERGCN_OBS_ENABLED
+
+#define LAYERGCN_OBS_CONCAT_INNER(a, b) a##b
+#define LAYERGCN_OBS_CONCAT(a, b) LAYERGCN_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope. `name` must
+/// be a string literal.
+#define OBS_SPAN(name)                                                        \
+  static const ::layergcn::obs::internal::SpanSite LAYERGCN_OBS_CONCAT(       \
+      obs_span_site_, __LINE__)(name);                                        \
+  ::layergcn::obs::SpanGuard LAYERGCN_OBS_CONCAT(obs_span_guard_, __LINE__)(  \
+      &LAYERGCN_OBS_CONCAT(obs_span_site_, __LINE__))
+
+/// Span with a runtime name (must outlive the recorder, i.e. be a literal
+/// or interned string).
+#define OBS_SPAN_DYNAMIC(name) ::layergcn::obs::SpanGuard obs_span_dyn_(name)
+
+#else  // !LAYERGCN_OBS_ENABLED
+
+#define OBS_SPAN(name) ((void)0)
+#define OBS_SPAN_DYNAMIC(name) ((void)0)
+
+#endif  // LAYERGCN_OBS_ENABLED
+
+#endif  // LAYERGCN_OBS_TRACE_H_

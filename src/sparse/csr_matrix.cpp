@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,10 @@ tensor::Matrix CsrMatrix::Multiply(const tensor::Matrix& dense) const {
       << dense.rows() << "x" << dense.cols();
   tensor::Matrix out(rows_, dense.cols());
   const int64_t t = dense.cols();
+  OBS_SPAN("spmm");
+  OBS_COUNT("spmm.calls", 1);
+  OBS_COUNT("spmm.nnz_processed", nnz());
+  OBS_COUNT("spmm.flops", 2 * nnz() * t);
   const auto run_rows = [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       float* dst = out.row(r);

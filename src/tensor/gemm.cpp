@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace layergcn::tensor {
@@ -95,6 +96,9 @@ Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool trans_a,
   LAYERGCN_CHECK_EQ(k, k2) << "MatMul inner dimension mismatch";
   Matrix out(m, n);
   if (m == 0 || n == 0) return out;
+  OBS_SPAN("gemm");
+  OBS_COUNT("gemm.calls", 1);
+  OBS_COUNT("gemm.flops", 2 * m * n * k);
 
   // Normalize both operands so the micro-kernel always sees row pointers on
   // the left and a (k x n) row-major panel on the right. The transpose

@@ -2,11 +2,14 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace layergcn::train {
 
 void Adam::Step(const std::vector<Parameter*>& params) {
+  OBS_SPAN("adam.step");
   ++t_;
   const double b1 = config_.beta1;
   const double b2 = config_.beta2;
@@ -14,6 +17,24 @@ void Adam::Step(const std::vector<Parameter*>& params) {
   const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
   const double lr = config_.learning_rate;
   const double eps = config_.epsilon;
+
+  // Global gradient L2 norm across all parameters, published as a gauge
+  // before the update consumes (and zeroes) the gradients. The extra pass
+  // is skipped entirely when metrics are off.
+  if (obs::Enabled()) {
+    double sq = 0.0;
+    for (const Parameter* p : params) {
+      if (p == nullptr) continue;
+      const float* grad = p->grad.data();
+      const int64_t n = p->grad.size();
+      for (int64_t i = 0; i < n; ++i) {
+        sq += static_cast<double>(grad[i]) * grad[i];
+      }
+    }
+    OBS_GAUGE("adam.grad_norm", std::sqrt(sq));
+    OBS_GAUGE("adam.lr", lr);
+    OBS_COUNT("adam.steps", 1);
+  }
 
   for (Parameter* p : params) {
     LAYERGCN_CHECK(p != nullptr);

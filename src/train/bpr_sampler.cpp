@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace layergcn::train {
@@ -37,13 +38,19 @@ int32_t BprSampler::SampleNegative(int32_t user, util::Rng* rng) const {
   const int32_t num_items = graph_->num_items();
   LAYERGCN_CHECK_LT(static_cast<int32_t>(items.size()), num_items)
       << "user " << user << " has interacted with every item";
+  uint64_t rejected = 0;
   for (;;) {
     const int32_t j =
         strategy_ == NegativeSampling::kPopularity
             ? static_cast<int32_t>(popularity_.Sample(rng))
             : static_cast<int32_t>(
                   rng->NextBounded(static_cast<uint64_t>(num_items)));
-    if (!std::binary_search(items.begin(), items.end(), j)) return j;
+    if (!std::binary_search(items.begin(), items.end(), j)) {
+      OBS_COUNT("bpr.neg_sampled", rejected + 1);
+      if (rejected > 0) OBS_COUNT("bpr.neg_rejected", rejected);
+      return j;
+    }
+    ++rejected;
   }
 }
 
@@ -67,6 +74,7 @@ bool BprSampler::NextBatch(int64_t batch_size, util::Rng* rng,
     batch->pos_items.push_back(edge_items[static_cast<size_t>(e)]);
     batch->neg_items.push_back(SampleNegative(u, rng));
   }
+  OBS_COUNT("bpr.triples", batch->users.size());
   return true;
 }
 

@@ -1,7 +1,13 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -42,6 +48,31 @@ eval::RankingMetrics EvaluateModel(Recommender* model,
   return evaluator.Evaluate(MakeScoreFn(model), split);
 }
 
+// L2 norm over every parameter value of the model.
+double ParamsNorm(const std::vector<Parameter*>& params) {
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    const float* v = p->value.data();
+    const int64_t n = p->value.size();
+    for (int64_t i = 0; i < n; ++i) sq += static_cast<double>(v[i]) * v[i];
+  }
+  return std::sqrt(sq);
+}
+
+// Seconds accumulated by span `name` between two metric snapshots.
+double SpanDeltaSeconds(const obs::MetricsSnapshot& after,
+                        const obs::MetricsSnapshot& before,
+                        const std::string& name) {
+  return static_cast<double>(
+             after.CounterDelta(before, "span." + name + ".sum_us")) *
+         1e-6;
+}
+
+double GaugeOrZero(const obs::MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.gauges.find(name);
+  return it != snap.gauges.end() ? it->second : 0.0;
+}
+
 }  // namespace
 
 void Recommender::BeginEpoch(int /*epoch*/, util::Rng* /*rng*/) {}
@@ -62,17 +93,83 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
   int epochs_since_best = 0;
   util::Timer timer;
 
+  // Telemetry stream (satellite of the observability subsystem): one JSONL
+  // record per epoch. Opening the sink also flips the runtime metrics
+  // switch so span/counter deltas below are populated.
+  std::unique_ptr<obs::TelemetrySink> telemetry;
+  if (!options.telemetry_path.empty()) {
+    obs::SetEnabled(true);
+    telemetry = std::make_unique<obs::TelemetrySink>(options.telemetry_path);
+    if (!telemetry->ok()) {
+      LAYERGCN_LOG(kWarning) << "cannot open telemetry sink "
+                             << options.telemetry_path << "; disabled";
+      telemetry.reset();
+    } else {
+      result.telemetry_path = options.telemetry_path;
+    }
+  }
+  const bool want_batch_losses =
+      options.record_batch_losses || telemetry != nullptr;
+
   for (int epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    obs::MetricsSnapshot epoch_start;
+    if (telemetry != nullptr) {
+      epoch_start = obs::MetricsRegistry::Global().Snapshot();
+    }
+    util::Timer epoch_timer;
     model->BeginEpoch(epoch, &rng);
     std::vector<double> batch_losses;
-    const double loss = model->TrainEpoch(
-        &rng, options.record_batch_losses ? &batch_losses : nullptr);
+    double loss = 0.0;
+    {
+      OBS_SPAN("train.epoch");
+      loss = model->TrainEpoch(&rng,
+                               want_batch_losses ? &batch_losses : nullptr);
+    }
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
     result.epoch_losses.push_back(loss);
     if (options.record_batch_losses) {
       result.batch_losses.insert(result.batch_losses.end(),
                                  batch_losses.begin(), batch_losses.end());
     }
     result.epochs_run = epoch;
+
+    obs::EpochTelemetry record;
+    if (telemetry != nullptr) {
+      const obs::MetricsSnapshot now =
+          obs::MetricsRegistry::Global().Snapshot();
+      record.epoch = epoch;
+      record.loss = loss;
+      record.batch_count = static_cast<int64_t>(batch_losses.size());
+      if (!batch_losses.empty()) {
+        record.batch_loss_min =
+            *std::min_element(batch_losses.begin(), batch_losses.end());
+        record.batch_loss_max =
+            *std::max_element(batch_losses.begin(), batch_losses.end());
+        double sum = 0.0;
+        for (double b : batch_losses) sum += b;
+        record.batch_loss_mean =
+            sum / static_cast<double>(batch_losses.size());
+      }
+      record.grad_norm = GaugeOrZero(now, "adam.grad_norm");
+      record.embedding_norm = ParamsNorm(model->Params());
+      record.adam_lr = GaugeOrZero(now, "adam.lr");
+      const auto steps = now.counters.find("adam.steps");
+      record.adam_steps =
+          steps != now.counters.end()
+              ? static_cast<int64_t>(steps->second) : 0;
+      record.neg_sampled = static_cast<int64_t>(
+          now.CounterDelta(epoch_start, "bpr.neg_sampled"));
+      record.neg_rejected = static_cast<int64_t>(
+          now.CounterDelta(epoch_start, "bpr.neg_rejected"));
+      record.epoch_seconds = epoch_seconds;
+      record.sampler_seconds =
+          SpanDeltaSeconds(now, epoch_start, "train.sampler");
+      record.forward_seconds =
+          SpanDeltaSeconds(now, epoch_start, "train.forward");
+      record.backward_seconds =
+          SpanDeltaSeconds(now, epoch_start, "train.backward");
+      record.adam_seconds = SpanDeltaSeconds(now, epoch_start, "adam.step");
+    }
 
     const bool checkpoint_due =
         checkpoints != nullptr &&
@@ -87,12 +184,24 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
       checkpoints->push_back(std::move(cm));
     }
 
-    if (epoch % config.eval_every != 0) continue;
+    if (epoch % config.eval_every != 0) {
+      if (telemetry != nullptr) telemetry->WriteEpoch(record);
+      continue;
+    }
+    util::Timer eval_timer;
     model->PrepareEval();
     const eval::RankingMetrics vm =
         EvaluateModel(model, valid_eval, eval::EvalSplit::kValidation);
     const double score = vm.recall.at(options.validation_k);
     result.valid_curve.emplace_back(epoch, score);
+    if (telemetry != nullptr) {
+      record.has_eval = true;
+      record.eval_k = options.validation_k;
+      record.eval_recall = score;
+      record.eval_ndcg = vm.ndcg.at(options.validation_k);
+      record.eval_seconds = eval_timer.ElapsedSeconds();
+      telemetry->WriteEpoch(record);
+    }
     if (options.verbose) {
       LAYERGCN_LOG(kInfo) << model->name() << " epoch " << epoch << " loss "
                           << loss << " valid R@" << options.validation_k

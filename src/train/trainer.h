@@ -10,6 +10,7 @@
 #define LAYERGCN_TRAIN_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "eval/evaluator.h"
@@ -37,6 +38,9 @@ struct TrainResult {
   int epochs_run = 0;
   /// Wall-clock seconds spent in training (excl. final test eval).
   double train_seconds = 0.0;
+  /// Path of the JSONL telemetry stream written during this run; empty when
+  /// TrainOptions::telemetry_path was unset or the file could not be opened.
+  std::string telemetry_path;
 };
 
 /// Knobs of the loop itself (the model hyper-parameters live in
@@ -52,6 +56,11 @@ struct TrainOptions {
   std::vector<int> checkpoint_epochs;
   /// Verbose epoch logging.
   bool verbose = false;
+  /// When set, one obs::EpochTelemetry JSONL record is streamed here per
+  /// epoch (losses, grad/embedding norms, sampler stats, wall-clock
+  /// breakdown, validation metrics on evaluated epochs). Enables the
+  /// runtime metrics switch for the run.
+  std::string telemetry_path;
 };
 
 /// Test metrics captured at a requested checkpoint epoch.

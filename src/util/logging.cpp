@@ -1,15 +1,23 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/obs.h"
 
 namespace layergcn::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+std::mutex g_mutex;  // guards the sink and stderr emission
+LogSink g_sink;      // empty => stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,21 +33,78 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+std::string IsoTimestampUtc() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string LogRecordJson(const LogRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("ts").String(record.timestamp);
+  w.Key("level").String(LevelName(record.level));
+  w.Key("file").String(record.file);
+  w.Key("line").Int(record.line);
+  w.Key("tid").Uint(record.thread_id);
+  w.Key("msg").String(record.message);
+  w.EndObject();
+  return w.str();
+}
+
+LogSink MakeJsonLogSink(std::ostream* out) {
+  return [out](const LogRecord& record) {
+    *out << LogRecordJson(record) << "\n";
+    out->flush();
+  };
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   if (level < g_level.load()) return;
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
-  }
+  LogRecord record;
+  record.level = level;
+  record.timestamp = IsoTimestampUtc();
+  record.file = Basename(file);
+  record.line = line;
+  record.thread_id = obs::ThreadId();
+  record.message = msg;
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               msg.c_str());
+  if (g_sink) {
+    g_sink(record);
+    return;
+  }
+  std::fprintf(stderr, "[%s %s %s:%d t%u] %s\n", record.timestamp.c_str(),
+               LevelName(level), record.file, line, record.thread_id,
+               record.message.c_str());
 }
 
 void CheckFailed(const char* file, int line, const char* expr,

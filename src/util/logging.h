@@ -1,5 +1,14 @@
 // Minimal leveled logging and check macros.
 //
+// Each stderr line carries an ISO-8601 UTC timestamp and the small dense
+// obs thread id:
+//
+//   [2026-08-07T12:34:56.789Z INFO trainer.cpp:97 t0] LayerGCN epoch 3 ...
+//
+// An optional sink installed with SetLogSink() replaces the stderr writer
+// (e.g. MakeJsonLogSink streams structured JSONL); LOG call sites are
+// unaffected either way.
+//
 // LAYERGCN_CHECK is used for programmer-error invariants in both debug and
 // release builds (the library is research infrastructure: failing loudly on
 // a shape mismatch beats silently producing garbage metrics).
@@ -7,6 +16,9 @@
 #ifndef LAYERGCN_UTIL_LOGGING_H_
 #define LAYERGCN_UTIL_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -14,9 +26,33 @@ namespace layergcn::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted to stderr. Default: kInfo.
+/// Sets the minimum level that is emitted. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// One log call, as handed to sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string timestamp;  // ISO-8601 UTC with milliseconds
+  const char* file = "";  // basename of the source file
+  int line = 0;
+  uint32_t thread_id = 0;  // obs::ThreadId()
+  std::string message;
+};
+
+/// Receives every record that passes the level filter.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Installs `sink` in place of the default stderr writer; pass nullptr to
+/// restore stderr. Thread-safe.
+void SetLogSink(LogSink sink);
+
+/// A sink that writes one JSON object per record to `*out` (which must
+/// outlive the sink), e.g. SetLogSink(MakeJsonLogSink(&log_file)).
+LogSink MakeJsonLogSink(std::ostream* out);
+
+/// Renders a record as its JSON line (exposed for tests).
+std::string LogRecordJson(const LogRecord& record);
 
 /// Emits one log line (thread-safe).
 void LogMessage(LogLevel level, const char* file, int line,

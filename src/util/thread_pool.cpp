@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace layergcn::util {
@@ -17,7 +19,10 @@ thread_local bool t_in_pool_worker = false;
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 2;
+    // Keep at least two workers even on single-core machines: ParallelFor
+    // only engages the pool when num_threads() > 1, and the concurrent
+    // submit/wait paths should stay exercised (and sanitized) everywhere.
+    if (num_threads < 2) num_threads = 2;
   }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -40,7 +45,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     LAYERGCN_CHECK(!shutdown_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    OBS_GAUGE("pool.queue_depth", tasks_.size());
   }
+  OBS_COUNT("pool.tasks_submitted", 1);
   task_cv_.notify_one();
 }
 
@@ -54,13 +61,22 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
+      const uint64_t wait_start = OBS_NOW_US();
       std::unique_lock<std::mutex> lock(mutex_);
       task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      OBS_COUNT("pool.idle_us", OBS_NOW_US() - wait_start);
       if (tasks_.empty()) return;  // shutdown_ with drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const uint64_t task_start = OBS_NOW_US();
     task();
+    [[maybe_unused]] const uint64_t task_us = OBS_NOW_US() - task_start;
+    OBS_COUNT("pool.tasks_executed", 1);
+    OBS_COUNT("pool.task_us", task_us);
+    OBS_OBSERVE("pool.task_dur_us",
+                (std::vector<double>{10, 100, 1000, 10000, 100000, 1000000}),
+                task_us);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) done_cv_.notify_all();

@@ -24,7 +24,7 @@ namespace layergcn::util {
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1). Defaults to the hardware
-  /// concurrency.
+  /// concurrency, floored at two so the parallel paths run everywhere.
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
 

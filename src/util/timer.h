@@ -1,4 +1,7 @@
 // Wall-clock timing helpers used by trainers and experiment harnesses.
+//
+// Everything here reads std::chrono::steady_clock — never the wall clock —
+// so measured durations are immune to NTP steps and DST shifts.
 
 #ifndef LAYERGCN_UTIL_TIMER_H_
 #define LAYERGCN_UTIL_TIMER_H_
@@ -27,6 +30,26 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Stopwatch that accumulates its scope's duration into the obs
+/// MetricsRegistry on destruction: counters `<name>.sum_us` and
+/// `<name>.count` (same layout the OBS_SPAN sites use, so legacy timing
+/// call sites land in the same snapshot). No-op while obs metrics are
+/// runtime-disabled. `name` must outlive the scope (use a literal).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) : name_(name) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  const char* name_;
+  Timer timer_;
 };
 
 /// Formats a duration like "1m23.4s" / "456ms" for log lines.

@@ -5,7 +5,14 @@
 #   1. Release        — the configuration benchmarks and users run.
 #   2. ASan + UBSan   — catches the memory/UB bugs the fast kernels are most
 #                       at risk of (out-of-bounds tile edges, races in the
-#                       thread-pool partitioning).
+#                       thread-pool partitioning). LAYERGCN_OBS defaults ON,
+#                       so the sanitizers also cover the sharded metrics and
+#                       trace-buffer paths.
+#
+# After the release tests, the `obs` stage trains a small synthetic run
+# through layergcn_cli with all three observability sinks (--trace-out,
+# --metrics-out, --telemetry-out) and gates the outputs with
+# validate_jsonl: any malformed JSON/JSONL fails the check.
 #
 # Usage: tools/check.sh [build-root]     (default: build-check/)
 # Exits non-zero on the first failing build or test.
@@ -28,6 +35,23 @@ run_config() {
 }
 
 run_config release -DCMAKE_BUILD_TYPE=Release
+
+run_obs_stage() {
+  local dir="${build_root}/release"
+  local out="${build_root}/obs-out"
+  echo "=== [obs] CLI run with trace/metrics/telemetry sinks ==="
+  mkdir -p "${out}"
+  "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=2 \
+    --model=LayerGCN \
+    --trace-out="${out}/trace.json" \
+    --metrics-out="${out}/metrics.json" \
+    --telemetry-out="${out}/telemetry.jsonl"
+  echo "=== [obs] validate sink outputs ==="
+  "${dir}/tools/validate_jsonl" \
+    "${out}/trace.json" "${out}/metrics.json" "${out}/telemetry.jsonl"
+}
+run_obs_stage
+
 run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
 
 echo "=== all checks passed ==="

@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "core/api.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "train/checkpoint.h"
 #include "util/strings.h"
 
@@ -47,6 +50,10 @@ struct Flags {
   std::string load_path;   // checkpoint to restore instead of training
   int topk = 10;
   bool verbose = false;
+
+  std::string trace_out;      // Chrome trace-event JSON
+  std::string metrics_out;    // metrics snapshot JSON
+  std::string telemetry_out;  // per-epoch JSONL telemetry
 };
 
 void PrintUsage(const char* argv0) {
@@ -69,7 +76,11 @@ void PrintUsage(const char* argv0) {
       "  --topk=N           recommendations per user (default 10)\n"
       "  --save=PATH        write a parameter checkpoint after training\n"
       "  --load=PATH        restore a checkpoint and skip training\n"
-      "  --verbose          per-epoch logging\n",
+      "  --verbose          per-epoch logging\n"
+      "observability:\n"
+      "  --trace-out=PATH     Chrome trace-event JSON (chrome://tracing)\n"
+      "  --metrics-out=PATH   final metrics snapshot JSON\n"
+      "  --telemetry-out=PATH per-epoch JSONL training telemetry\n",
       argv0, "BPR|MultiVAE|EHCF|BUIR|NGCF|LR-GCCF|LightGCN|UltraGCN|"
              "IMP-GCN|LayerGCN|LayerGCN-noDrop");
 }
@@ -134,6 +145,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       ok = as_int(&flags->topk);
     } else if (key == "--verbose") {
       flags->verbose = true;
+    } else if (key == "--trace-out") {
+      flags->trace_out = value;
+    } else if (key == "--metrics-out") {
+      flags->metrics_out = value;
+    } else if (key == "--telemetry-out") {
+      flags->telemetry_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
       return false;
@@ -160,6 +177,14 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 1;
   }
+
+  // Observability sinks: metrics are on whenever any sink is requested,
+  // trace recording only with --trace-out (it buffers every span).
+  if (!flags.metrics_out.empty() || !flags.telemetry_out.empty() ||
+      !flags.trace_out.empty()) {
+    obs::SetEnabled(true);
+  }
+  if (!flags.trace_out.empty()) obs::SetTraceEnabled(true);
 
   // --- Data ---
   data::Dataset dataset;
@@ -217,12 +242,16 @@ int main(int argc, char** argv) {
     train::TrainOptions options;
     options.report_ks = ks;
     options.verbose = flags.verbose;
+    options.telemetry_path = flags.telemetry_out;
     const train::TrainResult result = train::FitRecommender(
         model.get(), dataset, core::AdaptConfig(flags.model, cfg), options);
     std::printf("model=%s best_epoch=%d epochs_run=%d train_time=%.1fs\n",
                 flags.model.c_str(), result.best_epoch, result.epochs_run,
                 result.train_seconds);
     std::printf("test: %s\n", result.test_metrics.ToString().c_str());
+    if (!result.telemetry_path.empty()) {
+      std::printf("wrote telemetry to %s\n", result.telemetry_path.c_str());
+    }
     if (!flags.save_path.empty()) {
       train::SaveCheckpoint(flags.save_path, model->Params());
       std::printf("saved checkpoint to %s\n", flags.save_path.c_str());
@@ -255,6 +284,24 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote top-%d recommendations to %s\n", flags.topk,
                 flags.out_path.c_str());
+  }
+
+  // --- Export observability sinks ---
+  if (!flags.metrics_out.empty()) {
+    if (!obs::MetricsRegistry::Global().WriteSnapshotJson(flags.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", flags.metrics_out.c_str());
+  }
+  if (!flags.trace_out.empty()) {
+    if (!obs::TraceRecorder::Global().WriteChromeTrace(flags.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %lld trace events to %s (load in chrome://tracing)\n",
+                static_cast<long long>(obs::TraceRecorder::Global().NumEvents()),
+                flags.trace_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,91 @@
+// validate_jsonl — strict JSON checker for the observability sinks.
+//
+// Usage: validate_jsonl FILE...
+//
+// Files ending in .jsonl are validated line by line (every non-empty line
+// must be a complete JSON object); anything else must be one valid JSON
+// document. Used by tools/check.sh to gate the CLI's --trace-out,
+// --metrics-out, and --telemetry-out outputs. Exits non-zero if any file
+// is missing, empty, or malformed.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool ValidateJsonl(const std::string& path, std::ifstream* in) {
+  std::string line;
+  int64_t line_no = 0;
+  int64_t records = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    layergcn::obs::JsonValue value;
+    std::string error;
+    if (!layergcn::obs::ParseJson(line, &value, &error)) {
+      std::fprintf(stderr, "%s:%lld: %s\n", path.c_str(),
+                   static_cast<long long>(line_no), error.c_str());
+      return false;
+    }
+    if (value.type != layergcn::obs::JsonValue::Type::kObject) {
+      std::fprintf(stderr, "%s:%lld: line is not a JSON object\n",
+                   path.c_str(), static_cast<long long>(line_no));
+      return false;
+    }
+    ++records;
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "%s: no JSONL records\n", path.c_str());
+    return false;
+  }
+  std::printf("OK %s (%lld records)\n", path.c_str(),
+              static_cast<long long>(records));
+  return true;
+}
+
+bool ValidateJson(const std::string& path, std::ifstream* in) {
+  std::ostringstream buf;
+  buf << in->rdbuf();
+  const std::string text = buf.str();
+  layergcn::obs::JsonValue value;
+  std::string error;
+  if (!layergcn::obs::ParseJson(text, &value, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  std::printf("OK %s (%zu bytes)\n", path.c_str(), text.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 1;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+      all_ok = false;
+      continue;
+    }
+    const bool ok = HasSuffix(path, ".jsonl") ? ValidateJsonl(path, &in)
+                                              : ValidateJson(path, &in);
+    all_ok = all_ok && ok;
+  }
+  return all_ok ? 0 : 1;
+}
