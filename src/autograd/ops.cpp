@@ -6,12 +6,21 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace layergcn::ag {
 
 namespace t = layergcn::tensor;
+namespace par = layergcn::util::parallel;
 
 namespace {
+
+// Row-block size matching tensor/ops.cpp: one block is ~kDefaultGrain
+// scalar elements. Fixed for a shape, so blocked backward loops stay
+// bit-exact at any worker count.
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, par::kDefaultGrain / std::max<int64_t>(cols, 1));
+}
 
 Tape* TapeOf(Var v) {
   LAYERGCN_CHECK(v.valid()) << "invalid Var";
@@ -202,7 +211,8 @@ Var RowwiseCosine(Var a, Var b, float eps) {
         Matrix da(need_a ? av.rows() : 0, need_a ? av.cols() : 0);
         Matrix db(need_b ? bv.rows() : 0, need_b ? bv.cols() : 0);
         const int64_t cols = av.cols();
-        for (int64_t r = 0; r < av.rows(); ++r) {
+        par::For(av.rows(), [&](int64_t row_lo, int64_t row_hi) {
+        for (int64_t r = row_lo; r < row_hi; ++r) {
           const float gr = g(r, 0);
           if (gr == 0.f) continue;
           const float* pa = av.row(r);
@@ -252,6 +262,7 @@ Var RowwiseCosine(Var a, Var b, float eps) {
             }
           }
         }
+        }, RowGrain(cols));
         if (need_a) tape->AccumulateGrad(a, std::move(da));
         if (need_b) tape->AccumulateGrad(b, std::move(db));
       },
@@ -281,22 +292,24 @@ Var NormalizeRows(Var x, float eps) {
         const Matrix& xv = tape->value(x);
         Matrix dx(xv.rows(), xv.cols());
         const int64_t cols = xv.cols();
-        for (int64_t r = 0; r < xv.rows(); ++r) {
-          const float* px = xv.row(r);
-          const float* py = saved.row(r);
-          const float* pg = g.row(r);
-          double norm2 = 0.0, gy = 0.0;
-          for (int64_t c = 0; c < cols; ++c) {
-            norm2 += static_cast<double>(px[c]) * px[c];
-            gy += static_cast<double>(pg[c]) * py[c];
+        par::For(xv.rows(), [&](int64_t row_lo, int64_t row_hi) {
+          for (int64_t r = row_lo; r < row_hi; ++r) {
+            const float* px = xv.row(r);
+            const float* py = saved.row(r);
+            const float* pg = g.row(r);
+            double norm2 = 0.0, gy = 0.0;
+            for (int64_t c = 0; c < cols; ++c) {
+              norm2 += static_cast<double>(px[c]) * px[c];
+              gy += static_cast<double>(pg[c]) * py[c];
+            }
+            const double norm =
+                std::max(std::sqrt(norm2), static_cast<double>(eps));
+            float* pd = dx.row(r);
+            for (int64_t c = 0; c < cols; ++c) {
+              pd[c] = static_cast<float>((pg[c] - py[c] * gy) / norm);
+            }
           }
-          const double norm =
-              std::max(std::sqrt(norm2), static_cast<double>(eps));
-          float* pd = dx.row(r);
-          for (int64_t c = 0; c < cols; ++c) {
-            pd[c] = static_cast<float>((pg[c] - py[c] * gy) / norm);
-          }
-        }
+        }, RowGrain(cols));
         tape->AccumulateGrad(x, std::move(dx));
       },
       "bw.normalize_rows");
@@ -309,10 +322,12 @@ Var Sigmoid(Var a) {
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a, saved = std::move(saved)](Tape* tape, const Matrix& g) {
                     Matrix dx(g.rows(), g.cols());
-                    for (int64_t i = 0; i < g.size(); ++i) {
-                      const float s = saved.data()[i];
-                      dx.data()[i] = g.data()[i] * s * (1.f - s);
-                    }
+                    par::For(g.size(), [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        const float s = saved.data()[i];
+                        dx.data()[i] = g.data()[i] * s * (1.f - s);
+                      }
+                    });
                     tape->AccumulateGrad(a, std::move(dx));
                   }, "bw.sigmoid");
 }
@@ -324,10 +339,12 @@ Var Tanh(Var a) {
   return tp->Emit(std::move(out), tp->requires_grad(a),
                   [a, saved = std::move(saved)](Tape* tape, const Matrix& g) {
                     Matrix dx(g.rows(), g.cols());
-                    for (int64_t i = 0; i < g.size(); ++i) {
-                      const float th = saved.data()[i];
-                      dx.data()[i] = g.data()[i] * (1.f - th * th);
-                    }
+                    par::For(g.size(), [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        const float th = saved.data()[i];
+                        dx.data()[i] = g.data()[i] * (1.f - th * th);
+                      }
+                    });
                     tape->AccumulateGrad(a, std::move(dx));
                   }, "bw.tanh");
 }
@@ -339,9 +356,11 @@ Var Relu(Var a) {
                   [a](Tape* tape, const Matrix& g) {
                     const Matrix& x = tape->value(a);
                     Matrix dx(g.rows(), g.cols());
-                    for (int64_t i = 0; i < g.size(); ++i) {
-                      dx.data()[i] = x.data()[i] > 0.f ? g.data()[i] : 0.f;
-                    }
+                    par::For(g.size(), [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        dx.data()[i] = x.data()[i] > 0.f ? g.data()[i] : 0.f;
+                      }
+                    });
                     tape->AccumulateGrad(a, std::move(dx));
                   }, "bw.relu");
 }
@@ -353,10 +372,12 @@ Var LeakyRelu(Var a, float slope) {
                   [a, slope](Tape* tape, const Matrix& g) {
                     const Matrix& x = tape->value(a);
                     Matrix dx(g.rows(), g.cols());
-                    for (int64_t i = 0; i < g.size(); ++i) {
-                      dx.data()[i] =
-                          x.data()[i] > 0.f ? g.data()[i] : slope * g.data()[i];
-                    }
+                    par::For(g.size(), [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        dx.data()[i] = x.data()[i] > 0.f ? g.data()[i]
+                                                         : slope * g.data()[i];
+                      }
+                    });
                     tape->AccumulateGrad(a, std::move(dx));
                   }, "bw.leaky_relu");
 }
@@ -392,9 +413,11 @@ Var Log(Var a) {
                   [a](Tape* tape, const Matrix& g) {
                     const Matrix& x = tape->value(a);
                     Matrix dx(g.rows(), g.cols());
-                    for (int64_t i = 0; i < g.size(); ++i) {
-                      dx.data()[i] = g.data()[i] / x.data()[i];
-                    }
+                    par::For(g.size(), [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        dx.data()[i] = g.data()[i] / x.data()[i];
+                      }
+                    });
                     tape->AccumulateGrad(a, std::move(dx));
                   }, "bw.log");
 }
@@ -537,15 +560,18 @@ Var SoftmaxRows(Var a) {
         Matrix gy = t::Hadamard(g, saved);
         Matrix row_sums = t::RowSums(gy);
         Matrix dx(g.rows(), g.cols());
-        for (int64_t r = 0; r < g.rows(); ++r) {
-          const float rs = row_sums(r, 0);
-          const float* pg = g.row(r);
-          const float* py = saved.row(r);
-          float* pd = dx.row(r);
-          for (int64_t c = 0; c < g.cols(); ++c) {
-            pd[c] = py[c] * (pg[c] - rs);
+        const int64_t cols = g.cols();
+        par::For(g.rows(), [&](int64_t row_lo, int64_t row_hi) {
+          for (int64_t r = row_lo; r < row_hi; ++r) {
+            const float rs = row_sums(r, 0);
+            const float* pg = g.row(r);
+            const float* py = saved.row(r);
+            float* pd = dx.row(r);
+            for (int64_t c = 0; c < cols; ++c) {
+              pd[c] = py[c] * (pg[c] - rs);
+            }
           }
-        }
+        }, RowGrain(cols));
         tape->AccumulateGrad(a, std::move(dx));
       },
       "bw.softmax_rows");
@@ -561,15 +587,18 @@ Var LogSoftmaxRows(Var a) {
         // dx = g − softmax ⊙ broadcast(rowsum(g)).
         Matrix row_sums = t::RowSums(g);
         Matrix dx(g.rows(), g.cols());
-        for (int64_t r = 0; r < g.rows(); ++r) {
-          const float rs = row_sums(r, 0);
-          const float* pg = g.row(r);
-          const float* ps = softmax.row(r);
-          float* pd = dx.row(r);
-          for (int64_t c = 0; c < g.cols(); ++c) {
-            pd[c] = pg[c] - ps[c] * rs;
+        const int64_t cols = g.cols();
+        par::For(g.rows(), [&](int64_t row_lo, int64_t row_hi) {
+          for (int64_t r = row_lo; r < row_hi; ++r) {
+            const float rs = row_sums(r, 0);
+            const float* pg = g.row(r);
+            const float* ps = softmax.row(r);
+            float* pd = dx.row(r);
+            for (int64_t c = 0; c < cols; ++c) {
+              pd[c] = pg[c] - ps[c] * rs;
+            }
           }
-        }
+        }, RowGrain(cols));
         tape->AccumulateGrad(a, std::move(dx));
       },
       "bw.log_softmax_rows");

@@ -20,8 +20,8 @@ void LayerGcnSsl::Init(const data::Dataset& dataset,
 
 void LayerGcnSsl::BeginEpoch(int epoch, util::Rng* rng) {
   LayerGcn::BeginEpoch(epoch, rng);
-  view1_ = view_dropout_->SampleAdjacency(rng, epoch);
-  view2_ = view_dropout_->SampleAdjacency(rng, epoch);
+  view_dropout_->SampleAdjacencyInto(rng, epoch, &view1_);
+  view_dropout_->SampleAdjacencyInto(rng, epoch, &view2_);
 }
 
 ag::Var LayerGcnSsl::PropagateView(ag::Tape* tape, ag::Var x0,

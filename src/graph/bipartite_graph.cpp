@@ -77,6 +77,63 @@ sparse::CsrMatrix BipartiteGraph::NormalizedAdjacencySubset(
   return sparse::SymmetricNormalize(AdjacencySubset(kept));
 }
 
+void BipartiteGraph::NormalizedAdjacencySubsetInto(
+    const std::vector<int64_t>& kept, AdjacencyWorkspace* ws,
+    sparse::CsrMatrix* out) const {
+  LAYERGCN_CHECK(ws != nullptr && out != nullptr);
+  const int64_t n = num_nodes();
+  const size_t nu = static_cast<size_t>(num_users_);
+  const size_t ni = static_cast<size_t>(num_items_);
+
+  // Kept-subset degrees (assign() reuses capacity after the first epoch).
+  ws->user_degree.assign(nu, 0);
+  ws->item_degree.assign(ni, 0);
+  int64_t prev = -1;
+  for (int64_t k : kept) {
+    LAYERGCN_CHECK(k >= 0 && k < num_edges()) << "edge index " << k;
+    LAYERGCN_CHECK_GT(k, prev) << "kept edges must be ascending";
+    prev = k;
+    ++ws->user_degree[static_cast<size_t>(edge_user_[static_cast<size_t>(k)])];
+    ++ws->item_degree[static_cast<size_t>(edge_item_[static_cast<size_t>(k)])];
+  }
+
+  const int64_t nnz = static_cast<int64_t>(kept.size()) * 2;
+  out->Rebuild(n, n, nnz, [&](int64_t* row_ptr, int32_t* col_idx,
+                              float* values) {
+    // Counting sort: kept degrees are exactly the per-row entry counts
+    // (user rows first, item rows after, matching the unified node space).
+    row_ptr[0] = 0;
+    for (size_t u = 0; u < nu; ++u) {
+      row_ptr[u + 1] = row_ptr[u] + ws->user_degree[u];
+    }
+    for (size_t i = 0; i < ni; ++i) {
+      row_ptr[nu + i + 1] = row_ptr[nu + i] + ws->item_degree[i];
+    }
+    ws->cursor.assign(row_ptr, row_ptr + n);
+
+    // One ascending pass emits both triangle halves with columns already
+    // sorted: edges are ordered by (user, item), so a user row sees its
+    // item columns ascending, and an item row sees its user columns
+    // ascending. Values match SymmetricNormalize bit-for-bit: degrees are
+    // exact small integers and the normalization arithmetic is identical.
+    for (int64_t k : kept) {
+      const size_t e = static_cast<size_t>(k);
+      const int32_t u = edge_user_[e];
+      const int64_t inode = ItemNode(edge_item_[e]);
+      const double du = ws->user_degree[static_cast<size_t>(u)];
+      const double di = ws->item_degree[static_cast<size_t>(edge_item_[e])];
+      const float v =
+          static_cast<float>(1.0 / (std::sqrt(du) * std::sqrt(di)));
+      const int64_t up = ws->cursor[static_cast<size_t>(u)]++;
+      col_idx[up] = static_cast<int32_t>(inode);
+      values[up] = v;
+      const int64_t ip = ws->cursor[static_cast<size_t>(inode)]++;
+      col_idx[ip] = u;
+      values[ip] = v;
+    }
+  });
+}
+
 std::vector<double> BipartiteGraph::DegreeSensitiveEdgeWeights() const {
   std::vector<double> w(edge_user_.size());
   for (size_t k = 0; k < edge_user_.size(); ++k) {

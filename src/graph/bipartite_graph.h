@@ -69,6 +69,25 @@ class BipartiteGraph {
   sparse::CsrMatrix NormalizedAdjacencySubset(
       const std::vector<int64_t>& kept) const;
 
+  /// Reusable scratch for NormalizedAdjacencySubsetInto: kept-degree counts
+  /// and per-row fill cursors. Steady-state epochs allocate nothing.
+  struct AdjacencyWorkspace {
+    std::vector<int32_t> user_degree;  // degree within the kept subset
+    std::vector<int32_t> item_degree;
+    std::vector<int64_t> cursor;  // one fill cursor per unified node row
+  };
+
+  /// Counting-sort build of Â_p directly into *out: O(|kept| + N) with no
+  /// comparison sort and no COO intermediate, reusing `ws` and the CSR
+  /// storage of *out across epochs. `kept` must be ascending (both edge
+  /// samplers return sorted indices); because the edge arrays are sorted by
+  /// (user, item), a single ascending pass then emits every CSR row with
+  /// its columns already in order. Bit-identical to
+  /// NormalizedAdjacencySubset(kept).
+  void NormalizedAdjacencySubsetInto(const std::vector<int64_t>& kept,
+                                     AdjacencyWorkspace* ws,
+                                     sparse::CsrMatrix* out) const;
+
   /// Keep-probability weights of paper Eq. 5: p_{e_k} = 1/(√d_i √d_j) for
   /// the edge's two endpoints (unnormalized; the sampler normalizes).
   std::vector<double> DegreeSensitiveEdgeWeights() const;

@@ -45,13 +45,27 @@ EdgeDropout::EdgeDropout(const BipartiteGraph* graph, EdgeDropKind kind,
   }
 }
 
-std::vector<int64_t> EdgeDropout::SampleKeptEdges(util::Rng* rng,
-                                                  int epoch) const {
+const std::vector<int64_t>& EdgeDropout::IdentityEdges() {
+  if (identity_edges_.empty() && graph_->num_edges() > 0) {
+    const int64_t m = graph_->num_edges();
+    identity_edges_.resize(static_cast<size_t>(m));
+    for (int64_t k = 0; k < m; ++k) {
+      identity_edges_[static_cast<size_t>(k)] = k;
+    }
+  }
+  return identity_edges_;
+}
+
+void EdgeDropout::SampleKeptEdgesInto(util::Rng* rng, int epoch,
+                                      std::vector<int64_t>* kept) {
   const int64_t m = graph_->num_edges();
   if (kind_ == EdgeDropKind::kNone || num_kept_ == m) {
-    std::vector<int64_t> all(static_cast<size_t>(m));
-    for (int64_t k = 0; k < m; ++k) all[static_cast<size_t>(k)] = k;
-    return all;
+    // No-drop path: assign from the cached identity list instead of
+    // regenerating it, so the per-epoch cost is a memcpy into existing
+    // capacity rather than a fresh build.
+    const std::vector<int64_t>& all = IdentityEdges();
+    kept->assign(all.begin(), all.end());
+    return;
   }
   EdgeDropKind effective = kind_;
   if (kind_ == EdgeDropKind::kMixed) {
@@ -59,18 +73,40 @@ std::vector<int64_t> EdgeDropout::SampleKeptEdges(util::Rng* rng,
         (epoch % 2 == 0) ? EdgeDropKind::kDegreeDrop : EdgeDropKind::kDropEdge;
   }
   if (effective == EdgeDropKind::kDegreeDrop) {
-    return util::WeightedSampleWithoutReplacement(degree_weights_, num_kept_,
-                                                  rng);
+    util::WeightedSampleWithoutReplacementInto(degree_weights_, num_kept_, rng,
+                                               kept);
+    return;
   }
-  return util::UniformSampleWithoutReplacement(m, num_kept_, rng);
+  util::UniformSampleWithoutReplacementInto(m, num_kept_, rng, kept);
 }
 
-sparse::CsrMatrix EdgeDropout::SampleAdjacency(util::Rng* rng,
-                                               int epoch) const {
+std::vector<int64_t> EdgeDropout::SampleKeptEdges(util::Rng* rng, int epoch) {
+  std::vector<int64_t> kept;
+  SampleKeptEdgesInto(rng, epoch, &kept);
+  return kept;
+}
+
+void EdgeDropout::SampleAdjacencyInto(util::Rng* rng, int epoch,
+                                      sparse::CsrMatrix* out) {
   if (kind_ == EdgeDropKind::kNone || num_kept_ == graph_->num_edges()) {
-    return graph_->NormalizedAdjacency();
+    // The full adjacency never changes across epochs: skip the rebuild when
+    // asked to refill the destination of the previous call. The shape check
+    // guards against a new matrix recycling the cached address.
+    if (out != full_adjacency_dst_ || out->rows() != graph_->num_nodes() ||
+        out->nnz() != graph_->num_edges() * 2) {
+      graph_->NormalizedAdjacencySubsetInto(IdentityEdges(), &workspace_, out);
+      full_adjacency_dst_ = out;
+    }
+    return;
   }
-  return graph_->NormalizedAdjacencySubset(SampleKeptEdges(rng, epoch));
+  SampleKeptEdgesInto(rng, epoch, &kept_scratch_);
+  graph_->NormalizedAdjacencySubsetInto(kept_scratch_, &workspace_, out);
+}
+
+sparse::CsrMatrix EdgeDropout::SampleAdjacency(util::Rng* rng, int epoch) {
+  sparse::CsrMatrix out;
+  SampleAdjacencyInto(rng, epoch, &out);
+  return out;
 }
 
 }  // namespace layergcn::graph

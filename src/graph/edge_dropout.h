@@ -7,6 +7,11 @@
 // 1/(√d_i √d_j) (Eq. 5) and samples M−m edges without replacement from the
 // resulting multinomial, so edges between two popular nodes are pruned
 // preferentially — the nodes most prone to over-smoothing per GCNII.
+//
+// The per-epoch rebuild is allocation-free at steady state: the sampler
+// owns a kept-edge buffer, a counting-sort workspace, and hands the CSR to
+// the caller through SampleAdjacencyInto, which reuses the destination's
+// storage (BipartiteGraph::NormalizedAdjacencySubsetInto).
 
 #ifndef LAYERGCN_GRAPH_EDGE_DROPOUT_H_
 #define LAYERGCN_GRAPH_EDGE_DROPOUT_H_
@@ -39,13 +44,25 @@ class EdgeDropout {
   /// to prune, in [0, 1).
   EdgeDropout(const BipartiteGraph* graph, EdgeDropKind kind, double ratio);
 
-  /// Samples the kept-edge index set for one epoch. For kMixed, even epochs
-  /// use DegreeDrop and odd epochs use DropEdge.
-  std::vector<int64_t> SampleKeptEdges(util::Rng* rng, int epoch) const;
+  /// Samples the kept-edge index set (ascending) for one epoch into *kept,
+  /// reusing its capacity. For kMixed, even epochs use DegreeDrop and odd
+  /// epochs use DropEdge. In the no-drop case this copies a cached identity
+  /// list instead of rebuilding it.
+  void SampleKeptEdgesInto(util::Rng* rng, int epoch,
+                           std::vector<int64_t>* kept);
 
-  /// Samples Â_p for one epoch (re-normalized over the pruned graph). With
-  /// kNone or ratio == 0 this is the full Â.
-  sparse::CsrMatrix SampleAdjacency(util::Rng* rng, int epoch) const;
+  /// Convenience wrapper returning a fresh vector (tests / one-shot use;
+  /// the training loop goes through the Into variants).
+  std::vector<int64_t> SampleKeptEdges(util::Rng* rng, int epoch);
+
+  /// Samples Â_p for one epoch into *out (re-normalized over the pruned
+  /// graph), reusing out's CSR storage and the internal workspace: the
+  /// steady-state epoch performs no allocation and no comparison sort.
+  /// With kNone or ratio == 0 this produces the full Â.
+  void SampleAdjacencyInto(util::Rng* rng, int epoch, sparse::CsrMatrix* out);
+
+  /// Convenience wrapper returning a fresh matrix.
+  sparse::CsrMatrix SampleAdjacency(util::Rng* rng, int epoch);
 
   EdgeDropKind kind() const { return kind_; }
   double ratio() const { return ratio_; }
@@ -53,11 +70,20 @@ class EdgeDropout {
   int64_t num_kept() const { return num_kept_; }
 
  private:
+  /// The cached [0, M) identity kept-list (built on first use).
+  const std::vector<int64_t>& IdentityEdges();
+
   const BipartiteGraph* graph_;
   EdgeDropKind kind_;
   double ratio_;
   int64_t num_kept_;
   std::vector<double> degree_weights_;  // Eq. 5 weights, cached
+  std::vector<int64_t> identity_edges_;  // cached no-drop kept list
+  std::vector<int64_t> kept_scratch_;    // per-epoch kept buffer
+  BipartiteGraph::AdjacencyWorkspace workspace_;  // counting-sort scratch
+  // Destination last filled with the (epoch-invariant) full adjacency;
+  // SampleAdjacencyInto skips the rebuild when asked to fill it again.
+  sparse::CsrMatrix* full_adjacency_dst_ = nullptr;
 };
 
 }  // namespace layergcn::graph

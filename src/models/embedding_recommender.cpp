@@ -37,8 +37,10 @@ void EmbeddingRecommender::InitExtraParams(
 
 void EmbeddingRecommender::BeginEpoch(int epoch, util::Rng* rng) {
   if (uses_dropout_) {
-    // Resample Â_p once per epoch (§III-B1).
-    pruned_adjacency_ = edge_dropout_->SampleAdjacency(rng, epoch);
+    // Resample Â_p once per epoch (§III-B1), rebuilding into the existing
+    // CSR storage: steady-state epochs allocate nothing.
+    OBS_SPAN("train.resample_adjacency");
+    edge_dropout_->SampleAdjacencyInto(rng, epoch, &pruned_adjacency_);
   }
 }
 

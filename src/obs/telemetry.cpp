@@ -21,6 +21,7 @@ std::string EpochTelemetryJson(const EpochTelemetry& r) {
   w.Key("neg_sampled").Int(r.neg_sampled);
   w.Key("neg_rejected").Int(r.neg_rejected);
   w.Key("epoch_seconds").Number(r.epoch_seconds);
+  w.Key("graph_seconds").Number(r.graph_seconds);
   w.Key("sampler_seconds").Number(r.sampler_seconds);
   w.Key("forward_seconds").Number(r.forward_seconds);
   w.Key("backward_seconds").Number(r.backward_seconds);

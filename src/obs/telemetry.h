@@ -39,6 +39,7 @@ struct EpochTelemetry {
 
   // Wall-clock breakdown (seconds) this epoch.
   double epoch_seconds = 0.0;
+  double graph_seconds = 0.0;  // per-epoch adjacency resampling
   double sampler_seconds = 0.0;
   double forward_seconds = 0.0;
   double backward_seconds = 0.0;

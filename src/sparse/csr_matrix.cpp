@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/thread_pool.h"
 
 namespace layergcn::sparse {
@@ -48,6 +49,21 @@ CsrMatrix CsrMatrix::FromCoo(const CooMatrix& coo) {
   return out;
 }
 
+void CsrMatrix::Rebuild(
+    int64_t rows, int64_t cols, int64_t nnz,
+    const std::function<void(int64_t* row_ptr, int32_t* col_idx,
+                             float* values)>& fill) {
+  LAYERGCN_CHECK(rows >= 0 && cols >= 0 && nnz >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  row_ptr_.resize(static_cast<size_t>(rows) + 1);
+  col_idx_.resize(static_cast<size_t>(nnz));
+  values_.resize(static_cast<size_t>(nnz));
+  fill(row_ptr_.data(), col_idx_.data(), values_.data());
+  LAYERGCN_CHECK_EQ(row_ptr_.front(), 0);
+  LAYERGCN_CHECK_EQ(row_ptr_.back(), nnz);
+}
+
 float CsrMatrix::At(int64_t r, int64_t c) const {
   LAYERGCN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
   const auto begin = col_idx_.begin() + row_ptr_[r];
@@ -84,7 +100,7 @@ tensor::Matrix CsrMatrix::Multiply(const tensor::Matrix& dense) const {
   // (output rows are disjoint, so there are no write conflicts and the
   // result is independent of the worker count). row_ptr_ is the cumulative
   // nnz, so balanced boundaries come from a lower_bound per range.
-  util::ThreadPool& pool = util::ThreadPool::Global();
+  util::ThreadPool& pool = *util::parallel::ComputePool();
   const int64_t ranges = std::min<int64_t>(pool.num_threads(), rows_);
   if (ranges <= 1 || nnz() * t < 131072) {
     run_rows(0, rows_);

@@ -11,6 +11,7 @@
 #define LAYERGCN_SPARSE_CSR_MATRIX_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -31,7 +32,8 @@ struct CooMatrix {
   std::vector<CooEntry> entries;
 };
 
-/// Compressed-sparse-row matrix (immutable after construction).
+/// Compressed-sparse-row matrix. Immutable through the read API; Rebuild()
+/// reconstructs in place for per-epoch reuse without reallocating.
 class CsrMatrix {
  public:
   /// Empty 0x0 matrix.
@@ -40,6 +42,16 @@ class CsrMatrix {
   /// Builds from COO. Duplicate (row, col) pairs are coalesced by summing
   /// their values. Entries may be in any order.
   static CsrMatrix FromCoo(const CooMatrix& coo);
+
+  /// In-place rebuild for callers that reconstruct the matrix every epoch
+  /// (DegreeDrop adjacency resampling): resizes the three arrays — reusing
+  /// their capacity, so steady-state rebuilds allocate nothing — and hands
+  /// them to `fill`, which must leave a valid CSR: row_ptr[0] == 0,
+  /// non-decreasing, row_ptr[rows] == nnz, and strictly ascending column
+  /// indices within each row.
+  void Rebuild(int64_t rows, int64_t cols, int64_t nnz,
+               const std::function<void(int64_t* row_ptr, int32_t* col_idx,
+                                        float* values)>& fill);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }

@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "util/parallel.h"
 
 namespace layergcn::tensor {
 namespace {
+
+namespace par = layergcn::util::parallel;
 
 void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
   LAYERGCN_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
@@ -14,13 +17,37 @@ void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
       << b.rows() << "x" << b.cols();
 }
 
+// Block size for kernels that iterate over rows: scaled so one block is
+// roughly kDefaultGrain scalar elements regardless of the row width. Fixed
+// for a given shape, so the blocked partition stays worker-count-free.
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, par::kDefaultGrain / std::max<int64_t>(cols, 1));
+}
+
+// Elementwise map over the flat buffer, parallel over fixed blocks. Each
+// output element is written by exactly one block, so the result is
+// bit-exact for any worker count.
 template <typename Fn>
 Matrix Map(const Matrix& a, Fn fn) {
   Matrix out(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+  par::For(a.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] = fn(src[i]);
+  });
+  return out;
+}
+
+// Elementwise zip of two same-shape operands.
+template <typename Fn>
+Matrix Zip(const Matrix& a, const Matrix& b, Fn fn) {
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  par::For(a.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] = fn(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -28,30 +55,30 @@ Matrix Map(const Matrix& a, Fn fn) {
 
 Matrix Add(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "Add");
-  Matrix out(a.rows(), a.cols());
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] + b.data()[i];
-  return out;
+  return Zip(a, b, [](float x, float y) { return x + y; });
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "Sub");
-  Matrix out(a.rows(), a.cols());
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] - b.data()[i];
-  return out;
+  return Zip(a, b, [](float x, float y) { return x - y; });
 }
 
 void AddInPlace(Matrix* dst, const Matrix& src) {
   CheckSameShape(*dst, src, "AddInPlace");
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) dst->data()[i] += src.data()[i];
+  float* d = dst->data();
+  const float* s = src.data();
+  par::For(dst->size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) d[i] += s[i];
+  });
 }
 
 void AxpyInPlace(Matrix* dst, float alpha, const Matrix& src) {
   CheckSameShape(*dst, src, "AxpyInPlace");
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) dst->data()[i] += alpha * src.data()[i];
+  float* d = dst->data();
+  const float* s = src.data();
+  par::For(dst->size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) d[i] += alpha * s[i];
+  });
 }
 
 Matrix Scale(const Matrix& a, float alpha) {
@@ -59,22 +86,24 @@ Matrix Scale(const Matrix& a, float alpha) {
 }
 
 void ScaleInPlace(Matrix* dst, float alpha) {
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) dst->data()[i] *= alpha;
+  float* d = dst->data();
+  par::For(dst->size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) d[i] *= alpha;
+  });
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "Hadamard");
-  Matrix out(a.rows(), a.cols());
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
-  return out;
+  return Zip(a, b, [](float x, float y) { return x * y; });
 }
 
 void HadamardInPlace(Matrix* dst, const Matrix& src) {
   CheckSameShape(*dst, src, "HadamardInPlace");
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) dst->data()[i] *= src.data()[i];
+  float* d = dst->data();
+  const float* s = src.data();
+  par::For(dst->size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) d[i] *= s[i];
+  });
 }
 
 Matrix AddScalar(const Matrix& a, float c) {
@@ -100,11 +129,17 @@ Matrix Transpose(const Matrix& a) {
 
 Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& rows) {
   Matrix out(static_cast<int64_t>(rows.size()), a.cols());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const int64_t r = rows[i];
-    LAYERGCN_CHECK(r >= 0 && r < a.rows()) << "GatherRows: row " << r;
-    std::copy(a.row(r), a.row(r) + a.cols(), out.row(static_cast<int64_t>(i)));
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      static_cast<int64_t>(rows.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t r = rows[static_cast<size_t>(i)];
+          LAYERGCN_CHECK(r >= 0 && r < a.rows()) << "GatherRows: row " << r;
+          std::copy(a.row(r), a.row(r) + cols, out.row(i));
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
@@ -112,94 +147,157 @@ void ScatterAddRows(Matrix* dst, const std::vector<int32_t>& rows,
                     const Matrix& src) {
   LAYERGCN_CHECK_EQ(static_cast<int64_t>(rows.size()), src.rows());
   LAYERGCN_CHECK_EQ(dst->cols(), src.cols());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const int64_t r = rows[i];
+  const int64_t cols = src.cols();
+  for (int32_t r : rows) {
     LAYERGCN_CHECK(r >= 0 && r < dst->rows()) << "ScatterAddRows: row " << r;
-    float* d = dst->row(r);
-    const float* s = src.row(static_cast<int64_t>(i));
-    for (int64_t c = 0; c < src.cols(); ++c) d[c] += s[c];
   }
+  auto apply_range = [&](int64_t row_lo, int64_t row_hi) {
+    // Only entries landing in [row_lo, row_hi) are applied; per destination
+    // row the accumulation therefore runs in ascending index order — the
+    // same order as the serial loop — for any sharding.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const int64_t r = rows[i];
+      if (r < row_lo || r >= row_hi) continue;
+      float* d = dst->row(r);
+      const float* s = src.row(static_cast<int64_t>(i));
+      for (int64_t c = 0; c < cols; ++c) d[c] += s[c];
+    }
+  };
+
+  // Row-sharded scatter: destination rows are split into one contiguous
+  // shard per worker, so duplicate indices never race, no atomics are
+  // needed, and the float accumulation order per row is fixed. Shard
+  // boundaries affect scheduling only, never results, so they may depend on
+  // the pool width. Each shard rescans the index list (O(shards x batch)
+  // int compares), which is noise next to the row payload traffic.
+  util::ThreadPool* pool = par::ComputePool();
+  const int64_t shards = std::min<int64_t>(pool->num_threads(), dst->rows());
+  if (shards <= 1 || util::InPoolWorker() ||
+      src.size() < par::kDefaultGrain) {
+    apply_range(0, dst->rows());
+    return;
+  }
+  const int64_t span = (dst->rows() + shards - 1) / shards;
+  util::ParallelFor(pool, 0, shards, [&](int64_t s) {
+    apply_range(s * span, std::min<int64_t>(dst->rows(), (s + 1) * span));
+  });
 }
 
 Matrix ScaleRows(const Matrix& x, const Matrix& s) {
   LAYERGCN_CHECK(s.rows() == x.rows() && s.cols() == 1)
       << "ScaleRows: scale must be Nx1";
   Matrix out(x.rows(), x.cols());
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float f = s(r, 0);
-    const float* src = x.row(r);
-    float* dst = out.row(r);
-    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = f * src[c];
-  }
+  const int64_t cols = x.cols();
+  par::For(
+      x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float f = s(r, 0);
+          const float* src = x.row(r);
+          float* dst = out.row(r);
+          for (int64_t c = 0; c < cols; ++c) dst[c] = f * src[c];
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix RowDots(const Matrix& a, const Matrix& b) {
   CheckSameShape(a, b, "RowDots");
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* pa = a.row(r);
-    const float* pb = b.row(r);
-    double acc = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) acc += pa[c] * pb[c];
-    out(r, 0) = static_cast<float>(acc);
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* pa = a.row(r);
+          const float* pb = b.row(r);
+          double acc = 0.0;
+          for (int64_t c = 0; c < cols; ++c) acc += pa[c] * pb[c];
+          out(r, 0) = static_cast<float>(acc);
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix RowL2Norms(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* p = a.row(r);
-    double acc = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) acc += p[c] * p[c];
-    out(r, 0) = static_cast<float>(std::sqrt(acc));
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* p = a.row(r);
+          double acc = 0.0;
+          for (int64_t c = 0; c < cols; ++c) acc += p[c] * p[c];
+          out(r, 0) = static_cast<float>(std::sqrt(acc));
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix RowwiseCosine(const Matrix& a, const Matrix& b, float eps) {
   CheckSameShape(a, b, "RowwiseCosine");
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* pa = a.row(r);
-    const float* pb = b.row(r);
-    double dot = 0.0, na = 0.0, nb = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      dot += pa[c] * pb[c];
-      na += pa[c] * pa[c];
-      nb += pb[c] * pb[c];
-    }
-    const double denom =
-        std::max(std::sqrt(na) * std::sqrt(nb), static_cast<double>(eps));
-    out(r, 0) = static_cast<float>(dot / denom);
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* pa = a.row(r);
+          const float* pb = b.row(r);
+          double dot = 0.0, na = 0.0, nb = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            dot += pa[c] * pb[c];
+            na += pa[c] * pa[c];
+            nb += pb[c] * pb[c];
+          }
+          const double denom =
+              std::max(std::sqrt(na) * std::sqrt(nb),
+                       static_cast<double>(eps));
+          out(r, 0) = static_cast<float>(dot / denom);
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix NormalizeRowsL2(const Matrix& x, float eps) {
   Matrix out(x.rows(), x.cols());
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* src = x.row(r);
-    double acc = 0.0;
-    for (int64_t c = 0; c < x.cols(); ++c) acc += src[c] * src[c];
-    const float inv =
-        static_cast<float>(1.0 / std::max(std::sqrt(acc),
-                                          static_cast<double>(eps)));
-    float* dst = out.row(r);
-    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = src[c] * inv;
-  }
+  const int64_t cols = x.cols();
+  par::For(
+      x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = x.row(r);
+          double acc = 0.0;
+          for (int64_t c = 0; c < cols; ++c) acc += src[c] * src[c];
+          const float inv = static_cast<float>(
+              1.0 / std::max(std::sqrt(acc), static_cast<double>(eps)));
+          float* dst = out.row(r);
+          for (int64_t c = 0; c < cols; ++c) dst[c] = src[c] * inv;
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix RowSums(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* p = a.row(r);
-    double acc = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) acc += p[c];
-    out(r, 0) = static_cast<float>(acc);
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* p = a.row(r);
+          double acc = 0.0;
+          for (int64_t c = 0; c < cols; ++c) acc += p[c];
+          out(r, 0) = static_cast<float>(acc);
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
@@ -220,12 +318,18 @@ Matrix AddRowVector(const Matrix& x, const Matrix& b) {
   LAYERGCN_CHECK(b.rows() == 1 && b.cols() == x.cols())
       << "AddRowVector: bias must be 1x" << x.cols();
   Matrix out(x.rows(), x.cols());
+  const int64_t cols = x.cols();
   const float* bias = b.data();
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* src = x.row(r);
-    float* dst = out.row(r);
-    for (int64_t c = 0; c < x.cols(); ++c) dst[c] = src[c] + bias[c];
-  }
+  par::For(
+      x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = x.row(r);
+          float* dst = out.row(r);
+          for (int64_t c = 0; c < cols; ++c) dst[c] = src[c] + bias[c];
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
@@ -282,51 +386,67 @@ Matrix Negate(const Matrix& a) {
 
 Matrix SoftmaxRows(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.row(r);
-    float* dst = out.row(r);
-    float mx = src[0];
-    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      dst[c] = std::exp(src[c] - mx);
-      sum += dst[c];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < a.cols(); ++c) dst[c] *= inv;
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = a.row(r);
+          float* dst = out.row(r);
+          float mx = src[0];
+          for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
+          double sum = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            dst[c] = std::exp(src[c] - mx);
+            sum += dst[c];
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.row(r);
-    float* dst = out.row(r);
-    float mx = src[0];
-    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) sum += std::exp(src[c] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = src[c] - lse;
-  }
+  const int64_t cols = a.cols();
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = a.row(r);
+          float* dst = out.row(r);
+          float mx = src[0];
+          for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
+          double sum = 0.0;
+          for (int64_t c = 0; c < cols; ++c) sum += std::exp(src[c] - mx);
+          const float lse = mx + static_cast<float>(std::log(sum));
+          for (int64_t c = 0; c < cols; ++c) dst[c] = src[c] - lse;
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
 double SumAll(const Matrix& a) {
-  double acc = 0.0;
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) acc += a.data()[i];
-  return acc;
+  const float* p = a.data();
+  return util::parallel::Reduce(a.size(), [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += p[i];
+    return acc;
+  });
 }
 
 double SumSquares(const Matrix& a) {
-  double acc = 0.0;
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(a.data()[i]) * a.data()[i];
-  }
-  return acc;
+  const float* p = a.data();
+  return util::parallel::Reduce(a.size(), [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      acc += static_cast<double>(p[i]) * p[i];
+    }
+    return acc;
+  });
 }
 
 double MeanAll(const Matrix& a) {
@@ -350,14 +470,19 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
     cols += p->cols();
   }
   Matrix out(rows, cols);
-  for (int64_t r = 0; r < rows; ++r) {
-    float* dst = out.row(r);
-    for (const Matrix* p : parts) {
-      const float* src = p->row(r);
-      std::copy(src, src + p->cols(), dst);
-      dst += p->cols();
-    }
-  }
+  par::For(
+      rows,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          float* dst = out.row(r);
+          for (const Matrix* p : parts) {
+            const float* src = p->row(r);
+            std::copy(src, src + p->cols(), dst);
+            dst += p->cols();
+          }
+        }
+      },
+      RowGrain(cols));
   return out;
 }
 
@@ -365,10 +490,16 @@ Matrix SliceCols(const Matrix& a, int64_t begin, int64_t end) {
   LAYERGCN_CHECK(begin >= 0 && begin <= end && end <= a.cols())
       << "SliceCols: bad range [" << begin << "," << end << ")";
   Matrix out(a.rows(), end - begin);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.row(r) + begin;
-    std::copy(src, src + (end - begin), out.row(r));
-  }
+  const int64_t width = end - begin;
+  par::For(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* src = a.row(r) + begin;
+          std::copy(src, src + width, out.row(r));
+        }
+      },
+      RowGrain(width));
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace layergcn::train {
 
@@ -18,24 +19,13 @@ void Adam::Step(const std::vector<Parameter*>& params) {
   const double lr = config_.learning_rate;
   const double eps = config_.epsilon;
 
-  // Global gradient L2 norm across all parameters, published as a gauge
-  // before the update consumes (and zeroes) the gradients. The extra pass
-  // is skipped entirely when metrics are off.
-  if (obs::Enabled()) {
-    double sq = 0.0;
-    for (const Parameter* p : params) {
-      if (p == nullptr) continue;
-      const float* grad = p->grad.data();
-      const int64_t n = p->grad.size();
-      for (int64_t i = 0; i < n; ++i) {
-        sq += static_cast<double>(grad[i]) * grad[i];
-      }
-    }
-    OBS_GAUGE("adam.grad_norm", std::sqrt(sq));
-    OBS_GAUGE("adam.lr", lr);
-    OBS_COUNT("adam.steps", 1);
-  }
-
+  // One fused pass per parameter: the update, the gradient zeroing, and the
+  // squared-grad-norm partial all happen in the same blocked sweep (the
+  // norm used to be a second full scan over every gradient when metrics
+  // were on). Blocks are fixed-size and partials combine in block order
+  // (util::parallel), so both the updated values and the published norm are
+  // bit-identical at any thread count.
+  double grad_sq = 0.0;
   for (Parameter* p : params) {
     LAYERGCN_CHECK(p != nullptr);
     const int64_t n = p->value.size();
@@ -43,17 +33,27 @@ void Adam::Step(const std::vector<Parameter*>& params) {
     float* grad = p->grad.data();
     float* m = p->adam_m.data();
     float* v = p->adam_v.data();
-    for (int64_t i = 0; i < n; ++i) {
-      const double g = grad[i];
-      const double mi = b1 * m[i] + (1.0 - b1) * g;
-      const double vi = b2 * v[i] + (1.0 - b2) * g * g;
-      m[i] = static_cast<float>(mi);
-      v[i] = static_cast<float>(vi);
-      const double m_hat = mi / bias1;
-      const double v_hat = vi / bias2;
-      value[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
-    }
-    p->grad.Zero();
+    grad_sq += util::parallel::Reduce(n, [&](int64_t lo, int64_t hi) {
+      double sq = 0.0;
+      for (int64_t i = lo; i < hi; ++i) {
+        const double g = grad[i];
+        sq += g * g;
+        const double mi = b1 * m[i] + (1.0 - b1) * g;
+        const double vi = b2 * v[i] + (1.0 - b2) * g * g;
+        m[i] = static_cast<float>(mi);
+        v[i] = static_cast<float>(vi);
+        const double m_hat = mi / bias1;
+        const double v_hat = vi / bias2;
+        value[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+        grad[i] = 0.f;
+      }
+      return sq;
+    });
+  }
+  if (obs::Enabled()) {
+    OBS_GAUGE("adam.grad_norm", std::sqrt(grad_sq));
+    OBS_GAUGE("adam.lr", lr);
+    OBS_COUNT("adam.steps", 1);
   }
 }
 

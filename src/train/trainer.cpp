@@ -162,6 +162,8 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
       record.neg_rejected = static_cast<int64_t>(
           now.CounterDelta(epoch_start, "bpr.neg_rejected"));
       record.epoch_seconds = epoch_seconds;
+      record.graph_seconds =
+          SpanDeltaSeconds(now, epoch_start, "train.resample_adjacency");
       record.sampler_seconds =
           SpanDeltaSeconds(now, epoch_start, "train.sampler");
       record.forward_seconds =

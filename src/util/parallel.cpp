@@ -1,0 +1,107 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace layergcn::util {
+namespace parallel {
+namespace {
+
+// Process-global override installed by ScopedComputePool. Plain atomic:
+// installs happen on the orchestration thread, reads from kernel call sites.
+std::atomic<ThreadPool*> g_override{nullptr};
+
+// One dispatch: `workers` tasks drain the block list through a shared
+// cursor. Returns after every block has completed.
+void RunBlocks(ThreadPool* pool, int64_t blocks, int64_t grain, int64_t n,
+               int workers,
+               const std::function<void(int64_t, int64_t, int64_t)>& run) {
+  std::atomic<int64_t> cursor{0};  // outlives the tasks: Wait() is below
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([&cursor, blocks, grain, n, &run] {
+      for (;;) {
+        const int64_t b = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) return;
+        const int64_t lo = b * grain;
+        const int64_t hi = std::min(n, lo + grain);
+        run(b, lo, hi);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace
+
+int64_t NumBlocks(int64_t n, int64_t grain) {
+  if (n <= 0) return 0;
+  LAYERGCN_CHECK_GT(grain, 0);
+  return (n + grain - 1) / grain;
+}
+
+ThreadPool* ComputePool() {
+  ThreadPool* p = g_override.load(std::memory_order_acquire);
+  return p != nullptr ? p : &ThreadPool::Global();
+}
+
+ScopedComputePool::ScopedComputePool(ThreadPool* pool)
+    : previous_(g_override.exchange(pool, std::memory_order_acq_rel)) {}
+
+ScopedComputePool::~ScopedComputePool() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+void For(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+         int64_t grain) {
+  const int64_t blocks = NumBlocks(n, grain);
+  if (blocks == 0) return;
+  ThreadPool* pool = ComputePool();
+  const int workers =
+      static_cast<int>(std::min<int64_t>(pool->num_threads(), blocks));
+  if (blocks <= 1 || workers <= 1 || InPoolWorker()) {
+    for (int64_t b = 0; b < blocks; ++b) {
+      body(b * grain, std::min(n, b * grain + grain));
+    }
+    return;
+  }
+  OBS_COUNT("parallel.for_dispatches", 1);
+  OBS_COUNT("parallel.for_blocks", blocks);
+  RunBlocks(pool, blocks, grain, n, workers,
+            [&body](int64_t /*b*/, int64_t lo, int64_t hi) { body(lo, hi); });
+}
+
+double Reduce(int64_t n,
+              const std::function<double(int64_t, int64_t)>& block,
+              int64_t grain) {
+  const int64_t blocks = NumBlocks(n, grain);
+  if (blocks == 0) return 0.0;
+  ThreadPool* pool = ComputePool();
+  const int workers =
+      static_cast<int>(std::min<int64_t>(pool->num_threads(), blocks));
+  if (blocks <= 1 || workers <= 1 || InPoolWorker()) {
+    // Same blocked accumulation and left-to-right combine as the parallel
+    // path, so serial results are bitwise identical.
+    double acc = 0.0;
+    for (int64_t b = 0; b < blocks; ++b) {
+      acc += block(b * grain, std::min(n, b * grain + grain));
+    }
+    return acc;
+  }
+  OBS_COUNT("parallel.reduce_dispatches", 1);
+  OBS_COUNT("parallel.reduce_blocks", blocks);
+  std::vector<double> partials(static_cast<size_t>(blocks), 0.0);
+  RunBlocks(pool, blocks, grain, n, workers,
+            [&block, &partials](int64_t b, int64_t lo, int64_t hi) {
+              partials[static_cast<size_t>(b)] = block(lo, hi);
+            });
+  double acc = 0.0;
+  for (double p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace parallel
+}  // namespace layergcn::util

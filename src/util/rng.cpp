@@ -99,9 +99,18 @@ Rng Rng::Fork() { return Rng(NextU64()); }
 
 std::vector<int64_t> WeightedSampleWithoutReplacement(
     const std::vector<double>& weights, int64_t k, Rng* rng) {
+  std::vector<int64_t> out;
+  WeightedSampleWithoutReplacementInto(weights, k, rng, &out);
+  return out;
+}
+
+void WeightedSampleWithoutReplacementInto(const std::vector<double>& weights,
+                                          int64_t k, Rng* rng,
+                                          std::vector<int64_t>* out) {
   const int64_t n = static_cast<int64_t>(weights.size());
   assert(k >= 0 && k <= n);
-  if (k == 0) return {};
+  out->clear();
+  if (k == 0) return;
 
   // Efraimidis-Spirakis: key_i = u_i^(1/w_i); keep the k largest keys. We use
   // log(u)/w which preserves the order and avoids pow() underflow. Items with
@@ -127,23 +136,31 @@ std::vector<int64_t> WeightedSampleWithoutReplacement(
       heap.emplace(key, i);
     }
   }
-  std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(k));
+  out->reserve(static_cast<size_t>(k));
   while (!heap.empty()) {
-    out.push_back(heap.top().second);
+    out->push_back(heap.top().second);
     heap.pop();
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int64_t> UniformSampleWithoutReplacement(int64_t n, int64_t k,
                                                      Rng* rng) {
+  std::vector<int64_t> out;
+  UniformSampleWithoutReplacementInto(n, k, rng, &out);
+  return out;
+}
+
+void UniformSampleWithoutReplacementInto(int64_t n, int64_t k, Rng* rng,
+                                         std::vector<int64_t>* out) {
   assert(k >= 0 && k <= n);
-  if (k == 0) return {};
+  out->clear();
+  if (k == 0) return;
   if (k * 3 >= n) {
-    // Dense case: partial Fisher-Yates over an explicit index array.
-    std::vector<int64_t> idx(static_cast<size_t>(n));
+    // Dense case: partial Fisher-Yates, using *out itself as the index
+    // array so repeat calls reuse its capacity.
+    std::vector<int64_t>& idx = *out;
+    idx.resize(static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
     for (int64_t i = 0; i < k; ++i) {
       int64_t j = i + static_cast<int64_t>(
@@ -152,17 +169,15 @@ std::vector<int64_t> UniformSampleWithoutReplacement(int64_t n, int64_t k,
     }
     idx.resize(static_cast<size_t>(k));
     std::sort(idx.begin(), idx.end());
-    return idx;
+    return;
   }
   // Sparse case: rejection sampling into a sorted vector.
-  std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(k));
-  while (static_cast<int64_t>(out.size()) < k) {
+  out->reserve(static_cast<size_t>(k));
+  while (static_cast<int64_t>(out->size()) < k) {
     int64_t c = static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(n)));
-    auto it = std::lower_bound(out.begin(), out.end(), c);
-    if (it == out.end() || *it != c) out.insert(it, c);
+    auto it = std::lower_bound(out->begin(), out->end(), c);
+    if (it == out->end() || *it != c) out->insert(it, c);
   }
-  return out;
 }
 
 }  // namespace layergcn::util

@@ -81,10 +81,24 @@ class Rng {
 std::vector<int64_t> WeightedSampleWithoutReplacement(
     const std::vector<double>& weights, int64_t k, Rng* rng);
 
+/// As WeightedSampleWithoutReplacement, but writes the sorted sample into
+/// *out, reusing its capacity. Draws the identical random stream and
+/// produces the identical sample as the returning variant.
+void WeightedSampleWithoutReplacementInto(const std::vector<double>& weights,
+                                          int64_t k, Rng* rng,
+                                          std::vector<int64_t>* out);
+
 /// Samples `k` distinct indices uniformly from [0, n) without replacement
 /// (partial Fisher-Yates). Requires 0 <= k <= n.
 std::vector<int64_t> UniformSampleWithoutReplacement(int64_t n, int64_t k,
                                                      Rng* rng);
+
+/// As UniformSampleWithoutReplacement, but writes the sorted sample into
+/// *out, reusing its capacity (the dense path uses *out itself as the
+/// Fisher-Yates index array). Identical stream and sample as the returning
+/// variant.
+void UniformSampleWithoutReplacementInto(int64_t n, int64_t k, Rng* rng,
+                                         std::vector<int64_t>* out);
 
 }  // namespace layergcn::util
 

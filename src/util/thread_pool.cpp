@@ -1,10 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace layergcn::util {
 namespace {
@@ -85,9 +87,25 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // LAYERGCN_NUM_THREADS overrides the hardware sizing (results are
+    // bit-identical either way; the knob only trades wall-clock).
+    const char* env = std::getenv("LAYERGCN_NUM_THREADS");
+    if (env != nullptr) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+        return static_cast<int>(v);
+      }
+      LAYERGCN_LOG(kWarning) << "ignoring invalid LAYERGCN_NUM_THREADS='"
+                             << env << "'";
+    }
+    return 0;  // ThreadPool default: hardware concurrency, floored at 2
+  }());
   return pool;
 }
+
+bool InPoolWorker() { return t_in_pool_worker; }
 
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body) {
@@ -113,7 +131,7 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
 
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body) {
-  ParallelFor(&ThreadPool::Global(), begin, end, body);
+  ParallelFor(parallel::ComputePool(), begin, end, body);
 }
 
 void ParallelForRanges(ThreadPool* pool, int64_t begin, int64_t end,
@@ -138,7 +156,7 @@ void ParallelForRanges(ThreadPool* pool, int64_t begin, int64_t end,
 
 void ParallelForRanges(int64_t begin, int64_t end,
                        const std::function<void(int64_t, int64_t)>& body) {
-  ParallelForRanges(&ThreadPool::Global(), begin, end, body);
+  ParallelForRanges(parallel::ComputePool(), begin, end, body);
 }
 
 }  // namespace layergcn::util

@@ -39,7 +39,8 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Process-wide shared pool, sized to the hardware concurrency.
+  /// Process-wide shared pool. Sized by the LAYERGCN_NUM_THREADS
+  /// environment variable when set (>= 1), else the hardware concurrency.
   static ThreadPool& Global();
 
  private:
@@ -77,6 +78,11 @@ void ParallelForRanges(ThreadPool* pool, int64_t begin, int64_t end,
 /// ParallelForRanges on the global pool.
 void ParallelForRanges(int64_t begin, int64_t end,
                        const std::function<void(int64_t, int64_t)>& body);
+
+/// True on threads that live inside any ThreadPool. Parallel primitives
+/// check it to run nested calls inline (a worker waiting on its own pool
+/// would deadlock).
+bool InPoolWorker();
 
 }  // namespace layergcn::util
 

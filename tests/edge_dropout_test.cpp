@@ -162,5 +162,42 @@ TEST(EdgeDropoutTest, ResamplingDiffersAcrossEpochs) {
   EXPECT_NE(a, b);  // overwhelmingly likely
 }
 
+TEST(EdgeDropoutTest, IntoVariantsMatchReturningVariants) {
+  BipartiteGraph g = HubGraph();
+  for (EdgeDropKind kind : {EdgeDropKind::kNone, EdgeDropKind::kDropEdge,
+                            EdgeDropKind::kDegreeDrop, EdgeDropKind::kMixed}) {
+    EdgeDropout a(&g, kind, kind == EdgeDropKind::kNone ? 0.0 : 0.4);
+    EdgeDropout b(&g, kind, kind == EdgeDropKind::kNone ? 0.0 : 0.4);
+    util::Rng ra(5), rb(5);
+    std::vector<int64_t> kept;
+    sparse::CsrMatrix adj;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      // Identical RNG streams must give identical samples...
+      a.SampleKeptEdgesInto(&ra, epoch, &kept);
+      EXPECT_EQ(kept, b.SampleKeptEdges(&rb, epoch)) << ToString(kind);
+      // ...and identical (bit-exact) adjacencies, with `adj` reused across
+      // epochs on the Into side.
+      util::Rng ra2(100 + epoch), rb2(100 + epoch);
+      a.SampleAdjacencyInto(&ra2, epoch, &adj);
+      const sparse::CsrMatrix fresh = b.SampleAdjacency(&rb2, epoch);
+      EXPECT_EQ(adj.row_ptr(), fresh.row_ptr()) << ToString(kind);
+      EXPECT_EQ(adj.col_idx(), fresh.col_idx()) << ToString(kind);
+      EXPECT_EQ(adj.values(), fresh.values()) << ToString(kind);
+    }
+  }
+}
+
+TEST(EdgeDropoutTest, NoDropSamplingDoesNotDrawFromTheRng) {
+  BipartiteGraph g = HubGraph();
+  EdgeDropout drop(&g, EdgeDropKind::kNone, 0.0);
+  util::Rng rng(3), untouched(3);
+  std::vector<int64_t> kept;
+  drop.SampleKeptEdgesInto(&rng, 0, &kept);
+  drop.SampleKeptEdgesInto(&rng, 1, &kept);
+  EXPECT_EQ(static_cast<int64_t>(kept.size()), g.num_edges());
+  // The cached-identity path must leave the stream untouched.
+  EXPECT_EQ(rng.NextU64(), untouched.NextU64());
+}
+
 }  // namespace
 }  // namespace layergcn::graph

@@ -118,5 +118,71 @@ TEST(BipartiteGraphDeathTest, OutOfRangeIdsAbort) {
   EXPECT_DEATH(BipartiteGraph(2, 2, {{0, 5}}), "item id");
 }
 
+// Larger random-ish graph for the counting-sort equivalence checks.
+BipartiteGraph MediumGraph() {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t u = 0; u < 40; ++u) {
+    for (int32_t i = 0; i < 30; ++i) {
+      if ((u * 31 + i * 17) % 7 == 0) edges.emplace_back(u, i);
+    }
+  }
+  return BipartiteGraph(40, 30, edges);
+}
+
+void ExpectBitIdentical(const sparse::CsrMatrix& a,
+                        const sparse::CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());  // exact float equality, no tolerance
+}
+
+TEST(BipartiteGraphTest, SubsetIntoMatchesCooBaselineBitExactly) {
+  BipartiteGraph g = MediumGraph();
+  // Every third edge kept (ascending, as the samplers guarantee).
+  std::vector<int64_t> kept;
+  for (int64_t k = 0; k < g.num_edges(); k += 3) kept.push_back(k);
+
+  BipartiteGraph::AdjacencyWorkspace ws;
+  sparse::CsrMatrix fast;
+  g.NormalizedAdjacencySubsetInto(kept, &ws, &fast);
+  ExpectBitIdentical(fast, g.NormalizedAdjacencySubset(kept));
+}
+
+TEST(BipartiteGraphTest, SubsetIntoFullIdentityMatchesNormalizedAdjacency) {
+  BipartiteGraph g = MediumGraph();
+  std::vector<int64_t> all(static_cast<size_t>(g.num_edges()));
+  for (int64_t k = 0; k < g.num_edges(); ++k) all[static_cast<size_t>(k)] = k;
+
+  BipartiteGraph::AdjacencyWorkspace ws;
+  sparse::CsrMatrix fast;
+  g.NormalizedAdjacencySubsetInto(all, &ws, &fast);
+  ExpectBitIdentical(fast, g.NormalizedAdjacency());
+}
+
+TEST(BipartiteGraphTest, SubsetIntoReusesStorageAcrossRebuilds) {
+  BipartiteGraph g = MediumGraph();
+  BipartiteGraph::AdjacencyWorkspace ws;
+  sparse::CsrMatrix m;
+  std::vector<int64_t> kept;
+  for (int64_t k = 0; k < g.num_edges(); k += 2) kept.push_back(k);
+  g.NormalizedAdjacencySubsetInto(kept, &ws, &m);
+  const float* data_before = m.values().data();
+
+  // A second rebuild with no more edges than the first must not reallocate.
+  std::vector<int64_t> fewer(kept.begin(), kept.begin() + kept.size() / 2);
+  g.NormalizedAdjacencySubsetInto(fewer, &ws, &m);
+  EXPECT_EQ(m.values().data(), data_before);
+  ExpectBitIdentical(m, g.NormalizedAdjacencySubset(fewer));
+}
+
+TEST(BipartiteGraphDeathTest, SubsetIntoRejectsUnsortedKeptList) {
+  BipartiteGraph g = SmallGraph();
+  BipartiteGraph::AdjacencyWorkspace ws;
+  sparse::CsrMatrix m;
+  EXPECT_DEATH(g.NormalizedAdjacencySubsetInto({2, 1}, &ws, &m), "ascending");
+}
+
 }  // namespace
 }  // namespace layergcn::graph

@@ -8,6 +8,11 @@
 #                       thread-pool partitioning). LAYERGCN_OBS defaults ON,
 #                       so the sanitizers also cover the sharded metrics and
 #                       trace-buffer paths.
+#   3. TSan           — the training hot path (Adam, autograd backward,
+#                       scatter-add, SpMM/GEMM) runs on the shared pool via
+#                       the deterministic parallel layer; ThreadSanitizer
+#                       gates every test, including the trainer determinism
+#                       test, against data races in that layer.
 #
 # After the release tests, the `obs` stage trains a small synthetic run
 # through layergcn_cli with all three observability sinks (--trace-out,
@@ -53,5 +58,10 @@ run_obs_stage() {
 run_obs_stage
 
 run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
+
+# LAYERGCN_SANITIZE=thread exercises the parallel layer under TSan with a
+# pool wide enough to interleave even on small CI machines.
+LAYERGCN_NUM_THREADS=4 \
+  run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=thread
 
 echo "=== all checks passed ==="

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,9 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "train/checkpoint.h"
+#include "util/parallel.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 using namespace layergcn;
 
@@ -50,6 +53,7 @@ struct Flags {
   std::string load_path;   // checkpoint to restore instead of training
   int topk = 10;
   bool verbose = false;
+  int threads = 0;  // 0 = hardware concurrency / LAYERGCN_NUM_THREADS
 
   std::string trace_out;      // Chrome trace-event JSON
   std::string metrics_out;    // metrics snapshot JSON
@@ -77,6 +81,9 @@ void PrintUsage(const char* argv0) {
       "  --save=PATH        write a parameter checkpoint after training\n"
       "  --load=PATH        restore a checkpoint and skip training\n"
       "  --verbose          per-epoch logging\n"
+      "  --threads=N        compute threads (default: LAYERGCN_NUM_THREADS\n"
+      "                     env var, else hardware concurrency); results are\n"
+      "                     bit-identical for every N\n"
       "observability:\n"
       "  --trace-out=PATH     Chrome trace-event JSON (chrome://tracing)\n"
       "  --metrics-out=PATH   final metrics snapshot JSON\n"
@@ -145,6 +152,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       ok = as_int(&flags->topk);
     } else if (key == "--verbose") {
       flags->verbose = true;
+    } else if (key == "--threads") {
+      ok = as_int(&flags->threads) && flags->threads >= 0;
     } else if (key == "--trace-out") {
       flags->trace_out = value;
     } else if (key == "--metrics-out") {
@@ -176,6 +185,17 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) {
     PrintUsage(argv[0]);
     return 1;
+  }
+
+  // Optional fixed-width compute pool. The deterministic parallel layer
+  // guarantees bit-identical results for every width, so --threads is purely
+  // a performance knob.
+  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<util::parallel::ScopedComputePool> pool_scope;
+  if (flags.threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(flags.threads);
+    pool_scope =
+        std::make_unique<util::parallel::ScopedComputePool>(pool.get());
   }
 
   // Observability sinks: metrics are on whenever any sink is requested,
