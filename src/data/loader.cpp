@@ -3,18 +3,59 @@
 #include <algorithm>
 #include <fstream>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace layergcn::data {
 
-std::vector<Interaction> LoadInteractions(const std::string& path,
-                                          const LoaderOptions& options,
-                                          int32_t* num_users,
-                                          int32_t* num_items) {
+namespace {
+
+// Line numbers listed in the skipped-rows warning / error message.
+constexpr size_t kMaxReportedLines = 10;
+
+std::string FormatLineNumbers(const std::vector<int64_t>& lines,
+                              int64_t total) {
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += util::StrFormat("%lld", static_cast<long long>(lines[i]));
+  }
+  if (total > static_cast<int64_t>(lines.size())) out += ", ...";
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<Interaction>> LoadInteractionsOr(
+    const std::string& path, const LoaderOptions& options,
+    int32_t* num_users, int32_t* num_items, LoadStats* stats) {
   std::ifstream in(path);
-  LAYERGCN_CHECK(in.good()) << "cannot open " << path;
+  if (!in.good()) {
+    return util::NotFoundError(util::StrFormat("cannot open %s",
+                                               path.c_str()));
+  }
+  LoadStats local_stats;
+  LoadStats* st = stats != nullptr ? stats : &local_stats;
+  *st = LoadStats{};
+
+  // Records one malformed row; non-OK once the tolerance budget is spent.
+  const auto malformed = [&](int64_t line_no,
+                             const std::string& why) -> util::Status {
+    ++st->rows_malformed;
+    if (st->malformed_lines.size() < kMaxReportedLines) {
+      st->malformed_lines.push_back(line_no);
+    }
+    if (st->rows_malformed > options.max_malformed) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "%s: %lld malformed row(s) exceed max_malformed=%lld; last: %s",
+          path.c_str(), static_cast<long long>(st->rows_malformed),
+          static_cast<long long>(options.max_malformed), why.c_str()));
+    }
+    return util::OkStatus();
+  };
+
   std::unordered_map<std::string, int32_t> umap, imap;
   std::vector<Interaction> out;
   std::string line;
@@ -25,32 +66,62 @@ std::vector<Interaction> LoadInteractions(const std::string& path,
     ++line_no;
     if (line_no <= options.skip_lines) continue;
     if (util::Trim(line).empty()) continue;
+    ++st->rows_total;
     const std::vector<std::string> fields =
         util::Split(line, options.delimiter);
-    LAYERGCN_CHECK_GT(static_cast<int>(fields.size()), needed)
-        << path << ":" << line_no << ": expected at least " << needed + 1
-        << " fields";
+    if (static_cast<int>(fields.size()) <= needed) {
+      LAYERGCN_RETURN_IF_ERROR(malformed(
+          line_no,
+          util::StrFormat("%s:%lld: expected at least %d fields",
+                          path.c_str(), static_cast<long long>(line_no),
+                          needed + 1)));
+      continue;
+    }
+    int64_t ts = line_no;  // fall back to row order
+    if (options.timestamp_column >= 0) {
+      double ts_value = 0.0;
+      if (!util::ParseDouble(
+              fields[static_cast<size_t>(options.timestamp_column)],
+              &ts_value)) {
+        LAYERGCN_RETURN_IF_ERROR(malformed(
+            line_no,
+            util::StrFormat("%s:%lld: bad timestamp", path.c_str(),
+                            static_cast<long long>(line_no))));
+        continue;
+      }
+      ts = static_cast<int64_t>(ts_value);
+    }
     const std::string user(util::Trim(fields[static_cast<size_t>(
         options.user_column)]));
     const std::string item(util::Trim(fields[static_cast<size_t>(
         options.item_column)]));
-    int64_t ts = line_no;  // fall back to row order
-    if (options.timestamp_column >= 0) {
-      double ts_value = 0.0;
-      LAYERGCN_CHECK(util::ParseDouble(
-          fields[static_cast<size_t>(options.timestamp_column)], &ts_value))
-          << path << ":" << line_no << ": bad timestamp";
-      ts = static_cast<int64_t>(ts_value);
-    }
     const auto [uit, _u] =
         umap.try_emplace(user, static_cast<int32_t>(umap.size()));
     const auto [iit, _i] =
         imap.try_emplace(item, static_cast<int32_t>(imap.size()));
     out.push_back({uit->second, iit->second, ts});
+    ++st->rows_loaded;
+  }
+  if (st->rows_malformed > 0) {
+    LAYERGCN_LOG(kWarning) << path << ": skipped " << st->rows_malformed
+                           << " malformed row(s) (lines "
+                           << FormatLineNumbers(st->malformed_lines,
+                                                st->rows_malformed)
+                           << ")";
   }
   *num_users = static_cast<int32_t>(umap.size());
   *num_items = static_cast<int32_t>(imap.size());
   return out;
+}
+
+std::vector<Interaction> LoadInteractions(const std::string& path,
+                                          const LoaderOptions& options,
+                                          int32_t* num_users,
+                                          int32_t* num_items) {
+  util::StatusOr<std::vector<Interaction>> result =
+      LoadInteractionsOr(path, options, num_users, num_items);
+  LAYERGCN_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
 }
 
 void SaveInteractions(const std::string& path,

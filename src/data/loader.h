@@ -8,10 +8,12 @@
 #ifndef LAYERGCN_DATA_LOADER_H_
 #define LAYERGCN_DATA_LOADER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace layergcn::data {
 
@@ -25,11 +27,36 @@ struct LoaderOptions {
   int timestamp_column = 2;
   /// Number of header lines to skip.
   int skip_lines = 0;
+  /// Malformed rows (too few fields, unparsable timestamp) tolerated per
+  /// file: up to this many are skipped and counted, one warning lists
+  /// their line numbers; one more is an InvalidArgument error. The default
+  /// 0 keeps the historical strictness (any malformed row fails the load).
+  int64_t max_malformed = 0;
 };
 
-/// Parses `path`. User/item fields may be arbitrary strings; they are mapped
-/// to dense ids by first appearance, and the universe sizes are returned via
-/// num_users / num_items. Malformed rows abort with a descriptive error.
+/// What LoadInteractionsOr saw while parsing (diagnostics for callers that
+/// enable malformed-row tolerance).
+struct LoadStats {
+  /// Data rows examined (header and blank lines excluded).
+  int64_t rows_total = 0;
+  int64_t rows_loaded = 0;
+  int64_t rows_malformed = 0;
+  /// Line numbers (1-based) of the first few malformed rows.
+  std::vector<int64_t> malformed_lines;
+};
+
+/// Parses `path`. User/item fields may be arbitrary strings; they are
+/// mapped to dense ids by first appearance, and the universe sizes are
+/// returned via num_users / num_items. Malformed rows are skipped up to
+/// LoaderOptions::max_malformed (reported through `stats` when non-null);
+/// past the budget the load fails with InvalidArgument. A missing file is
+/// NotFound. Never aborts.
+util::StatusOr<std::vector<Interaction>> LoadInteractionsOr(
+    const std::string& path, const LoaderOptions& options,
+    int32_t* num_users, int32_t* num_items, LoadStats* stats = nullptr);
+
+/// Legacy entry point: LoadInteractionsOr that aborts with a descriptive
+/// error instead of returning a Status.
 std::vector<Interaction> LoadInteractions(const std::string& path,
                                           const LoaderOptions& options,
                                           int32_t* num_users,

@@ -39,6 +39,20 @@ class Buir : public train::Recommender {
   tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
   std::vector<train::Parameter*> Params() override;
 
+  int64_t OptimizerSteps() const override { return adam_.step_count(); }
+  void SetOptimizerSteps(int64_t steps) override {
+    adam_.set_step_count(steps);
+  }
+  void ScaleLearningRate(double factor) override {
+    adam_.set_learning_rate(config_.learning_rate * factor);
+  }
+  uint64_t SamplerCursor() const override {
+    return sampler_ != nullptr ? sampler_->cursor() : 0;
+  }
+  void SetSamplerCursor(uint64_t cursor) override {
+    if (sampler_ != nullptr) sampler_->set_cursor(cursor);
+  }
+
  private:
   /// LightGCN mean-readout propagation of a plain matrix (no autograd).
   tensor::Matrix PropagatePlain(const tensor::Matrix& x0) const;

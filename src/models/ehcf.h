@@ -46,6 +46,14 @@ class Ehcf : public train::Recommender {
   tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
   std::vector<train::Parameter*> Params() override;
 
+  int64_t OptimizerSteps() const override { return adam_.step_count(); }
+  void SetOptimizerSteps(int64_t steps) override {
+    adam_.set_step_count(steps);
+  }
+  void ScaleLearningRate(double factor) override {
+    adam_.set_learning_rate(config_.learning_rate * factor);
+  }
+
  private:
   const data::Dataset* dataset_ = nullptr;
   train::TrainConfig config_;

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "train/stop_token.h"
 #include "util/logging.h"
 
 namespace layergcn::models {
@@ -92,6 +93,10 @@ double EmbeddingRecommender::TrainEpoch(util::Rng* rng,
   // per-batch span never opens for the empty trailing call.
   const int64_t num_batches = sampler_->NumBatches(config_.batch_size);
   for (int64_t b = 0; b < num_batches; ++b) {
+    // Graceful stop (SIGINT/SIGTERM): finish at a batch boundary; the
+    // trainer discards this partial epoch and resumes from the last
+    // checkpoint, so breaking here never corrupts the resumable state.
+    if (train::StopRequested()) break;
     OBS_SPAN("train.batch");
     {
       OBS_SPAN("train.sampler");
@@ -150,6 +155,14 @@ tensor::Matrix EmbeddingRecommender::ScoreUsers(
 train::EmbeddingView EmbeddingRecommender::GetEmbeddingView() const {
   if (final_cache_.empty()) return {};
   return {&user_cache_, &item_cache_};
+}
+
+uint64_t EmbeddingRecommender::SamplerCursor() const {
+  return sampler_ != nullptr ? sampler_->cursor() : 0;
+}
+
+void EmbeddingRecommender::SetSamplerCursor(uint64_t cursor) {
+  if (sampler_ != nullptr) sampler_->set_cursor(cursor);
 }
 
 std::vector<train::Parameter*> EmbeddingRecommender::Params() {

@@ -42,6 +42,18 @@ class EmbeddingRecommender : public train::Recommender {
   train::EmbeddingView GetEmbeddingView() const override;
   std::vector<train::Parameter*> Params() override;
 
+  // Checkpoint/resume hooks: Adam's step counter and the BPR sampler
+  // cursor are the only mutable non-Parameter training state here.
+  int64_t OptimizerSteps() const override { return adam_.step_count(); }
+  void SetOptimizerSteps(int64_t steps) override {
+    adam_.set_step_count(steps);
+  }
+  void ScaleLearningRate(double factor) override {
+    adam_.set_learning_rate(config_.learning_rate * factor);
+  }
+  uint64_t SamplerCursor() const override;
+  void SetSamplerCursor(uint64_t cursor) override;
+
   /// Final node embeddings computed by the last PrepareEval() (N x T', where
   /// T' may exceed the embedding dim for concat readouts).
   const tensor::Matrix& final_embeddings() const { return final_cache_; }

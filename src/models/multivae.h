@@ -31,6 +31,14 @@ class MultiVae : public train::Recommender {
   tensor::Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
   std::vector<train::Parameter*> Params() override;
 
+  int64_t OptimizerSteps() const override { return adam_.step_count(); }
+  void SetOptimizerSteps(int64_t steps) override {
+    adam_.set_step_count(steps);
+  }
+  void ScaleLearningRate(double factor) override {
+    adam_.set_learning_rate(config_.learning_rate * factor);
+  }
+
  private:
   /// L2-normalized binary history rows for the given users (B x N_I).
   tensor::Matrix HistoryRows(const std::vector<int32_t>& users) const;

@@ -20,6 +20,9 @@ std::string EpochTelemetryJson(const EpochTelemetry& r) {
   w.Key("adam_steps").Int(r.adam_steps);
   w.Key("neg_sampled").Int(r.neg_sampled);
   w.Key("neg_rejected").Int(r.neg_rejected);
+  w.Key("checkpoint_writes").Int(r.checkpoint_writes);
+  w.Key("checkpoint_fallbacks").Int(r.checkpoint_fallbacks);
+  w.Key("watchdog_rollbacks").Int(r.watchdog_rollbacks);
   w.Key("epoch_seconds").Number(r.epoch_seconds);
   w.Key("graph_seconds").Number(r.graph_seconds);
   w.Key("sampler_seconds").Number(r.sampler_seconds);

@@ -37,6 +37,13 @@ struct EpochTelemetry {
   int64_t neg_sampled = 0;
   int64_t neg_rejected = 0;
 
+  // Fault-tolerance subsystem activity, cumulative over the run:
+  // checkpoint files written, corrupt checkpoints skipped during restore,
+  // and divergence-watchdog rollbacks.
+  int64_t checkpoint_writes = 0;
+  int64_t checkpoint_fallbacks = 0;
+  int64_t watchdog_rollbacks = 0;
+
   // Wall-clock breakdown (seconds) this epoch.
   double epoch_seconds = 0.0;
   double graph_seconds = 0.0;  // per-epoch adjacency resampling

@@ -33,6 +33,9 @@ class Adam {
   void Reset() { t_ = 0; }
 
   int64_t step_count() const { return t_; }
+  /// Restores the bias-correction counter (checkpoint resume). The moments
+  /// live on the Parameters, so counter + moments fully restore Adam.
+  void set_step_count(int64_t t) { t_ = t; }
   const AdamConfig& config() const { return config_; }
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
 

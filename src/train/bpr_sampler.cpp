@@ -29,6 +29,13 @@ BprSampler::BprSampler(const graph::BipartiteGraph* graph,
 }
 
 void BprSampler::BeginEpoch(util::Rng* rng) {
+  // Re-seed the permutation with the identity before shuffling: the epoch's
+  // edge order must be a pure function of the incoming RNG state, not of
+  // the shuffle history, or a checkpoint-resumed run (fresh sampler, same
+  // RNG state) would draw different batches than the uninterrupted one.
+  for (size_t k = 0; k < order_.size(); ++k) {
+    order_[k] = static_cast<int64_t>(k);
+  }
   rng->Shuffle(&order_);
   cursor_ = 0;
 }

@@ -50,6 +50,11 @@ class BprSampler {
   /// Number of batches a full epoch yields for the given size.
   int64_t NumBatches(int64_t batch_size) const;
 
+  /// Position in the shuffled edge order (checkpoint state). At an epoch
+  /// boundary this equals num_edges; BeginEpoch resets it to 0.
+  uint64_t cursor() const { return static_cast<uint64_t>(cursor_); }
+  void set_cursor(uint64_t cursor) { cursor_ = static_cast<size_t>(cursor); }
+
  private:
   int32_t SampleNegative(int32_t user, util::Rng* rng) const;
 

@@ -1,108 +1,687 @@
 #include "train/checkpoint.h"
 
-#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace layergcn::train {
 namespace {
 
+namespace fs = std::filesystem;
+
 constexpr char kMagic[4] = {'L', 'G', 'C', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+// magic + version + section/param count.
+constexpr size_t kHeaderBytes = 12;
+
+// v2 section tags. Unknown tags are skipped on load.
+enum SectionTag : uint32_t {
+  kTagMeta = 1,
+  kTagRng = 2,
+  kTagParamValues = 3,
+  kTagAdamM = 4,
+  kTagAdamV = 5,
+  kTagBestSnapshot = 6,
+  kTagHistory = 7,
+};
+
+constexpr uint32_t kMetaStateVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Buffer writers.
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void AppendPod(std::string* buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
+void AppendBytes(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+
+void AppendNamedMatrix(std::string* buf, const std::string& name,
+                       const tensor::Matrix& m) {
+  AppendPod(buf, static_cast<uint32_t>(name.size()));
+  AppendBytes(buf, name.data(), name.size());
+  AppendPod(buf, m.rows());
+  AppendPod(buf, m.cols());
+  AppendBytes(buf, m.data(),
+              static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+// Table of named matrices: uint32 count, then each entry.
+std::string MatrixTablePayload(
+    const std::vector<std::pair<std::string, const tensor::Matrix*>>& table) {
+  std::string payload;
+  AppendPod(&payload, static_cast<uint32_t>(table.size()));
+  for (const auto& [name, m] : table) AppendNamedMatrix(&payload, name, *m);
+  return payload;
+}
+
+void AppendSection(std::string* out, uint32_t tag,
+                   const std::string& payload) {
+  AppendPod(out, tag);
+  AppendPod(out, static_cast<uint64_t>(payload.size()));
+  out->append(payload);
+  AppendPod(out, util::Crc32(payload.data(), payload.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer reader with explicit bounds checks.
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  bool ReadBytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(out, sizeof(T));
+  }
+
+  bool ReadString(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  const char* cursor() const { return data_ + pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+using MatrixTable = std::map<std::string, tensor::Matrix>;
+
+util::Status ParseMatrixTable(const std::string& path, const char* what,
+                              ByteReader* in, MatrixTable* out) {
+  uint32_t count = 0;
+  if (!in->ReadPod(&count)) {
+    return util::DataLossError(path + ": truncated " + what + " table");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    std::string name;
+    if (!in->ReadPod(&name_len) || !in->ReadString(name_len, &name)) {
+      return util::DataLossError(path + ": truncated " + what +
+                                 " entry name");
+    }
+    int64_t rows = 0, cols = 0;
+    if (!in->ReadPod(&rows) || !in->ReadPod(&cols)) {
+      return util::DataLossError(path + ": truncated " + what +
+                                 " entry header for '" + name + "'");
+    }
+    if (rows < 0 || cols < 0 ||
+        (cols > 0 && rows > static_cast<int64_t>(in->remaining() /
+                                                 (sizeof(float) *
+                                                  static_cast<size_t>(cols))))) {
+      return util::DataLossError(path + ": implausible shape " +
+                                 std::to_string(rows) + "x" +
+                                 std::to_string(cols) + " for '" + name +
+                                 "' in " + what + " table");
+    }
+    tensor::Matrix m(rows, cols);
+    if (!in->ReadBytes(m.data(),
+                       static_cast<size_t>(m.size()) * sizeof(float))) {
+      return util::DataLossError(path + ": truncated " + what +
+                                 " payload for '" + name + "'");
+    }
+    if (!out->emplace(std::move(name), std::move(m)).second) {
+      return util::DataLossError(path + ": duplicate parameter name in " +
+                                 what + " table");
+    }
+  }
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file image read, with the read-side fault points applied to the
+// in-memory copy so corruption is indistinguishable from real disk damage.
+
+util::Status ReadFileImage(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return util::NotFoundError("cannot open " + path);
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return util::UnavailableError("read failure on " + path);
+  }
+  if (util::fault::Fire("checkpoint.short_read") && !buf.empty()) {
+    buf.resize(buf.size() - buf.size() / 3 - 1);
+  }
+  if (util::fault::Fire("checkpoint.bit_flip") && !buf.empty()) {
+    buf[buf.size() / 2] = static_cast<char>(buf[buf.size() / 2] ^ 0x10);
+  }
+  *out = std::move(buf);
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+std::vector<std::pair<std::string, const tensor::Matrix*>> ValueTable(
+    const std::vector<Parameter*>& params,
+    tensor::Matrix Parameter::*field) {
+  std::vector<std::pair<std::string, const tensor::Matrix*>> table;
+  table.reserve(params.size());
+  for (const Parameter* p : params) table.emplace_back(p->name, &(p->*field));
+  return table;
+}
+
+std::string SerializeV2(const std::vector<Parameter*>& params,
+                        const TrainingState* state) {
+  // Section count first: params + both moment tables, plus the state
+  // sections when present.
+  uint32_t sections = 3;
+  if (state != nullptr) {
+    sections += 2;  // meta + history
+    if (state->has_rng) ++sections;
+    if (!state->best_snapshot.empty()) ++sections;
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(&out, kVersionV2);
+  AppendPod(&out, sections);
+
+  if (state != nullptr) {
+    std::string meta;
+    AppendPod(&meta, kMetaStateVersion);
+    AppendPod(&meta, state->epoch);
+    AppendPod(&meta, state->best_epoch);
+    AppendPod(&meta, state->best_valid_score);
+    AppendPod(&meta, state->epochs_since_best);
+    AppendPod(&meta, state->optimizer_steps);
+    AppendPod(&meta, state->seed);
+    AppendPod(&meta, state->sampler_cursor);
+    AppendSection(&out, kTagMeta, meta);
+
+    if (state->has_rng) {
+      std::string rng;
+      for (uint64_t s : state->rng.s) AppendPod(&rng, s);
+      AppendPod(&rng, state->rng.spare_bits);
+      AppendPod(&rng, state->rng.has_spare);
+      AppendSection(&out, kTagRng, rng);
+    }
+  }
+
+  AppendSection(&out, kTagParamValues,
+                MatrixTablePayload(ValueTable(params, &Parameter::value)));
+  AppendSection(&out, kTagAdamM,
+                MatrixTablePayload(ValueTable(params, &Parameter::adam_m)));
+  AppendSection(&out, kTagAdamV,
+                MatrixTablePayload(ValueTable(params, &Parameter::adam_v)));
+
+  if (state != nullptr) {
+    if (!state->best_snapshot.empty()) {
+      std::vector<std::pair<std::string, const tensor::Matrix*>> best;
+      best.reserve(state->best_snapshot.size());
+      for (const auto& [name, m] : state->best_snapshot) {
+        best.emplace_back(name, &m);
+      }
+      AppendSection(&out, kTagBestSnapshot, MatrixTablePayload(best));
+    }
+
+    std::string history;
+    AppendPod(&history, static_cast<uint64_t>(state->epoch_losses.size()));
+    for (double loss : state->epoch_losses) AppendPod(&history, loss);
+    AppendPod(&history, static_cast<uint64_t>(state->valid_curve.size()));
+    for (const auto& [epoch, score] : state->valid_curve) {
+      AppendPod(&history, epoch);
+      AppendPod(&history, score);
+    }
+    AppendSection(&out, kTagHistory, history);
+  }
+  return out;
+}
+
+// Fully parsed v2 file, staged before anything is applied to parameters so
+// corruption can never leave a half-restored model.
+struct ParsedCheckpoint {
+  MatrixTable values;
+  MatrixTable adam_m;
+  MatrixTable adam_v;
+  MatrixTable best_snapshot;
+  bool has_best_snapshot = false;
+  bool has_meta = false;
+  TrainingState state;
+};
+
+util::Status ParseMeta(const std::string& path, ByteReader* in,
+                       TrainingState* state) {
+  uint32_t state_version = 0;
+  if (!in->ReadPod(&state_version)) {
+    return util::DataLossError(path + ": truncated meta section");
+  }
+  if (state_version != kMetaStateVersion) {
+    return util::DataLossError(path + ": unsupported meta state version " +
+                               std::to_string(state_version));
+  }
+  if (!in->ReadPod(&state->epoch) || !in->ReadPod(&state->best_epoch) ||
+      !in->ReadPod(&state->best_valid_score) ||
+      !in->ReadPod(&state->epochs_since_best) ||
+      !in->ReadPod(&state->optimizer_steps) || !in->ReadPod(&state->seed) ||
+      !in->ReadPod(&state->sampler_cursor)) {
+    return util::DataLossError(path + ": truncated meta section");
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseRng(const std::string& path, ByteReader* in,
+                      TrainingState* state) {
+  for (uint64_t& s : state->rng.s) {
+    if (!in->ReadPod(&s)) {
+      return util::DataLossError(path + ": truncated rng section");
+    }
+  }
+  if (!in->ReadPod(&state->rng.spare_bits) ||
+      !in->ReadPod(&state->rng.has_spare)) {
+    return util::DataLossError(path + ": truncated rng section");
+  }
+  state->has_rng = true;
+  return util::OkStatus();
+}
+
+util::Status ParseHistory(const std::string& path, ByteReader* in,
+                          TrainingState* state) {
+  uint64_t n = 0;
+  if (!in->ReadPod(&n) || n > in->remaining() / sizeof(double)) {
+    return util::DataLossError(path + ": truncated history section");
+  }
+  state->epoch_losses.resize(n);
+  for (double& loss : state->epoch_losses) {
+    if (!in->ReadPod(&loss)) {
+      return util::DataLossError(path + ": truncated history losses");
+    }
+  }
+  uint64_t m = 0;
+  if (!in->ReadPod(&m) ||
+      m > in->remaining() / (sizeof(int64_t) + sizeof(double))) {
+    return util::DataLossError(path + ": truncated history curve");
+  }
+  state->valid_curve.resize(m);
+  for (auto& [epoch, score] : state->valid_curve) {
+    if (!in->ReadPod(&epoch) || !in->ReadPod(&score)) {
+      return util::DataLossError(path + ": truncated history curve");
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseV2(const std::string& path, ByteReader* in,
+                     uint32_t section_count, ParsedCheckpoint* parsed) {
+  bool saw_values = false;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    uint32_t tag = 0;
+    uint64_t payload_len = 0;
+    if (!in->ReadPod(&tag) || !in->ReadPod(&payload_len)) {
+      return util::DataLossError(path + ": truncated section header (" +
+                                 std::to_string(s) + " of " +
+                                 std::to_string(section_count) + ")");
+    }
+    if (payload_len > in->remaining()) {
+      return util::DataLossError(path + ": section " + std::to_string(tag) +
+                                 " payload exceeds file size");
+    }
+    const char* payload = in->cursor();
+    in->Skip(static_cast<size_t>(payload_len));
+    uint32_t stored_crc = 0;
+    if (!in->ReadPod(&stored_crc)) {
+      return util::DataLossError(path + ": section " + std::to_string(tag) +
+                                 " missing CRC");
+    }
+    const uint32_t actual_crc =
+        util::Crc32(payload, static_cast<size_t>(payload_len));
+    if (actual_crc != stored_crc) {
+      return util::DataLossError(
+          path + ": CRC mismatch in section " + std::to_string(tag) +
+          util::StrFormat(" (stored %08x, computed %08x)", stored_crc,
+                          actual_crc));
+    }
+    ByteReader section(payload, static_cast<size_t>(payload_len));
+    switch (tag) {
+      case kTagMeta:
+        LAYERGCN_RETURN_IF_ERROR(ParseMeta(path, &section, &parsed->state));
+        parsed->has_meta = true;
+        break;
+      case kTagRng:
+        LAYERGCN_RETURN_IF_ERROR(ParseRng(path, &section, &parsed->state));
+        break;
+      case kTagParamValues:
+        LAYERGCN_RETURN_IF_ERROR(
+            ParseMatrixTable(path, "parameter", &section, &parsed->values));
+        saw_values = true;
+        break;
+      case kTagAdamM:
+        LAYERGCN_RETURN_IF_ERROR(
+            ParseMatrixTable(path, "adam_m", &section, &parsed->adam_m));
+        break;
+      case kTagAdamV:
+        LAYERGCN_RETURN_IF_ERROR(
+            ParseMatrixTable(path, "adam_v", &section, &parsed->adam_v));
+        break;
+      case kTagBestSnapshot:
+        LAYERGCN_RETURN_IF_ERROR(ParseMatrixTable(
+            path, "best snapshot", &section, &parsed->best_snapshot));
+        parsed->has_best_snapshot = true;
+        break;
+      case kTagHistory:
+        LAYERGCN_RETURN_IF_ERROR(
+            ParseHistory(path, &section, &parsed->state));
+        break;
+      default:
+        // Unknown section from a newer writer: the CRC already validated,
+        // so skipping is safe.
+        break;
+    }
+  }
+  if (!saw_values) {
+    return util::DataLossError(path + ": no parameter value section");
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseV1(const std::string& path, ByteReader* in,
+                     ParsedCheckpoint* parsed) {
+  // v1 body: uint32 param count | per param: name/rows/cols/values. One
+  // flat record, no CRC — truncation is the only detectable corruption.
+  return ParseMatrixTable(path, "parameter", in, &parsed->values);
+}
+
+util::Status ParseCheckpointImage(const std::string& path,
+                                  const std::string& image,
+                                  ParsedCheckpoint* parsed) {
+  ByteReader in(image.data(), image.size());
+  char magic[4];
+  if (!in.ReadBytes(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + 4, kMagic)) {
+    return util::DataLossError(path + " is not a LayerGCN checkpoint");
+  }
+  uint32_t version = 0;
+  if (!in.ReadPod(&version)) {
+    return util::DataLossError(path + ": truncated header");
+  }
+  if (version == kVersionV1) return ParseV1(path, &in, parsed);
+  if (version == kVersionV2) {
+    uint32_t section_count = 0;
+    if (!in.ReadPod(&section_count)) {
+      return util::DataLossError(path + ": truncated header");
+    }
+    return ParseV2(path, &in, section_count, parsed);
+  }
+  return util::DataLossError(path + ": unsupported checkpoint version " +
+                             std::to_string(version));
+}
+
+// Copies `table[name]` into `dst` when present with the right shape.
+// Moment tables are best-effort: a params-only consumer may pass params
+// whose moments were never part of the file.
+void ApplyMomentTable(const MatrixTable& table, const std::string& name,
+                      tensor::Matrix* dst) {
+  const auto it = table.find(name);
+  if (it == table.end()) return;
+  if (it->second.rows() != dst->rows() || it->second.cols() != dst->cols()) {
+    return;
+  }
+  *dst = it->second;
 }
 
 }  // namespace
 
-void SaveCheckpoint(const std::string& path,
-                    const std::vector<Parameter*>& params) {
+util::Status SaveCheckpointV2(const std::string& path,
+                              const std::vector<Parameter*>& params,
+                              const TrainingState* state) {
   std::set<std::string> names;
   for (const Parameter* p : params) {
     LAYERGCN_CHECK(p != nullptr);
-    LAYERGCN_CHECK(names.insert(p->name).second)
-        << "duplicate parameter name: " << p->name;
+    if (!names.insert(p->name).second) {
+      return util::InvalidArgumentError("duplicate parameter name: " +
+                                        p->name);
+    }
   }
-  std::ofstream out(path, std::ios::binary);
-  LAYERGCN_CHECK(out.good()) << "cannot write " << path;
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(params.size()));
-  for (const Parameter* p : params) {
-    WritePod(out, static_cast<uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<int64_t>(p->name.size()));
-    WritePod(out, p->value.rows());
-    WritePod(out, p->value.cols());
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<int64_t>(p->value.size()) *
-                  static_cast<int64_t>(sizeof(float)));
+  const std::string image = SerializeV2(params, state);
+
+  if (util::fault::Fire("checkpoint.torn_write")) {
+    // Simulated crash inside the write window: a prefix of the image lands
+    // under the final name (as if the filesystem lost the rename barrier)
+    // and the writer believes it succeeded. Readers must detect this.
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(image.data(),
+               static_cast<std::streamsize>(image.size() * 3 / 5));
+    return util::OkStatus();
   }
-  LAYERGCN_CHECK(out.good()) << "write failure on " << path;
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return util::UnavailableError("cannot write " + tmp);
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return util::UnavailableError("write failure on " + tmp);
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Push the data to stable storage before the rename makes it visible.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::UnavailableError("cannot rename " + tmp + " to " + path);
+  }
+  return util::OkStatus();
 }
 
-int LoadCheckpoint(const std::string& path,
-                   const std::vector<Parameter*>& params) {
-  std::ifstream in(path, std::ios::binary);
-  LAYERGCN_CHECK(in.good()) << "cannot open " << path;
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  LAYERGCN_CHECK(in.good() && std::equal(magic, magic + 4, kMagic))
-      << path << " is not a LayerGCN checkpoint";
-  uint32_t version = 0, count = 0;
-  LAYERGCN_CHECK(ReadPod(in, &version) && version == kVersion)
-      << "unsupported checkpoint version";
-  LAYERGCN_CHECK(ReadPod(in, &count));
+util::StatusOr<int> LoadCheckpointV2(const std::string& path,
+                                     const std::vector<Parameter*>& params,
+                                     TrainingState* state) {
+  std::string image;
+  LAYERGCN_RETURN_IF_ERROR(ReadFileImage(path, &image));
+  ParsedCheckpoint parsed;
+  LAYERGCN_RETURN_IF_ERROR(ParseCheckpointImage(path, image, &parsed));
 
-  std::map<std::string, tensor::Matrix> loaded;
-  for (uint32_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    LAYERGCN_CHECK(ReadPod(in, &name_len)) << "truncated checkpoint";
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    int64_t rows = 0, cols = 0;
-    LAYERGCN_CHECK(ReadPod(in, &rows) && ReadPod(in, &cols))
-        << "truncated checkpoint";
-    tensor::Matrix m(rows, cols);
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<int64_t>(m.size()) *
-                static_cast<int64_t>(sizeof(float)));
-    LAYERGCN_CHECK(in.good()) << "truncated checkpoint payload";
-    loaded.emplace(std::move(name), std::move(m));
+  // Validate the full match before mutating anything.
+  for (const Parameter* p : params) {
+    const auto it = parsed.values.find(p->name);
+    if (it == parsed.values.end()) {
+      return util::FailedPreconditionError(
+          path + ": checkpoint missing parameter: " + p->name);
+    }
+    if (it->second.rows() != p->value.rows() ||
+        it->second.cols() != p->value.cols()) {
+      return util::FailedPreconditionError(util::StrFormat(
+          "%s: shape mismatch for %s (file %lldx%lld, param %lldx%lld)",
+          path.c_str(), p->name.c_str(),
+          static_cast<long long>(it->second.rows()),
+          static_cast<long long>(it->second.cols()),
+          static_cast<long long>(p->value.rows()),
+          static_cast<long long>(p->value.cols())));
+    }
   }
 
   int restored = 0;
   for (Parameter* p : params) {
-    const auto it = loaded.find(p->name);
-    LAYERGCN_CHECK(it != loaded.end())
-        << "checkpoint missing parameter: " << p->name;
-    LAYERGCN_CHECK(it->second.rows() == p->value.rows() &&
-                   it->second.cols() == p->value.cols())
-        << "shape mismatch for " << p->name;
-    p->value = it->second;
+    p->value = parsed.values.at(p->name);
+    ApplyMomentTable(parsed.adam_m, p->name, &p->adam_m);
+    ApplyMomentTable(parsed.adam_v, p->name, &p->adam_v);
     ++restored;
   }
+  if (state != nullptr && (parsed.has_meta || parsed.state.has_rng)) {
+    if (parsed.has_best_snapshot) {
+      parsed.state.best_snapshot.reserve(parsed.best_snapshot.size());
+      for (auto& [name, m] : parsed.best_snapshot) {
+        parsed.state.best_snapshot.emplace_back(name, std::move(m));
+      }
+    }
+    *state = std::move(parsed.state);
+  }
   return restored;
+}
+
+util::Status ValidateCheckpoint(const std::string& path) {
+  std::string image;
+  LAYERGCN_RETURN_IF_ERROR(ReadFileImage(path, &image));
+  ParsedCheckpoint parsed;
+  return ParseCheckpointImage(path, image, &parsed);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager.
+
+CheckpointManager::CheckpointManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {
+  LAYERGCN_CHECK_GE(keep_last_, 1);
+}
+
+std::string CheckpointManager::CheckpointPath(const std::string& dir,
+                                              int64_t epoch) {
+  return dir + "/" +
+         util::StrFormat("ckpt-%06lld.lgcn", static_cast<long long>(epoch));
+}
+
+std::vector<std::pair<int64_t, std::string>> CheckpointManager::ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<int64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    int64_t epoch = 0;
+    if (name.size() == 16 && util::StartsWith(name, "ckpt-") &&
+        name.compare(11, 5, ".lgcn") == 0 &&
+        util::ParseInt64(name.substr(5, 6), &epoch)) {
+      out.emplace_back(epoch, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Status CheckpointManager::Write(const std::vector<Parameter*>& params,
+                                      const TrainingState& state) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return util::UnavailableError("cannot create checkpoint dir " + dir_ +
+                                  ": " + ec.message());
+  }
+  const std::string path = CheckpointPath(dir_, state.epoch);
+  LAYERGCN_RETURN_IF_ERROR(SaveCheckpointV2(path, params, &state));
+  OBS_COUNT("checkpoint.writes", 1);
+
+  // Rotation: drop the oldest files beyond keep_last (never the one just
+  // written). Removal failures are non-fatal — worst case extra files stay.
+  std::vector<std::pair<int64_t, std::string>> existing =
+      ListCheckpoints(dir_);
+  while (existing.size() > static_cast<size_t>(keep_last_)) {
+    if (existing.front().second == path) break;
+    fs::remove(existing.front().second, ec);
+    existing.erase(existing.begin());
+  }
+  return util::OkStatus();
+}
+
+util::Status CheckpointManager::RestoreLatest(
+    const std::vector<Parameter*>& params, TrainingState* state) {
+  const std::vector<std::pair<int64_t, std::string>> files =
+      ListCheckpoints(dir_);
+  if (files.empty()) {
+    return util::NotFoundError("no checkpoints in " + dir_);
+  }
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    TrainingState candidate;
+    const util::StatusOr<int> restored =
+        LoadCheckpointV2(it->second, params, &candidate);
+    if (restored.ok()) {
+      if (state != nullptr) *state = std::move(candidate);
+      if (it != files.rbegin()) {
+        LAYERGCN_LOG(kWarning)
+            << "fell back to " << it->second << " ("
+            << std::distance(files.rbegin(), it) << " newer corrupt)";
+      }
+      return util::OkStatus();
+    }
+    LAYERGCN_LOG(kWarning) << "skipping corrupt checkpoint " << it->second
+                           << ": " << restored.status().ToString();
+    OBS_COUNT("checkpoint.fallbacks", 1);
+  }
+  return util::NotFoundError("no valid checkpoint in " + dir_ + " (" +
+                             std::to_string(files.size()) +
+                             " corrupt files skipped)");
+}
+
+// ---------------------------------------------------------------------------
+// Legacy die-on-error entry points.
+
+void SaveCheckpoint(const std::string& path,
+                    const std::vector<Parameter*>& params) {
+  const util::Status s = SaveCheckpointV2(path, params, nullptr);
+  LAYERGCN_CHECK(s.ok()) << s.message();
+}
+
+int LoadCheckpoint(const std::string& path,
+                   const std::vector<Parameter*>& params) {
+  const util::StatusOr<int> restored =
+      LoadCheckpointV2(path, params, nullptr);
+  LAYERGCN_CHECK(restored.ok()) << restored.status().message();
+  return restored.value();
 }
 
 bool IsCheckpointFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
-  char magic[4];
-  in.read(magic, sizeof(magic));
+  // A complete header is magic + version + count; anything shorter is a
+  // truncated header, not a checkpoint.
+  char header[kHeaderBytes];
+  in.read(header, sizeof(header));
+  if (static_cast<size_t>(in.gcount()) != sizeof(header)) return false;
+  if (!std::equal(header, header + 4, kMagic)) return false;
   uint32_t version = 0;
-  return in.good() && std::equal(magic, magic + 4, kMagic) &&
-         ReadPod(in, &version) && version == kVersion;
+  std::memcpy(&version, header + 4, sizeof(version));
+  return version == kVersionV1 || version == kVersionV2;
 }
 
 }  // namespace layergcn::train

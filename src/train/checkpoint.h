@@ -1,38 +1,153 @@
-// Binary checkpointing of model parameters.
+// Binary checkpointing of model parameters and full training state.
 //
-// Format (little-endian):
-//   magic "LGCN" | uint32 version | uint32 param count |
-//   per param: uint32 name length | name bytes |
-//              int64 rows | int64 cols | rows*cols float32 values
+// Format v2 (little-endian), per-section CRC-checksummed records:
 //
-// Only parameter *values* are stored (optimizer moments are training
-// state, not model state). Loading matches parameters by name and aborts
-// on shape mismatches, so checkpoints are robust to parameter-list
-// reordering but not to architecture changes.
+//   magic "LGCN" | uint32 version=2 | uint32 section count
+//   per section: uint32 tag | uint64 payload length | payload bytes |
+//                uint32 CRC-32 of the payload
+//
+// Section tags (unknown tags are skipped on load, so the format is
+// forward-extensible):
+//   1 meta           epoch, best epoch/score, early-stop patience state,
+//                    optimizer step count, seed, sampler cursor
+//   2 rng            the trainer's util::Rng stream state (6 x uint64)
+//   3 param values   named-matrix table: uint32 count, then per entry
+//                    uint32 name length | name | int64 rows | int64 cols |
+//                    rows*cols float32
+//   4 adam m         first-moment table (same layout as 3)
+//   5 adam v         second-moment table
+//   6 best snapshot  parameter values of the best validation epoch
+//   7 history        epoch losses + validation curve
+//
+// Writes are atomic: the file is serialized to a buffer, written to
+// `path.tmp`, flushed/synced, and renamed over `path`, so a crash never
+// leaves a half-written file under the final name. CheckpointManager adds
+// rotating last-K retention and falls back to the newest *valid* file when
+// the latest is torn or corrupt.
+//
+// Format v1 (magic | version=1 | param count | name/shape/values entries)
+// remains loadable as a params-only checkpoint. I/O and corruption
+// problems surface as util::Status (never aborts); the legacy void/int
+// entry points below wrap the Status API and keep their historical
+// die-on-error behavior for callers that want it.
 
 #ifndef LAYERGCN_TRAIN_CHECKPOINT_H_
 #define LAYERGCN_TRAIN_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tensor/matrix.h"
 #include "train/parameter.h"
+#include "util/rng.h"
+#include "util/status.h"
 
 namespace layergcn::train {
 
-/// Writes the parameters' values to `path`. Aborts on I/O failure or
-/// duplicate parameter names.
+/// Everything beyond raw parameter values that a resumed run needs in
+/// order to continue bit-identically to an uninterrupted one.
+struct TrainingState {
+  /// Last fully completed epoch (1-based); resume continues at epoch + 1.
+  int64_t epoch = 0;
+
+  // Early-stopping state of the trainer loop.
+  int64_t best_epoch = 0;
+  double best_valid_score = 0.0;
+  int64_t epochs_since_best = 0;
+
+  /// Adam bias-correction step counter (moments live on the parameters).
+  int64_t optimizer_steps = 0;
+  /// Seed the run was started with (resume sanity check).
+  uint64_t seed = 0;
+  /// BPR sampler position in its shuffled edge order (at an epoch boundary
+  /// this equals the edge count; kept for completeness and diagnostics).
+  uint64_t sampler_cursor = 0;
+
+  /// Trainer RNG stream state; has_rng distinguishes a restored stream
+  /// from a params-only (v1 or legacy-save) checkpoint.
+  bool has_rng = false;
+  util::Rng::State rng;
+
+  // Result history so a resumed TrainResult matches the uninterrupted one.
+  std::vector<double> epoch_losses;
+  std::vector<std::pair<int64_t, double>> valid_curve;
+
+  /// Parameter values at the best validation epoch (empty before the
+  /// first evaluation improves on zero).
+  std::vector<std::pair<std::string, tensor::Matrix>> best_snapshot;
+};
+
+/// Writes a v2 checkpoint atomically (buffer -> temp file -> rename).
+/// `state` may be nullptr for a params-only checkpoint (no meta / rng /
+/// moment sections beyond the Adam moments, which are always written).
+util::Status SaveCheckpointV2(const std::string& path,
+                              const std::vector<Parameter*>& params,
+                              const TrainingState* state);
+
+/// Loads parameter values (and, for v2 files, Adam moments) into matching
+/// parameters by name; `state` (optional) receives the training state when
+/// the file carries it. v1 files restore values only. Returns the number
+/// of parameters restored, or a Status describing the corruption /
+/// mismatch — never aborts.
+util::StatusOr<int> LoadCheckpointV2(const std::string& path,
+                                     const std::vector<Parameter*>& params,
+                                     TrainingState* state);
+
+/// Validates that `path` parses end-to-end (header, sections, CRCs)
+/// without applying it to any parameters.
+util::Status ValidateCheckpoint(const std::string& path);
+
+/// Rotating checkpoint directory: writes ckpt-NNNNNN.lgcn files, keeps the
+/// most recent `keep_last`, and restores from the newest file that passes
+/// validation, skipping torn/corrupt ones (counted as
+/// `checkpoint.fallbacks` in the metrics registry).
+class CheckpointManager {
+ public:
+  /// `keep_last` >= 1. The directory is created on the first Write().
+  explicit CheckpointManager(std::string dir, int keep_last = 3);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically writes the checkpoint for state.epoch and prunes old files
+  /// beyond keep_last. Increments `checkpoint.writes`.
+  util::Status Write(const std::vector<Parameter*>& params,
+                     const TrainingState& state);
+
+  /// Restores the newest valid checkpoint into `params`/`state`. Corrupt
+  /// files are skipped (newest first) with a warning; kNotFound when the
+  /// directory holds no valid checkpoint.
+  util::Status RestoreLatest(const std::vector<Parameter*>& params,
+                             TrainingState* state);
+
+  /// (epoch, path) of every well-named checkpoint file, ascending epoch.
+  static std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+      const std::string& dir);
+
+  /// The file name Write() uses for `epoch`.
+  static std::string CheckpointPath(const std::string& dir, int64_t epoch);
+
+ private:
+  std::string dir_;
+  int keep_last_;
+};
+
+/// Legacy entry point: writes a params-only v2 checkpoint. Aborts on I/O
+/// failure or duplicate parameter names.
 void SaveCheckpoint(const std::string& path,
                     const std::vector<Parameter*>& params);
 
-/// Loads values into matching parameters (by name). Every parameter in
-/// `params` must be present in the file with an identical shape; extra
-/// entries in the file are ignored. Returns the number of parameters
-/// restored.
+/// Legacy entry point: loads values into matching parameters (by name).
+/// Every parameter in `params` must be present in the file with an
+/// identical shape; extra entries in the file are ignored. Returns the
+/// number of parameters restored; aborts on any error.
 int LoadCheckpoint(const std::string& path,
                    const std::vector<Parameter*>& params);
 
-/// True if `path` looks like a checkpoint (magic + version readable).
+/// True if `path` looks like a checkpoint: long enough to hold a complete
+/// header and carrying the magic plus a supported version (1 or 2). A
+/// truncated header is not a checkpoint.
 bool IsCheckpointFile(const std::string& path);
 
 }  // namespace layergcn::train

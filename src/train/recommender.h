@@ -119,6 +119,24 @@ class Recommender {
 
   /// All trainable parameters (for the optimizer / snapshotting).
   virtual std::vector<Parameter*> Params() = 0;
+
+  // --- Checkpoint/resume hooks -------------------------------------------
+  // Together with Params() (values + Adam moments) and the trainer's RNG,
+  // these restore enough state that a resumed run continues bit-identically
+  // to an uninterrupted one. Models without an optimizer/sampler keep the
+  // no-op defaults.
+
+  /// Optimizer bias-correction step counter.
+  virtual int64_t OptimizerSteps() const { return 0; }
+  virtual void SetOptimizerSteps(int64_t /*steps*/) {}
+
+  /// Multiplies the configured learning rate by `factor` (divergence
+  /// watchdog backoff after a rollback).
+  virtual void ScaleLearningRate(double /*factor*/) {}
+
+  /// Position of the mini-batch sampler in its epoch order.
+  virtual uint64_t SamplerCursor() const { return 0; }
+  virtual void SetSamplerCursor(uint64_t /*cursor*/) {}
 };
 
 }  // namespace layergcn::train

@@ -1,0 +1,35 @@
+#include "train/stop_token.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace layergcn::train {
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void StopSignalHandler(int /*signum*/) {
+  // Only an atomic store: anything heavier is not async-signal-safe.
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void RequestGracefulStop() {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+bool StopRequested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void ClearStopRequest() {
+  g_stop_requested.store(false, std::memory_order_relaxed);
+}
+
+void InstallStopSignalHandlers() {
+  std::signal(SIGINT, StopSignalHandler);
+  std::signal(SIGTERM, StopSignalHandler);
+}
+
+}  // namespace layergcn::train

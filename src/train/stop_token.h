@@ -1,0 +1,31 @@
+// Process-wide graceful-stop request for training loops.
+//
+// SIGINT/SIGTERM (or a programmatic RequestGracefulStop) set a flag that
+// models poll at batch boundaries and the trainer polls at epoch
+// boundaries: the current batch finishes, the trainer discards the partial
+// epoch, writes/keeps a consistent epoch-boundary checkpoint, and returns
+// with TrainResult::interrupted set. A second signal still kills the
+// process the ordinary way — the handler only sets the flag.
+
+#ifndef LAYERGCN_TRAIN_STOP_TOKEN_H_
+#define LAYERGCN_TRAIN_STOP_TOKEN_H_
+
+namespace layergcn::train {
+
+/// Asks the running training loop to stop at the next batch boundary.
+/// Async-signal-safe.
+void RequestGracefulStop();
+
+/// True once a stop has been requested and not yet cleared.
+bool StopRequested();
+
+/// Clears the flag (FitRecommender does this on entry; tests use it for
+/// isolation).
+void ClearStopRequest();
+
+/// Installs SIGINT/SIGTERM handlers that call RequestGracefulStop().
+void InstallStopSignalHandlers();
+
+}  // namespace layergcn::train
+
+#endif  // LAYERGCN_TRAIN_STOP_TOKEN_H_

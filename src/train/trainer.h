@@ -5,6 +5,13 @@
 // best validation score has not improved for early_stop_patience epochs,
 // and restore the parameters of the best epoch before the final test
 // evaluation.
+//
+// Fault tolerance (DESIGN.md §11): with TrainOptions::checkpoint_dir set
+// the loop writes a rotating v2 checkpoint every checkpoint_every epochs
+// and can resume from the newest valid one bit-identically to an
+// uninterrupted run. A divergence watchdog rolls back to the last good
+// checkpoint when loss / grad norm / parameter norm turn non-finite, and
+// SIGINT/SIGTERM request a graceful stop at the next batch boundary.
 
 #ifndef LAYERGCN_TRAIN_TRAINER_H_
 #define LAYERGCN_TRAIN_TRAINER_H_
@@ -16,6 +23,7 @@
 #include "eval/evaluator.h"
 #include "train/adam.h"
 #include "train/recommender.h"
+#include "util/status.h"
 
 namespace layergcn::train {
 
@@ -41,6 +49,16 @@ struct TrainResult {
   /// Path of the JSONL telemetry stream written during this run; empty when
   /// TrainOptions::telemetry_path was unset or the file could not be opened.
   std::string telemetry_path;
+  /// kOk for a run that trained to completion (early stop and graceful
+  /// interruption included); otherwise the structured reason training
+  /// could not proceed (resume failure, watchdog budget exhausted, ...).
+  util::Status status;
+  /// True when a graceful-stop request (SIGINT/SIGTERM) ended the loop.
+  bool interrupted = false;
+  /// Watchdog rollbacks performed during the run.
+  int watchdog_rollbacks = 0;
+  /// First epoch of this process's loop (> 1 when resumed).
+  int start_epoch = 1;
 };
 
 /// Knobs of the loop itself (the model hyper-parameters live in
@@ -61,6 +79,29 @@ struct TrainOptions {
   /// breakdown, validation metrics on evaluated epochs). Enables the
   /// runtime metrics switch for the run.
   std::string telemetry_path;
+
+  // --- Fault tolerance (DESIGN.md §11) ---
+
+  /// When set, a rotating v2 checkpoint (params + optimizer + RNG +
+  /// early-stop state) is written here every checkpoint_every epochs.
+  std::string checkpoint_dir;
+  /// Epoch cadence of checkpoint writes (>= 1).
+  int checkpoint_every = 1;
+  /// Rotating retention: keep the newest K checkpoint files.
+  int keep_checkpoints = 3;
+  /// Resume from the newest valid checkpoint in checkpoint_dir before
+  /// training. An empty directory starts fresh; a missing checkpoint_dir
+  /// is a FailedPrecondition error.
+  bool resume = false;
+
+  /// Divergence watchdog: per-epoch NaN/Inf checks on loss, gradient norm
+  /// and parameter norm, with rollback to the last good checkpoint.
+  bool watchdog = true;
+  /// Rollback budget before the watchdog gives up with ResourceExhausted.
+  int watchdog_max_rollbacks = 2;
+  /// Learning-rate multiplier applied (cumulatively) after each rollback;
+  /// 1.0 disables the scale-down.
+  double watchdog_lr_decay = 0.5;
 };
 
 /// Test metrics captured at a requested checkpoint epoch.

@@ -1,0 +1,44 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace layergcn::util {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Final(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, len));
+}
+
+}  // namespace layergcn::util

@@ -1,0 +1,126 @@
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::util::fault {
+namespace {
+
+struct PointState {
+  bool armed = false;
+  int trigger_on_hit = 1;
+  int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+  bool env_parsed = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: safe at exit
+  return *r;
+}
+
+// Parses LAYERGCN_FAULT ("point[:nth][,point[:nth]...]") once. Caller holds
+// the registry lock.
+void ParseEnvLocked(Registry* r) {
+  if (r->env_parsed) return;
+  r->env_parsed = true;
+  const char* env = std::getenv("LAYERGCN_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& entry : Split(env, ',')) {
+    const std::string spec(Trim(entry));
+    if (spec.empty()) continue;
+    const size_t colon = spec.find(':');
+    std::string name = spec.substr(0, colon);
+    int64_t nth = 1;
+    if (colon != std::string::npos &&
+        (!ParseInt64(spec.substr(colon + 1), &nth) || nth < 1)) {
+      LAYERGCN_LOG(kWarning) << "LAYERGCN_FAULT: bad trigger count in '"
+                             << spec << "'; using 1";
+      nth = 1;
+    }
+    PointState& p = r->points[name];
+    p.armed = true;
+    p.trigger_on_hit = static_cast<int>(nth);
+    p.hits = 0;
+    LAYERGCN_LOG(kWarning) << "fault injection armed: " << name << " (hit "
+                           << nth << ")";
+  }
+}
+
+}  // namespace
+
+void Arm(const std::string& point, int trigger_on_hit) {
+  LAYERGCN_CHECK_GE(trigger_on_hit, 1);
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ParseEnvLocked(&r);
+  PointState& p = r.points[point];
+  p.armed = true;
+  p.trigger_on_hit = trigger_on_hit;
+  p.hits = 0;
+}
+
+void Disarm(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(point);
+  if (it != r.points.end()) it->second.armed = false;
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  // The env stays consumed: DisarmAll is test isolation, and re-arming from
+  // a stale environment would undo it.
+  r.env_parsed = true;
+}
+
+bool Fire(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ParseEnvLocked(&r);
+  PointState& p = r.points[point];
+  ++p.hits;
+  if (!p.armed || p.hits != p.trigger_on_hit) return false;
+  p.armed = false;  // one-shot: a recovery retry passes clean
+  LAYERGCN_LOG(kWarning) << "fault injection fired: " << point;
+  return true;
+}
+
+int64_t HitCount(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(point);
+  return it != r.points.end() ? it->second.hits : 0;
+}
+
+bool AnyArmed() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ParseEnvLocked(&r);
+  for (const auto& [name, p] : r.points) {
+    if (p.armed) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ArmedPoints() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : r.points) {
+    if (p.armed) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace layergcn::util::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <queue>
 
@@ -96,6 +97,26 @@ double Rng::NextGaussian() {
 bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  // Round-trip the spare through its bit pattern so NaN/denormal values
+  // (impossible today, but cheap to be exact about) survive unchanged.
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&state.spare_bits, &spare_gaussian_, sizeof(double));
+  state.has_spare = has_spare_gaussian_ ? 1 : 0;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  std::memcpy(&spare_gaussian_, &state.spare_bits, sizeof(double));
+  has_spare_gaussian_ = state.has_spare != 0;
+  // Restoring an all-zero engine would wedge xoshiro; that state is
+  // unreachable from any seed, so treat it as corruption from the caller.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
 
 std::vector<int64_t> WeightedSampleWithoutReplacement(
     const std::vector<double>& weights, int64_t k, Rng* rng) {

@@ -63,6 +63,21 @@ class Rng {
   /// statistically independent of each other and of the parent.
   Rng Fork();
 
+  /// Complete serializable engine state: xoshiro words plus the cached
+  /// Box-Muller spare (without it, a restored stream would diverge on the
+  /// next NextGaussian()). spare_bits is the bit pattern of the spare
+  /// double, meaningful only when has_spare != 0.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    uint64_t spare_bits = 0;
+    uint64_t has_spare = 0;
+  };
+
+  /// Captures the exact stream position; SetState(GetState()) is a no-op
+  /// and a restored Rng continues the identical stream bit-for-bit.
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t s_[4];
   double spare_gaussian_ = 0.0;

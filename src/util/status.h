@@ -1,0 +1,120 @@
+// util::Status / util::StatusOr — structured error propagation for I/O and
+// recovery paths.
+//
+// LAYERGCN_CHECK stays the right tool for programmer-error invariants
+// (shape mismatches inside kernels, broken preconditions). Status is for
+// *environmental* failures the caller can reasonably handle: a torn
+// checkpoint, a malformed dataset row, a missing file. The checkpoint and
+// loader paths return Status so the CLI and experiment runner can degrade
+// gracefully (fall back to an older checkpoint, skip a bad row, print a
+// diagnostic and exit) instead of aborting the process.
+
+#ifndef LAYERGCN_UTIL_STATUS_H_
+#define LAYERGCN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace layergcn::util {
+
+/// Canonical error space (subset of the usual gRPC/absl codes; extend as
+/// call sites need them).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller passed something unusable
+  kNotFound,            // file / checkpoint / key absent
+  kDataLoss,            // corruption: bad CRC, truncation, torn write
+  kFailedPrecondition,  // operation needs state that is not there
+  kResourceExhausted,   // bounded retry budget spent
+  kCancelled,           // stopped on request (signal / stop token)
+  kInternal,            // invariant violated on an error path
+  kUnavailable,         // transient I/O failure
+};
+
+/// Human-readable code name ("DATA_LOSS", "OK", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A (code, message) pair. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DATA_LOSS: section crc mismatch" (or "OK").
+  std::string ToString() const;
+
+  /// Dies with the status message when not ok (bridges Status call sites
+  /// back into abort-on-failure contexts like the legacy wrappers).
+  void CheckOk(const char* file, int line) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status DataLossError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+
+/// A Status or a value. No exceptions, no heap: the value lives inline and
+/// is only valid when ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    LAYERGCN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LAYERGCN_CHECK(ok()) << "value() on error StatusOr: "
+                         << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    LAYERGCN_CHECK(ok()) << "value() on error StatusOr: "
+                         << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    LAYERGCN_CHECK(ok()) << "value() on error StatusOr: "
+                         << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is meaningful
+  T value_{};
+};
+
+}  // namespace layergcn::util
+
+/// Early-returns the expression's Status when it is not OK.
+#define LAYERGCN_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::layergcn::util::Status status_macro_ = (expr);    \
+    if (!status_macro_.ok()) return status_macro_;      \
+  } while (0)
+
+/// Dies when `expr` (a Status) is not OK; for tests and legacy wrappers.
+#define LAYERGCN_CHECK_OK(expr) (expr).CheckOk(__FILE__, __LINE__)
+
+#endif  // LAYERGCN_UTIL_STATUS_H_

@@ -1,5 +1,6 @@
 #include "train/checkpoint.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -68,6 +69,43 @@ TEST(CheckpointTest, IsCheckpointFileDetects) {
   EXPECT_FALSE(IsCheckpointFile(TempPath("ckpt_missing.bin")));
   std::remove(good.c_str());
   std::remove(bad.c_str());
+}
+
+TEST(CheckpointTest, IsCheckpointFileValidatesHeaderLengthAndVersion) {
+  // Magic alone, shorter than a complete header: truncated, not a
+  // checkpoint.
+  const std::string trunc = TempPath("ckpt_trunc_header.bin");
+  {
+    std::ofstream out(trunc, std::ios::binary);
+    out.write("LGCN\x02", 5);
+  }
+  EXPECT_FALSE(IsCheckpointFile(trunc));
+
+  const auto write_header = [](const std::string& path, uint32_t version) {
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t count = 0;
+    out.write("LGCN", 4);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  };
+
+  // Full-length header with an out-of-range version.
+  const std::string badver = TempPath("ckpt_bad_version.bin");
+  write_header(badver, 9);
+  EXPECT_FALSE(IsCheckpointFile(badver));
+
+  // Both supported versions pass.
+  const std::string v1 = TempPath("ckpt_v1_header.bin");
+  const std::string v2 = TempPath("ckpt_v2_header.bin");
+  write_header(v1, 1);
+  write_header(v2, 2);
+  EXPECT_TRUE(IsCheckpointFile(v1));
+  EXPECT_TRUE(IsCheckpointFile(v2));
+
+  std::remove(trunc.c_str());
+  std::remove(badver.c_str());
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
 }
 
 TEST(CheckpointDeathTest, MissingParameterAborts) {

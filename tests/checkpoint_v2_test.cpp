@@ -1,0 +1,346 @@
+// Corruption and recovery suite for the v2 checkpoint format: every
+// damaged file must surface as a structured util::Status (never an abort),
+// and CheckpointManager must fall back to the newest file that still
+// parses.
+
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace layergcn::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// A fresh directory under the test temp root.
+std::string TempDirFor(const char* name) {
+  const std::string dir = TempPath(name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+class CheckpointV2Test : public ::testing::Test {
+ protected:
+  void SetUp() override { util::fault::DisarmAll(); }
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TrainingState MakeState() {
+  TrainingState st;
+  st.epoch = 7;
+  st.best_epoch = 5;
+  st.best_valid_score = 0.25;
+  st.epochs_since_best = 2;
+  st.optimizer_steps = 91;
+  st.seed = 42;
+  st.sampler_cursor = 1234;
+  util::Rng rng(9);
+  (void)rng.NextU64();
+  st.has_rng = true;
+  st.rng = rng.GetState();
+  st.epoch_losses = {0.9, 0.7, 0.5};
+  st.valid_curve = {{2, 0.1}, {4, 0.2}};
+  return st;
+}
+
+TEST_F(CheckpointV2Test, FullStateRoundTrip) {
+  util::Rng rng(1);
+  Parameter a("emb", 4, 3), b("w", 2, 2);
+  a.InitXavier(&rng);
+  b.InitXavier(&rng);
+  a.adam_m.UniformInit(&rng, -1.f, 1.f);
+  a.adam_v.UniformInit(&rng, 0.f, 1.f);
+  TrainingState st = MakeState();
+  st.best_snapshot.emplace_back("emb", a.value);
+  st.best_snapshot.emplace_back("w", b.value);
+
+  const std::string path = TempPath("v2_full.lgcn");
+  ASSERT_TRUE(SaveCheckpointV2(path, {&a, &b}, &st).ok());
+
+  Parameter a2("emb", 4, 3), b2("w", 2, 2);
+  TrainingState loaded;
+  const util::StatusOr<int> n = LoadCheckpointV2(path, {&a2, &b2}, &loaded);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(n.value(), 2);
+  EXPECT_TRUE(a2.value.Equals(a.value));
+  EXPECT_TRUE(b2.value.Equals(b.value));
+  EXPECT_TRUE(a2.adam_m.Equals(a.adam_m));
+  EXPECT_TRUE(a2.adam_v.Equals(a.adam_v));
+  EXPECT_EQ(loaded.epoch, st.epoch);
+  EXPECT_EQ(loaded.best_epoch, st.best_epoch);
+  EXPECT_EQ(loaded.best_valid_score, st.best_valid_score);
+  EXPECT_EQ(loaded.epochs_since_best, st.epochs_since_best);
+  EXPECT_EQ(loaded.optimizer_steps, st.optimizer_steps);
+  EXPECT_EQ(loaded.seed, st.seed);
+  EXPECT_EQ(loaded.sampler_cursor, st.sampler_cursor);
+  ASSERT_TRUE(loaded.has_rng);
+  // The restored stream must continue exactly where the saved one would.
+  util::Rng saved_stream(1), loaded_stream(1);
+  saved_stream.SetState(st.rng);
+  loaded_stream.SetState(loaded.rng);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(saved_stream.NextU64(), loaded_stream.NextU64());
+  }
+  EXPECT_EQ(loaded.epoch_losses, st.epoch_losses);
+  EXPECT_EQ(loaded.valid_curve, st.valid_curve);
+  ASSERT_EQ(loaded.best_snapshot.size(), 2u);
+  EXPECT_TRUE(loaded.best_snapshot[0].second.Equals(a.value));
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, ZeroByteFileIsDataLoss) {
+  const std::string path = TempPath("v2_zero.lgcn");
+  { std::ofstream out(path, std::ios::binary); }
+  Parameter p("p", 1, 1);
+  const util::StatusOr<int> r = LoadCheckpointV2(path, {&p}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_FALSE(ValidateCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, MissingFileIsNotFound) {
+  Parameter p("p", 1, 1);
+  const util::StatusOr<int> r =
+      LoadCheckpointV2(TempPath("v2_absent.lgcn"), {&p}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointV2Test, TruncatedMidRecordIsDataLoss) {
+  util::Rng rng(2);
+  Parameter p("emb", 32, 8);
+  p.InitXavier(&rng);
+  TrainingState st = MakeState();
+  const std::string path = TempPath("v2_trunc.lgcn");
+  ASSERT_TRUE(SaveCheckpointV2(path, {&p}, &st).ok());
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size * 2 / 3);
+
+  Parameter p2("emb", 32, 8);
+  const util::StatusOr<int> r = LoadCheckpointV2(path, {&p2}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, FlippedCrcByteIsDataLoss) {
+  util::Rng rng(3);
+  Parameter p("emb", 16, 4);
+  p.InitXavier(&rng);
+  const std::string path = TempPath("v2_crc.lgcn");
+  ASSERT_TRUE(SaveCheckpointV2(path, {&p}, nullptr).ok());
+  {
+    // The final 4 bytes are the stored CRC of the last section.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-1, std::ios::end);
+    char last = 0;
+    f.get(last);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(last ^ 0x01));
+  }
+  Parameter p2("emb", 16, 4);
+  const util::StatusOr<int> r = LoadCheckpointV2(path, {&p2}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("CRC mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Hand-written v1 blob: magic | version=1 | count | name/shape/values.
+std::string V1Blob(const std::vector<std::pair<std::string, float>>& entries) {
+  std::string out("LGCN", 4);
+  const uint32_t version = 1;
+  out.append(reinterpret_cast<const char*>(&version), 4);
+  const uint32_t count = static_cast<uint32_t>(entries.size());
+  out.append(reinterpret_cast<const char*>(&count), 4);
+  for (const auto& [name, value] : entries) {
+    const uint32_t len = static_cast<uint32_t>(name.size());
+    out.append(reinterpret_cast<const char*>(&len), 4);
+    out.append(name);
+    const int64_t rows = 1, cols = 1;
+    out.append(reinterpret_cast<const char*>(&rows), 8);
+    out.append(reinterpret_cast<const char*>(&cols), 8);
+    out.append(reinterpret_cast<const char*>(&value), 4);
+  }
+  return out;
+}
+
+TEST_F(CheckpointV2Test, V1FileLoadsParamsOnly) {
+  const std::string path = TempPath("v1_compat.lgcn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string blob = V1Blob({{"alpha", 2.5f}, {"beta", -1.0f}});
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  EXPECT_TRUE(IsCheckpointFile(path));
+  Parameter a("alpha", 1, 1), b("beta", 1, 1);
+  TrainingState st;
+  st.epoch = 99;  // must stay untouched: v1 carries no state
+  const util::StatusOr<int> r = LoadCheckpointV2(path, {&a, &b}, &st);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_EQ(a.value(0, 0), 2.5f);
+  EXPECT_EQ(b.value(0, 0), -1.0f);
+  EXPECT_EQ(st.epoch, 99);
+  EXPECT_FALSE(st.has_rng);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, DuplicateParamNameInFileIsDataLoss) {
+  const std::string path = TempPath("v1_dup.lgcn");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string blob = V1Blob({{"same", 1.f}, {"same", 2.f}});
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  Parameter p("same", 1, 1);
+  const util::StatusOr<int> r = LoadCheckpointV2(path, {&p}, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("duplicate parameter"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, DuplicateParamNameOnSaveIsInvalidArgument) {
+  Parameter a("same", 1, 1), b("same", 1, 1);
+  const util::Status s =
+      SaveCheckpointV2(TempPath("v2_dup_save.lgcn"), {&a, &b}, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointV2Test, MissingAndMismatchedParamsAreFailedPrecondition) {
+  util::Rng rng(4);
+  Parameter a("a", 2, 2);
+  a.InitXavier(&rng);
+  const std::string path = TempPath("v2_match.lgcn");
+  ASSERT_TRUE(SaveCheckpointV2(path, {&a}, nullptr).ok());
+
+  Parameter other("other", 2, 2);
+  EXPECT_EQ(LoadCheckpointV2(path, {&other}, nullptr).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  Parameter wrong("a", 3, 2);
+  EXPECT_EQ(LoadCheckpointV2(path, {&wrong}, nullptr).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  // A failed load must not have touched the destination.
+  EXPECT_TRUE(wrong.value.Equals(Parameter("a", 3, 2).value));
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, TornWriteFaultIsDetectedOnRead) {
+  util::Rng rng(5);
+  Parameter p("emb", 16, 8);
+  p.InitXavier(&rng);
+  const std::string path = TempPath("v2_torn.lgcn");
+  util::fault::Arm("checkpoint.torn_write");
+  // The writer believes it succeeded — that is the point of the fault.
+  ASSERT_TRUE(SaveCheckpointV2(path, {&p}, nullptr).ok());
+  EXPECT_FALSE(ValidateCheckpoint(path).ok());
+  // Retry after the one-shot fault: the atomic path works again.
+  ASSERT_TRUE(SaveCheckpointV2(path, {&p}, nullptr).ok());
+  EXPECT_TRUE(ValidateCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, ShortReadAndBitFlipFaultsAreDataLoss) {
+  util::Rng rng(6);
+  Parameter p("emb", 16, 8);
+  p.InitXavier(&rng);
+  const std::string path = TempPath("v2_readfault.lgcn");
+  ASSERT_TRUE(SaveCheckpointV2(path, {&p}, nullptr).ok());
+
+  util::fault::Arm("checkpoint.short_read");
+  EXPECT_EQ(ValidateCheckpoint(path).code(), util::StatusCode::kDataLoss);
+  EXPECT_TRUE(ValidateCheckpoint(path).ok());  // fault was one-shot
+
+  util::fault::Arm("checkpoint.bit_flip");
+  EXPECT_EQ(ValidateCheckpoint(path).code(), util::StatusCode::kDataLoss);
+  EXPECT_TRUE(ValidateCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointV2Test, ManagerRotatesAndKeepsNewest) {
+  const std::string dir = TempDirFor("mgr_rotate");
+  util::Rng rng(7);
+  Parameter p("emb", 4, 2);
+  p.InitXavier(&rng);
+  CheckpointManager mgr(dir, /*keep_last=*/3);
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    TrainingState st = MakeState();
+    st.epoch = epoch;
+    ASSERT_TRUE(mgr.Write({&p}, st).ok());
+  }
+  const auto files = CheckpointManager::ListCheckpoints(dir);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].first, 3);
+  EXPECT_EQ(files[2].first, 5);
+  fs::remove_all(dir);
+}
+
+TEST_F(CheckpointV2Test, ManagerFallsBackPastCorruptNewest) {
+  obs::SetEnabled(true);
+  const std::string dir = TempDirFor("mgr_fallback");
+  util::Rng rng(8);
+  Parameter p("emb", 4, 2);
+  CheckpointManager mgr(dir, 3);
+  tensor::Matrix value_at_2;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    p.InitXavier(&rng);
+    if (epoch == 2) value_at_2 = p.value;
+    TrainingState st = MakeState();
+    st.epoch = epoch;
+    ASSERT_TRUE(mgr.Write({&p}, st).ok());
+  }
+  // Corrupt the newest file: fallback must land on epoch 2.
+  fs::resize_file(CheckpointManager::CheckpointPath(dir, 3), 20);
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+
+  Parameter p2("emb", 4, 2);
+  TrainingState restored;
+  ASSERT_TRUE(mgr.RestoreLatest({&p2}, &restored).ok());
+  EXPECT_EQ(restored.epoch, 2);
+  EXPECT_TRUE(p2.value.Equals(value_at_2));
+
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterDelta(before, "checkpoint.fallbacks"), 1u);
+  fs::remove_all(dir);
+}
+
+TEST_F(CheckpointV2Test, ManagerNotFoundWhenNothingValid) {
+  const std::string dir = TempDirFor("mgr_empty");
+  CheckpointManager mgr(dir, 3);
+  Parameter p("emb", 4, 2);
+  EXPECT_EQ(mgr.RestoreLatest({&p}, nullptr).code(),
+            util::StatusCode::kNotFound);
+  // A directory holding only corrupt files is also NotFound.
+  {
+    std::ofstream out(CheckpointManager::CheckpointPath(dir, 1),
+                      std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_EQ(mgr.RestoreLatest({&p}, nullptr).code(),
+            util::StatusCode::kNotFound);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace layergcn::train

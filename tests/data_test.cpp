@@ -8,6 +8,7 @@
 #include "data/split.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "util/status.h"
 
 namespace layergcn::data {
 namespace {
@@ -200,6 +201,79 @@ TEST(LoaderDeathTest, MissingFileAborts) {
   int32_t nu, ni;
   EXPECT_DEATH((void)LoadInteractions("/nonexistent/x.csv", opts, &nu, &ni),
                "cannot open");
+}
+
+TEST(LoaderTest, MissingFileIsNotFound) {
+  LoaderOptions opts;
+  int32_t nu = 0, ni = 0;
+  const auto r = LoadInteractionsOr("/nonexistent/x.csv", opts, &nu, &ni);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+std::string WriteTempCsv(const char* name, const char* content) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(LoaderTest, MalformedRowsSkippedAndCountedWithinBudget) {
+  const std::string path = WriteTempCsv("layergcn_loader_malformed.csv",
+                                        "0,1,100\n"
+                                        "only_one_field\n"   // too few fields
+                                        "1,0,notatime\n"     // bad timestamp
+                                        "0,2,300\n");
+  LoaderOptions opts;
+  opts.max_malformed = 2;
+  LoadStats stats;
+  int32_t nu = 0, ni = 0;
+  const auto loaded = LoadInteractionsOr(path, opts, &nu, &ni, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(stats.rows_total, 4);
+  EXPECT_EQ(stats.rows_loaded, 2);
+  EXPECT_EQ(stats.rows_malformed, 2);
+  EXPECT_EQ(stats.malformed_lines, (std::vector<int64_t>{2, 3}));
+  // Skipped rows must not mint user/item ids.
+  EXPECT_EQ(nu, 1);  // "0"
+  EXPECT_EQ(ni, 2);  // "1", "2"
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, StrictDefaultRejectsFirstMalformedRow) {
+  const std::string path = WriteTempCsv("layergcn_loader_strict.csv",
+                                        "0,1,100\nbroken\n0,2,300\n");
+  LoaderOptions opts;  // max_malformed defaults to 0: strict
+  int32_t nu = 0, ni = 0;
+  const auto r = LoadInteractionsOr(path, opts, &nu, &ni);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+  // The error names the offending line.
+  EXPECT_NE(r.status().message().find("malformed"), std::string::npos);
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, BudgetExhaustionIsInvalidArgument) {
+  const std::string path = WriteTempCsv("layergcn_loader_budget.csv",
+                                        "bad\nworse\nstill_bad\n");
+  LoaderOptions opts;
+  opts.max_malformed = 2;
+  int32_t nu = 0, ni = 0;
+  const auto r = LoadInteractionsOr(path, opts, &nu, &ni);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(LoaderDeathTest, LegacyLoaderAbortsOnMalformedRow) {
+  const std::string path = WriteTempCsv("layergcn_loader_legacy_bad.csv",
+                                        "0,1,100\nbroken\n");
+  LoaderOptions opts;
+  int32_t nu = 0, ni = 0;
+  EXPECT_DEATH((void)LoadInteractions(path, opts, &nu, &ni), "malformed");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+#include "util/fault_injection.h"
+
+#include "gtest/gtest.h"
+
+namespace layergcn::util::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedPointNeverFires) {
+  EXPECT_FALSE(Fire("test.point"));
+  EXPECT_FALSE(Fire("test.point"));
+  EXPECT_EQ(HitCount("test.point"), 2);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, ArmedPointFiresOnceThenDisarms) {
+  Arm("test.one_shot");
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_TRUE(Fire("test.one_shot"));
+  // One-shot: the recovery retry of the same code path must succeed.
+  EXPECT_FALSE(Fire("test.one_shot"));
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, TriggerOnNthHit) {
+  Arm("test.nth", /*trigger_on_hit=*/3);
+  EXPECT_FALSE(Fire("test.nth"));
+  EXPECT_FALSE(Fire("test.nth"));
+  EXPECT_TRUE(Fire("test.nth"));
+  EXPECT_FALSE(Fire("test.nth"));
+}
+
+TEST_F(FaultInjectionTest, RearmResetsHitCount) {
+  Arm("test.rearm", 2);
+  EXPECT_FALSE(Fire("test.rearm"));
+  Arm("test.rearm", 2);  // reset: needs two more hits
+  EXPECT_FALSE(Fire("test.rearm"));
+  EXPECT_TRUE(Fire("test.rearm"));
+}
+
+TEST_F(FaultInjectionTest, DisarmSpecificPoint) {
+  Arm("test.a");
+  Arm("test.b");
+  Disarm("test.a");
+  EXPECT_FALSE(Fire("test.a"));
+  EXPECT_TRUE(Fire("test.b"));
+}
+
+TEST_F(FaultInjectionTest, ArmedPointsLists) {
+  Arm("test.x");
+  Arm("test.y");
+  const std::vector<std::string> armed = ArmedPoints();
+  EXPECT_EQ(armed.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, IndependentPointsDoNotInterfere) {
+  Arm("test.only_this");
+  EXPECT_FALSE(Fire("test.other"));
+  EXPECT_TRUE(Fire("test.only_this"));
+}
+
+}  // namespace
+}  // namespace layergcn::util::fault

@@ -1,0 +1,256 @@
+// End-to-end fault tolerance of the training loop:
+//
+//  1. Kill-and-resume determinism — a run interrupted by a graceful stop
+//     and resumed from its checkpoint must be bit-identical (final
+//     embeddings, losses, validation curve, test metrics) to an
+//     uninterrupted run, at 1 and 8 compute threads.
+//  2. Divergence watchdog — an injected NaN loss rolls back to the last
+//     good checkpoint and (with lr decay disabled) replays to the same
+//     bit-identical result; without a checkpoint it fails with a
+//     structured error instead of training on NaNs.
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/layergcn.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "train/checkpoint.h"
+#include "train/stop_token.h"
+#include "train/trainer.h"
+#include "util/fault_injection.h"
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace layergcn::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+data::Dataset MidDataset() {
+  data::SyntheticConfig cfg;
+  cfg.name = "resume";
+  cfg.num_users = 300;
+  cfg.num_items = 200;
+  cfg.num_interactions = 3000;
+  std::vector<data::Interaction> interactions =
+      data::GenerateInteractions(cfg, /*seed=*/99);
+  return data::ChronologicalSplitDataset("resume", cfg.num_users,
+                                         cfg.num_items,
+                                         std::move(interactions), 0.8, 0.1);
+}
+
+TrainConfig ResumeConfig() {
+  TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_layers = 2;
+  cfg.batch_size = 256;
+  cfg.max_epochs = 6;
+  cfg.edge_drop_kind = graph::EdgeDropKind::kDegreeDrop;
+  cfg.edge_drop_ratio = 0.2;
+  cfg.eval_every = 2;
+  cfg.early_stop_patience = 1000;
+  cfg.seed = 21;
+  return cfg;
+}
+
+// LayerGCN that requests a graceful stop after `stop_after` full epochs —
+// a deterministic stand-in for SIGINT arriving mid-run.
+class StoppingLayerGcn : public core::LayerGcn {
+ public:
+  explicit StoppingLayerGcn(int stop_after) : stop_after_(stop_after) {}
+
+  double TrainEpoch(util::Rng* rng,
+                    std::vector<double>* batch_losses) override {
+    const double loss = core::LayerGcn::TrainEpoch(rng, batch_losses);
+    if (++epochs_done_ == stop_after_) RequestGracefulStop();
+    return loss;
+  }
+
+ private:
+  int stop_after_;
+  int epochs_done_ = 0;
+};
+
+struct RunOutput {
+  TrainResult result;
+  tensor::Matrix embeddings;
+};
+
+RunOutput Uninterrupted(const data::Dataset& ds) {
+  core::LayerGcn model;
+  RunOutput out;
+  out.result = FitRecommender(&model, ds, ResumeConfig());
+  out.embeddings = model.Params()[0]->value;
+  return out;
+}
+
+// Interrupt after `stop_after` epochs with checkpointing on, then resume a
+// fresh model from the directory and train to completion. The stop request
+// lands after epoch `stop_after` finishes, so the trainer discards that
+// epoch (it cannot know the boundary was clean) and resume replays it.
+RunOutput KillAndResume(const data::Dataset& ds, const std::string& dir,
+                        int stop_after) {
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  {
+    StoppingLayerGcn model(stop_after);
+    const TrainResult r = FitRecommender(&model, ds, ResumeConfig(), options);
+    EXPECT_TRUE(r.interrupted);
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  ClearStopRequest();
+  options.resume = true;
+  core::LayerGcn fresh;
+  RunOutput out;
+  out.result = FitRecommender(&fresh, ds, ResumeConfig(), options);
+  out.embeddings = fresh.Params()[0]->value;
+  return out;
+}
+
+void ExpectBitIdentical(const RunOutput& a, const RunOutput& b,
+                        const char* what) {
+  ASSERT_EQ(a.result.epoch_losses.size(), b.result.epoch_losses.size())
+      << what;
+  for (size_t e = 0; e < a.result.epoch_losses.size(); ++e) {
+    EXPECT_EQ(a.result.epoch_losses[e], b.result.epoch_losses[e])
+        << what << " epoch " << e;
+  }
+  EXPECT_EQ(a.result.valid_curve, b.result.valid_curve) << what;
+  EXPECT_EQ(a.result.best_epoch, b.result.best_epoch) << what;
+  EXPECT_EQ(a.result.best_valid_score, b.result.best_valid_score) << what;
+  EXPECT_EQ(a.result.test_metrics.ToString(), b.result.test_metrics.ToString())
+      << what;
+  ASSERT_EQ(a.embeddings.size(), b.embeddings.size()) << what;
+  EXPECT_EQ(0, std::memcmp(a.embeddings.data(), b.embeddings.data(),
+                           sizeof(float) *
+                               static_cast<size_t>(a.embeddings.size())))
+      << what;
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::fault::DisarmAll();
+    ClearStopRequest();
+  }
+  void TearDown() override {
+    util::fault::DisarmAll();
+    ClearStopRequest();
+  }
+};
+
+TEST_F(ResumeTest, KillAndResumeIsBitIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = MidDataset();
+
+  RunOutput base_w1, resumed_w1;
+  {
+    util::ThreadPool pool(1);
+    util::parallel::ScopedComputePool scope(&pool);
+    base_w1 = Uninterrupted(ds);
+    const std::string dir = TempDirFor("resume_w1");
+    resumed_w1 = KillAndResume(ds, dir, /*stop_after=*/3);
+    fs::remove_all(dir);
+  }
+  EXPECT_EQ(resumed_w1.result.start_epoch, 3);
+  ExpectBitIdentical(base_w1, resumed_w1, "width 1");
+
+  {
+    util::ThreadPool pool(8);
+    util::parallel::ScopedComputePool scope(&pool);
+    const std::string dir = TempDirFor("resume_w8");
+    const RunOutput resumed_w8 = KillAndResume(ds, dir, /*stop_after=*/3);
+    fs::remove_all(dir);
+    // The resumed run is also identical across widths: resume composes
+    // with the deterministic parallel layer.
+    ExpectBitIdentical(base_w1, resumed_w8, "width 8");
+  }
+}
+
+TEST_F(ResumeTest, ResumeAfterCompletionDoesNotRetrain) {
+  const data::Dataset ds = MidDataset();
+  const std::string dir = TempDirFor("resume_done");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  core::LayerGcn model;
+  const TrainResult first = FitRecommender(&model, ds, ResumeConfig(), options);
+  ASSERT_TRUE(first.status.ok());
+
+  options.resume = true;
+  core::LayerGcn again;
+  const TrainResult second =
+      FitRecommender(&again, ds, ResumeConfig(), options);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.start_epoch, ResumeConfig().max_epochs + 1);
+  EXPECT_EQ(second.epoch_losses, first.epoch_losses);
+  EXPECT_EQ(second.test_metrics.ToString(), first.test_metrics.ToString());
+  fs::remove_all(dir);
+}
+
+TEST_F(ResumeTest, ResumeWithoutDirectoryIsFailedPrecondition) {
+  const data::Dataset ds = MidDataset();
+  TrainOptions options;
+  options.resume = true;  // no checkpoint_dir
+  core::LayerGcn model;
+  const TrainResult r = FitRecommender(&model, ds, ResumeConfig(), options);
+  EXPECT_EQ(r.status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumeTest, WatchdogRollsBackAndReplaysBitIdentically) {
+  const data::Dataset ds = MidDataset();
+  const RunOutput base = Uninterrupted(ds);
+
+  const std::string dir = TempDirFor("watchdog_recover");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  options.watchdog_lr_decay = 1.0;  // isolate the rollback determinism
+  util::fault::Arm("trainer.nan_loss", /*trigger_on_hit=*/3);
+
+  core::LayerGcn model;
+  RunOutput recovered;
+  recovered.result = FitRecommender(&model, ds, ResumeConfig(), options);
+  recovered.embeddings = model.Params()[0]->value;
+  ASSERT_TRUE(recovered.result.status.ok())
+      << recovered.result.status.ToString();
+  EXPECT_EQ(recovered.result.watchdog_rollbacks, 1);
+  // Epoch 3 diverged, rolled back to the epoch-2 checkpoint, and replayed
+  // without the fault: the outcome must match the clean run exactly.
+  ExpectBitIdentical(base, recovered, "watchdog recovery");
+  fs::remove_all(dir);
+}
+
+TEST_F(ResumeTest, WatchdogWithoutCheckpointIsStructuredError) {
+  const data::Dataset ds = MidDataset();
+  util::fault::Arm("trainer.nan_loss", /*trigger_on_hit=*/1);
+  core::LayerGcn model;
+  const TrainResult r = FitRecommender(&model, ds, ResumeConfig());
+  EXPECT_EQ(r.status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(r.watchdog_rollbacks, 0);
+}
+
+TEST_F(ResumeTest, WatchdogBudgetExhaustionIsResourceExhausted) {
+  const data::Dataset ds = MidDataset();
+  const std::string dir = TempDirFor("watchdog_budget");
+  TrainOptions options;
+  options.checkpoint_dir = dir;
+  options.watchdog_max_rollbacks = 0;
+  util::fault::Arm("trainer.nan_loss", /*trigger_on_hit=*/2);
+  core::LayerGcn model;
+  const TrainResult r = FitRecommender(&model, ds, ResumeConfig(), options);
+  EXPECT_EQ(r.status.code(), util::StatusCode::kResourceExhausted);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace layergcn::train

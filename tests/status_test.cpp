@@ -1,0 +1,90 @@
+#include "util/status.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace layergcn::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(OkStatus().ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = DataLossError("crc mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "crc mismatch");
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: crc mismatch");
+
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  StatusOr<std::vector<int>> vec(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec.value().size(), 3u);
+  const std::vector<int> moved = std::move(vec).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> err(NotFoundError("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.status().message(), "missing");
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgumentError("not positive");
+  return v;
+}
+
+Status UsesReturnIfError(int v) {
+  const StatusOr<int> parsed = ParsePositive(v);
+  LAYERGCN_RETURN_IF_ERROR(parsed.status());
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  const Status s = UsesReturnIfError(-1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusDeathTest, ValueOnErrorDies) {
+  const StatusOr<int> err(DataLossError("torn file"));
+  EXPECT_DEATH((void)err.value(), "torn file");
+}
+
+TEST(StatusDeathTest, CheckOkDiesOnError) {
+  EXPECT_DEATH(LAYERGCN_CHECK_OK(UnavailableError("disk gone")),
+               "disk gone");
+}
+
+}  // namespace
+}  // namespace layergcn::util

@@ -19,6 +19,12 @@
 # --metrics-out, --telemetry-out) and gates the outputs with
 # validate_jsonl: any malformed JSON/JSONL fails the check.
 #
+# The `fault` stage re-runs the CLI under ASan/UBSan with each
+# LAYERGCN_FAULT injection point armed (torn checkpoint write, short read,
+# bit flip, NaN loss). Every injected fault must be handled gracefully —
+# exit 0 (recovered) or exit 1 (structured error) — never a crash, abort,
+# or sanitizer report.
+#
 # Usage: tools/check.sh [build-root]     (default: build-check/)
 # Exits non-zero on the first failing build or test.
 
@@ -58,6 +64,47 @@ run_obs_stage() {
 run_obs_stage
 
 run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
+
+# Fault-injection sweep: the ASan/UBSan CLI must survive every injection
+# point without crashing (exit 0 = recovered, exit 1 = structured error).
+run_fault_stage() {
+  local dir="${build_root}/asan-ubsan"
+  local out="${build_root}/fault-out"
+  mkdir -p "${out}"
+  local faults=(
+    "checkpoint.torn_write"
+    "checkpoint.short_read"
+    "checkpoint.bit_flip"
+    "trainer.nan_loss:2"
+    "checkpoint.torn_write,checkpoint.bit_flip"
+  )
+  for fault in "${faults[@]}"; do
+    echo "=== [fault] LAYERGCN_FAULT=${fault} ==="
+    local ckpt_dir="${out}/ckpt-${fault//[^a-z0-9_]/-}"
+    rm -rf "${ckpt_dir}"
+    local rc=0
+    LAYERGCN_FAULT="${fault}" \
+      "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=4 \
+      --model=LayerGCN --checkpoint-dir="${ckpt_dir}" \
+      --telemetry-out="${out}/telemetry-${fault//[^a-z0-9_]/-}.jsonl" \
+      || rc=$?
+    if [[ "${rc}" -gt 1 ]]; then
+      echo "FAULT STAGE FAILED: LAYERGCN_FAULT=${fault} exited ${rc}" \
+           "(expected graceful 0 or 1)"
+      exit 1
+    fi
+    # Whatever happened, the telemetry stream must still be valid JSONL
+    # (NaN losses serialize as null) and carry the watchdog counters.
+    "${dir}/tools/validate_jsonl" \
+      "${out}/telemetry-${fault//[^a-z0-9_]/-}.jsonl"
+  done
+  # A faulted run must remain resumable: the surviving checkpoints restore.
+  echo "=== [fault] resume after injected faults ==="
+  LAYERGCN_FAULT="" "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 \
+    --epochs=4 --model=LayerGCN \
+    --checkpoint-dir="${out}/ckpt-checkpoint-torn_write" --resume
+}
+run_fault_stage
 
 # LAYERGCN_SANITIZE=thread exercises the parallel layer under TSan with a
 # pool wide enough to interleave even on small CI machines.

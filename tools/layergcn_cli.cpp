@@ -22,7 +22,9 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "train/checkpoint.h"
+#include "train/stop_token.h"
 #include "util/parallel.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +57,12 @@ struct Flags {
   bool verbose = false;
   int threads = 0;  // 0 = hardware concurrency / LAYERGCN_NUM_THREADS
 
+  std::string checkpoint_dir;  // rotating fault-tolerance checkpoints
+  int checkpoint_every = 1;
+  int keep_checkpoints = 3;
+  bool resume = false;
+  int64_t max_malformed = 0;  // tolerated malformed CSV rows
+
   std::string trace_out;      // Chrome trace-event JSON
   std::string metrics_out;    // metrics snapshot JSON
   std::string telemetry_out;  // per-epoch JSONL telemetry
@@ -84,6 +92,15 @@ void PrintUsage(const char* argv0) {
       "  --threads=N        compute threads (default: LAYERGCN_NUM_THREADS\n"
       "                     env var, else hardware concurrency); results are\n"
       "                     bit-identical for every N\n"
+      "fault tolerance:\n"
+      "  --checkpoint-dir=DIR rotating full-state training checkpoints\n"
+      "  --checkpoint-every=N checkpoint write cadence in epochs (default 1)\n"
+      "  --keep-checkpoints=N retain the newest N checkpoints (default 3)\n"
+      "  --resume             resume from the newest valid checkpoint;\n"
+      "                       the resumed run is bit-identical to an\n"
+      "                       uninterrupted one\n"
+      "  --max-malformed=N    tolerate up to N malformed CSV rows, skipped\n"
+      "                       with a warning (default 0 = strict)\n"
       "observability:\n"
       "  --trace-out=PATH     Chrome trace-event JSON (chrome://tracing)\n"
       "  --metrics-out=PATH   final metrics snapshot JSON\n"
@@ -154,6 +171,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->verbose = true;
     } else if (key == "--threads") {
       ok = as_int(&flags->threads) && flags->threads >= 0;
+    } else if (key == "--checkpoint-dir") {
+      flags->checkpoint_dir = value;
+    } else if (key == "--checkpoint-every") {
+      ok = as_int(&flags->checkpoint_every) && flags->checkpoint_every >= 1;
+    } else if (key == "--keep-checkpoints") {
+      ok = as_int(&flags->keep_checkpoints) && flags->keep_checkpoints >= 1;
+    } else if (key == "--resume") {
+      flags->resume = true;
+    } else if (key == "--max-malformed") {
+      ok = as_int(&flags->max_malformed) && flags->max_malformed >= 0;
     } else if (key == "--trace-out") {
       flags->trace_out = value;
     } else if (key == "--metrics-out") {
@@ -173,6 +200,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   if (flags->dataset.empty() == flags->data_path.empty()) {
     std::fprintf(stderr,
                  "exactly one of --dataset or --data must be given\n");
+    return false;
+  }
+  if (flags->resume && flags->checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
     return false;
   }
   return true;
@@ -213,10 +244,24 @@ int main(int argc, char** argv) {
         data::MakeBenchmarkDataset(flags.dataset, flags.scale, flags.seed);
   } else {
     int32_t num_users = 0, num_items = 0;
-    auto interactions = data::LoadInteractions(flags.data_path, {},
-                                               &num_users, &num_items);
+    data::LoaderOptions loader_options;
+    loader_options.max_malformed = flags.max_malformed;
+    data::LoadStats load_stats;
+    auto interactions = data::LoadInteractionsOr(
+        flags.data_path, loader_options, &num_users, &num_items, &load_stats);
+    if (!interactions.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", flags.data_path.c_str(),
+                   interactions.status().ToString().c_str());
+      return 1;
+    }
+    if (load_stats.rows_malformed > 0) {
+      std::printf("skipped %lld malformed row(s) of %lld\n",
+                  static_cast<long long>(load_stats.rows_malformed),
+                  static_cast<long long>(load_stats.rows_total));
+    }
     dataset = data::ChronologicalSplitDataset(
-        flags.data_path, num_users, num_items, std::move(interactions));
+        flags.data_path, num_users, num_items,
+        std::move(interactions).value());
   }
   std::printf("%s\n", dataset.Summary().c_str());
 
@@ -245,15 +290,21 @@ int main(int argc, char** argv) {
 
   // --- Train (or restore) ---
   auto model = core::CreateModel(flags.model);
+  int exit_code = 0;
   if (!flags.load_path.empty()) {
     // Restore: initialize the architecture, then load the checkpoint and
     // evaluate without training.
     util::Rng rng(cfg.seed);
     model->Init(dataset, core::AdaptConfig(flags.model, cfg), &rng);
     model->BeginEpoch(1, &rng);
-    const int restored =
-        train::LoadCheckpoint(flags.load_path, model->Params());
-    std::printf("restored %d parameters from %s\n", restored,
+    const util::StatusOr<int> restored =
+        train::LoadCheckpointV2(flags.load_path, model->Params(), nullptr);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot restore %s: %s\n", flags.load_path.c_str(),
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %d parameters from %s\n", restored.value(),
                 flags.load_path.c_str());
     const eval::RankingMetrics m = train::EvaluateRecommender(
         model.get(), dataset, ks, eval::EvalSplit::kTest);
@@ -263,17 +314,49 @@ int main(int argc, char** argv) {
     options.report_ks = ks;
     options.verbose = flags.verbose;
     options.telemetry_path = flags.telemetry_out;
+    options.checkpoint_dir = flags.checkpoint_dir;
+    options.checkpoint_every = flags.checkpoint_every;
+    options.keep_checkpoints = flags.keep_checkpoints;
+    options.resume = flags.resume;
+    // SIGINT/SIGTERM stop training at the next batch boundary after writing
+    // a resumable checkpoint, instead of killing the process mid-write.
+    train::InstallStopSignalHandlers();
     const train::TrainResult result = train::FitRecommender(
         model.get(), dataset, core::AdaptConfig(flags.model, cfg), options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    if (result.interrupted) {
+      std::printf("training interrupted after epoch %d%s\n",
+                  result.epochs_run,
+                  flags.checkpoint_dir.empty()
+                      ? ""
+                      : "; rerun with --resume to continue");
+      exit_code = 2;
+    }
     std::printf("model=%s best_epoch=%d epochs_run=%d train_time=%.1fs\n",
                 flags.model.c_str(), result.best_epoch, result.epochs_run,
                 result.train_seconds);
+    if (result.start_epoch > 1) {
+      std::printf("resumed at epoch %d\n", result.start_epoch);
+    }
+    if (result.watchdog_rollbacks > 0) {
+      std::printf("watchdog rollbacks: %d\n", result.watchdog_rollbacks);
+    }
     std::printf("test: %s\n", result.test_metrics.ToString().c_str());
     if (!result.telemetry_path.empty()) {
       std::printf("wrote telemetry to %s\n", result.telemetry_path.c_str());
     }
     if (!flags.save_path.empty()) {
-      train::SaveCheckpoint(flags.save_path, model->Params());
+      const util::Status saved =
+          train::SaveCheckpointV2(flags.save_path, model->Params(), nullptr);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "cannot save %s: %s\n", flags.save_path.c_str(),
+                     saved.ToString().c_str());
+        return 1;
+      }
       std::printf("saved checkpoint to %s\n", flags.save_path.c_str());
     }
   }
@@ -323,5 +406,5 @@ int main(int argc, char** argv) {
                 static_cast<long long>(obs::TraceRecorder::Global().NumEvents()),
                 flags.trace_out.c_str());
   }
-  return 0;
+  return exit_code;
 }

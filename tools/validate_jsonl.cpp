@@ -4,13 +4,16 @@
 //
 // Files ending in .jsonl are validated line by line (every non-empty line
 // must be a complete JSON object); anything else must be one valid JSON
-// document. Used by tools/check.sh to gate the CLI's --trace-out,
+// document. Telemetry records ("type":"epoch") are additionally checked
+// against the EpochTelemetry schema: required keys present, no unknown
+// keys. Used by tools/check.sh to gate the CLI's --trace-out,
 // --metrics-out, and --telemetry-out outputs. Exits non-zero if any file
 // is missing, empty, or malformed.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -21,6 +24,51 @@ namespace {
 bool HasSuffix(const std::string& s, const char* suffix) {
   const size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Must track obs::EpochTelemetryJson: every key it always writes, plus the
+// eval block on evaluated epochs.
+const std::set<std::string>& EpochRequiredKeys() {
+  static const std::set<std::string> keys = {
+      "type",           "epoch",          "loss",
+      "batch_count",    "batch_loss_min", "batch_loss_max",
+      "batch_loss_mean", "grad_norm",     "embedding_norm",
+      "adam_lr",        "adam_steps",     "neg_sampled",
+      "neg_rejected",   "checkpoint_writes", "checkpoint_fallbacks",
+      "watchdog_rollbacks", "epoch_seconds", "graph_seconds",
+      "sampler_seconds", "forward_seconds", "backward_seconds",
+      "adam_seconds"};
+  return keys;
+}
+
+const std::set<std::string>& EpochOptionalKeys() {
+  static const std::set<std::string> keys = {"eval_k", "eval_recall",
+                                             "eval_ndcg", "eval_seconds"};
+  return keys;
+}
+
+// Schema check for one "type":"epoch" telemetry record.
+bool ValidateEpochRecord(const layergcn::obs::JsonValue& value,
+                         const std::string& path, int64_t line_no) {
+  for (const std::string& key : EpochRequiredKeys()) {
+    if (value.Find(key) == nullptr) {
+      std::fprintf(stderr, "%s:%lld: epoch record missing key \"%s\"\n",
+                   path.c_str(), static_cast<long long>(line_no),
+                   key.c_str());
+      return false;
+    }
+  }
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    if (EpochRequiredKeys().count(key) == 0 &&
+        EpochOptionalKeys().count(key) == 0) {
+      std::fprintf(stderr, "%s:%lld: epoch record has unknown key \"%s\"\n",
+                   path.c_str(), static_cast<long long>(line_no),
+                   key.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 bool ValidateJsonl(const std::string& path, std::ifstream* in) {
@@ -40,6 +88,11 @@ bool ValidateJsonl(const std::string& path, std::ifstream* in) {
     if (value.type != layergcn::obs::JsonValue::Type::kObject) {
       std::fprintf(stderr, "%s:%lld: line is not a JSON object\n",
                    path.c_str(), static_cast<long long>(line_no));
+      return false;
+    }
+    const layergcn::obs::JsonValue* type = value.Find("type");
+    if (type != nullptr && type->is_string() && type->string == "epoch" &&
+        !ValidateEpochRecord(value, path, line_no)) {
       return false;
     }
     ++records;
