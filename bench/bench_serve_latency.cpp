@@ -1,0 +1,276 @@
+// Benchmark: recommendation serving latency under concurrent load.
+//
+// Builds a synthetic model snapshot (random embeddings + histories),
+// publishes it through a SnapshotStore, and drives a RecommendService from
+// several client threads. Two passes:
+//
+//   clean    no deadlines, no faults — the baseline p50/p99 of the fused
+//            scoring path under contention for the shared compute pool
+//   faulted  every request carries a deadline budget and each client
+//            periodically arms the serve.slow_score fault point — the pass
+//            exercises the degradation ladder (partial results, structured
+//            DeadlineExceeded, breaker-driven popularity fallback) and
+//            must stay crash-free with every response structured
+//
+// Emits BENCH_serve_latency.json. Acceptance: every request in both passes
+// resolves to a structured outcome (exit 2 on any unexpected status), and
+// the faulted pass actually hit the ladder (some partial/degraded/deadline
+// outcome was observed).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiments/env.h"
+#include "obs/obs.h"
+#include "serve/recommend_service.h"
+#include "serve/snapshot.h"
+#include "tensor/matrix.h"
+#include "train/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+using namespace layergcn;
+
+namespace {
+
+struct PassResult {
+  std::string name;
+  int client_threads = 0;
+  int64_t requests = 0;
+  int64_t ok_complete = 0;
+  int64_t partial = 0;
+  int64_t degraded = 0;
+  int64_t deadline_errors = 0;
+  int64_t other_errors = 0;  // anything outside the structured set
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+double Percentile(std::vector<uint64_t>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies->size())));
+  return static_cast<double>((*latencies)[idx]);
+}
+
+PassResult RunPass(serve::RecommendService* service, const std::string& name,
+                   int client_threads, int64_t requests_per_client,
+                   int32_t num_users, uint64_t budget_us, int fault_every,
+                   uint64_t seed) {
+  PassResult out;
+  out.name = name;
+  out.client_threads = client_threads;
+
+  std::vector<std::vector<uint64_t>> latencies(
+      static_cast<size_t>(client_threads));
+  std::vector<PassResult> partials(static_cast<size_t>(client_threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(seed + static_cast<uint64_t>(c) * 7919);
+      PassResult& mine = partials[static_cast<size_t>(c)];
+      for (int64_t i = 0; i < requests_per_client; ++i) {
+        if (fault_every > 0 && i % fault_every == 0) {
+          util::fault::Arm("serve.slow_score");
+        }
+        serve::RecommendRequest req;
+        req.user_id = static_cast<int32_t>(
+            rng.NextBounded(static_cast<uint64_t>(num_users)));
+        req.k = 20;
+        req.budget_us = budget_us;
+        const uint64_t t0 = obs::NowMicros();
+        const util::StatusOr<serve::RecommendResponse> r =
+            service->Recommend(req);
+        latencies[static_cast<size_t>(c)].push_back(obs::NowMicros() - t0);
+        ++mine.requests;
+        if (r.ok()) {
+          if (r.value().degraded) {
+            ++mine.degraded;
+          } else if (r.value().partial) {
+            ++mine.partial;
+          } else {
+            ++mine.ok_complete;
+          }
+        } else if (r.status().code() == util::StatusCode::kDeadlineExceeded) {
+          ++mine.deadline_errors;
+        } else {
+          ++mine.other_errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  util::fault::DisarmAll();
+
+  std::vector<uint64_t> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  for (const PassResult& p : partials) {
+    out.requests += p.requests;
+    out.ok_complete += p.ok_complete;
+    out.partial += p.partial;
+    out.degraded += p.degraded;
+    out.deadline_errors += p.deadline_errors;
+    out.other_errors += p.other_errors;
+  }
+  uint64_t sum = 0;
+  for (uint64_t v : all) sum += v;
+  out.mean_us =
+      all.empty() ? 0.0
+                  : static_cast<double>(sum) / static_cast<double>(all.size());
+  out.p50_us = Percentile(&all, 0.50);
+  out.p99_us = Percentile(&all, 0.99);
+  return out;
+}
+
+void PrintPass(const PassResult& r) {
+  std::printf(
+      "%-8s  %ld req x %d clients  p50 %7.0fus  p99 %7.0fus  mean %7.0fus\n"
+      "          complete %ld, partial %ld, degraded %ld, deadline %ld, "
+      "other %ld\n",
+      r.name.c_str(), static_cast<long>(r.requests), r.client_threads,
+      r.p50_us, r.p99_us, r.mean_us, static_cast<long>(r.ok_complete),
+      static_cast<long>(r.partial), static_cast<long>(r.degraded),
+      static_cast<long>(r.deadline_errors), static_cast<long>(r.other_errors));
+}
+
+void WritePassJson(FILE* out, const PassResult& r, bool last) {
+  std::fprintf(out,
+               "    {\"pass\": \"%s\", \"requests\": %ld, "
+               "\"client_threads\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+               "\"mean_us\": %.1f, \"complete\": %ld, \"partial\": %ld, "
+               "\"degraded\": %ld, \"deadline_errors\": %ld, "
+               "\"other_errors\": %ld}%s\n",
+               r.name.c_str(), static_cast<long>(r.requests),
+               r.client_threads, r.p50_us, r.p99_us, r.mean_us,
+               static_cast<long>(r.ok_complete), static_cast<long>(r.partial),
+               static_cast<long>(r.degraded),
+               static_cast<long>(r.deadline_errors),
+               static_cast<long>(r.other_errors), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Serving latency under concurrent load", env);
+  obs::SetEnabled(true);
+  util::fault::DisarmAll();
+
+  const double s = env.Scale(0.25, 1.0);
+  const int32_t num_users = static_cast<int32_t>(4000 * s);
+  const int32_t num_items = static_cast<int32_t>(8000 * s);
+  const int64_t dim = 64;
+
+  // Synthetic snapshot: random embeddings plus strided histories (so the
+  // exclusion path does real work).
+  train::ServingExport ex;
+  ex.version = 1;
+  ex.user_emb = tensor::Matrix(num_users, dim);
+  ex.item_emb = tensor::Matrix(num_items, dim);
+  util::Rng rng(env.seed);
+  ex.user_emb.UniformInit(&rng, -0.5f, 0.5f);
+  ex.item_emb.UniformInit(&rng, -0.5f, 0.5f);
+  ex.user_history.resize(static_cast<size_t>(num_users));
+  for (int32_t u = 0; u < num_users; ++u) {
+    const int32_t stride = 37 + u % 17;
+    for (int32_t i = u % stride; i < num_items; i += stride) {
+      ex.user_history[static_cast<size_t>(u)].push_back(i);
+    }
+  }
+
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "bench_serve_latency";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const util::Status saved = train::SaveServingExport(
+      serve::SnapshotStore::SnapshotPath(dir, 1), ex);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot export failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  serve::SnapshotStore store(dir);
+  const util::Status loaded = store.Reload();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot: %d users x %d items, dim %ld\n", num_users,
+              num_items, static_cast<long>(dim));
+
+  serve::RecommendServiceOptions opt;
+  opt.breaker.failure_threshold = 8;
+  opt.breaker.open_cooldown_us = 20000;
+  serve::RecommendService service(&store, opt);
+
+  const int clients = 4;
+  const int64_t per_client = env.Epochs(250, 1000);
+  std::vector<PassResult> passes;
+  passes.push_back(RunPass(&service, "clean", clients, per_client, num_users,
+                           /*budget_us=*/0, /*fault_every=*/0, env.seed));
+  PrintPass(passes.back());
+  passes.push_back(RunPass(&service, "faulted", clients, per_client,
+                           num_users, /*budget_us=*/2000, /*fault_every=*/16,
+                           env.seed + 1));
+  PrintPass(passes.back());
+  // Every request stalls past its budget: consecutive deadline failures
+  // trip the breaker and the service rides the popularity fallback.
+  passes.push_back(RunPass(&service, "storm", clients, per_client / 4 + 1,
+                           num_users, /*budget_us=*/1500, /*fault_every=*/1,
+                           env.seed + 2));
+  PrintPass(passes.back());
+
+  FILE* out = std::fopen("BENCH_serve_latency.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve_latency.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve_latency\",\n"
+               "  \"num_users\": %d,\n"
+               "  \"num_items\": %d,\n"
+               "  \"embedding_dim\": %ld,\n"
+               "  \"topk\": 20,\n"
+               "  \"passes\": [\n",
+               num_users, num_items, static_cast<long>(dim));
+  for (size_t i = 0; i < passes.size(); ++i) {
+    WritePassJson(out, passes[i], i + 1 == passes.size());
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_serve_latency.json\n");
+
+  bool ok = true;
+  for (const PassResult& r : passes) {
+    if (r.other_errors > 0) {
+      std::printf("acceptance: FAIL (%ld unstructured errors in %s pass)\n",
+                  static_cast<long>(r.other_errors), r.name.c_str());
+      ok = false;
+    }
+  }
+  const PassResult& faulted = passes.back();
+  const bool ladder_hit = faulted.partial + faulted.degraded +
+                              faulted.deadline_errors >
+                          0;
+  if (!ladder_hit) {
+    std::printf(
+        "acceptance: FAIL (fault pass never exercised the degradation "
+        "ladder)\n");
+    ok = false;
+  }
+  std::printf("acceptance: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

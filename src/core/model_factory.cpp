@@ -15,26 +15,42 @@
 
 namespace layergcn::core {
 
-std::unique_ptr<train::Recommender> CreateModel(const std::string& name) {
-  if (name == "BPR") return std::make_unique<models::BprMf>();
-  if (name == "MultiVAE") return std::make_unique<models::MultiVae>();
-  if (name == "EHCF") return std::make_unique<models::Ehcf>();
-  if (name == "BUIR") return std::make_unique<models::Buir>();
-  if (name == "NGCF") return std::make_unique<models::Ngcf>();
-  if (name == "LR-GCCF") return std::make_unique<models::LrGccf>();
-  if (name == "LightGCN") return std::make_unique<models::LightGcn>();
-  if (name == "LightGCN-LearnW") {
-    return std::make_unique<models::LightGcn>(
+util::StatusOr<std::unique_ptr<train::Recommender>> CreateModelOr(
+    const std::string& name) {
+  std::unique_ptr<train::Recommender> model;
+  if (name == "BPR") model = std::make_unique<models::BprMf>();
+  else if (name == "MultiVAE") model = std::make_unique<models::MultiVae>();
+  else if (name == "EHCF") model = std::make_unique<models::Ehcf>();
+  else if (name == "BUIR") model = std::make_unique<models::Buir>();
+  else if (name == "NGCF") model = std::make_unique<models::Ngcf>();
+  else if (name == "LR-GCCF") model = std::make_unique<models::LrGccf>();
+  else if (name == "LightGCN") model = std::make_unique<models::LightGcn>();
+  else if (name == "LightGCN-LearnW") {
+    model = std::make_unique<models::LightGcn>(
         models::LightGcnReadout::kLearnableWeights);
+  } else if (name == "UltraGCN") {
+    model = std::make_unique<models::UltraGcn>();
+  } else if (name == "IMP-GCN") {
+    model = std::make_unique<models::ImpGcn>();
+  } else if (name == "LayerGCN" || name == "LayerGCN-noDrop") {
+    model = std::make_unique<LayerGcn>();
+  } else if (name == "LayerGCN-SSL") {
+    model = std::make_unique<LayerGcnSsl>();
+  } else {
+    return util::InvalidArgumentError("unknown model: " + name);
   }
-  if (name == "UltraGCN") return std::make_unique<models::UltraGcn>();
-  if (name == "IMP-GCN") return std::make_unique<models::ImpGcn>();
-  if (name == "LayerGCN" || name == "LayerGCN-noDrop") {
-    return std::make_unique<LayerGcn>();
-  }
-  if (name == "LayerGCN-SSL") return std::make_unique<LayerGcnSsl>();
-  LAYERGCN_CHECK(false) << "unknown model: " << name;
-  return nullptr;
+  return model;
+}
+
+bool IsKnownModel(const std::string& name) {
+  return CreateModelOr(name).ok();
+}
+
+std::unique_ptr<train::Recommender> CreateModel(const std::string& name) {
+  util::StatusOr<std::unique_ptr<train::Recommender>> model =
+      CreateModelOr(name);
+  LAYERGCN_CHECK(model.ok()) << model.status().message();
+  return std::move(model).value();
 }
 
 train::TrainConfig AdaptConfig(const std::string& name,

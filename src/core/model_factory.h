@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "train/recommender.h"
+#include "util/status.h"
 
 namespace layergcn::core {
 
@@ -17,7 +18,15 @@ namespace layergcn::core {
 ///   "UltraGCN", "IMP-GCN", "LayerGCN" (full), "LayerGCN-noDrop"
 ///   (w/o Dropout variant), "LightGCN-LearnW" (Fig. 1 variant),
 ///   "LayerGCN-SSL" (self-supervised extension, paper §VI future work).
-/// Aborts on unknown names.
+/// Unknown names are an InvalidArgument (they usually arrive from CLI
+/// flags or experiment specs, i.e. user input, not programmer error).
+util::StatusOr<std::unique_ptr<train::Recommender>> CreateModelOr(
+    const std::string& name);
+
+/// True when `name` is a model CreateModelOr can build.
+bool IsKnownModel(const std::string& name);
+
+/// Legacy entry point: CreateModelOr that aborts on unknown names.
 std::unique_ptr<train::Recommender> CreateModel(const std::string& name);
 
 /// Adjusts shared config fields to each model's sensible defaults (e.g.

@@ -29,10 +29,36 @@ const std::vector<std::vector<int32_t>>& Evaluator::SplitTruth(
                                          : dataset_->test_items;
 }
 
+std::vector<int32_t> Evaluator::ValidUsers(EvalSplit split) const {
+  const auto& users = SplitUsers(split);
+  const auto& truth = SplitTruth(split);
+  const auto& user_items = dataset_->train_graph.user_items();
+  const int64_t id_space = std::min(
+      static_cast<int64_t>(dataset_->num_users),
+      std::min(static_cast<int64_t>(truth.size()),
+               static_cast<int64_t>(user_items.size())));
+  std::vector<int32_t> valid;
+  valid.reserve(users.size());
+  for (int32_t u : users) {
+    if (u >= 0 && static_cast<int64_t>(u) < id_space &&
+        !truth[static_cast<size_t>(u)].empty()) {
+      valid.push_back(u);
+    }
+  }
+  const size_t skipped = users.size() - valid.size();
+  if (skipped > 0) {
+    OBS_COUNT("eval.skipped_users", skipped);
+    LAYERGCN_LOG(kWarning)
+        << "skipped " << skipped << " of " << users.size()
+        << " split users (id out of range or empty ground truth)";
+  }
+  return valid;
+}
+
 RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
                                    EvalSplit split) const {
   OBS_SPAN("eval.evaluate");
-  const auto& users = SplitUsers(split);
+  const std::vector<int32_t> users = ValidUsers(split);
   const auto& truth = SplitTruth(split);
   RankingMetrics out;
   for (int k : ks_) {
@@ -88,14 +114,14 @@ RankingMetrics Evaluator::Evaluate(const ScoreFn& score_fn,
   return out;
 }
 
-std::vector<std::vector<int32_t>> Evaluator::RankSplit(
+std::vector<std::vector<int32_t>> Evaluator::RankUsers(
     const tensor::Matrix& user_emb, const tensor::Matrix& item_emb,
-    EvalSplit split, int k) const {
+    const std::vector<int32_t>& users, int k) const {
   LAYERGCN_CHECK_EQ(item_emb.rows(), dataset_->num_items)
       << "item embedding block must have one row per item";
   LAYERGCN_CHECK_GE(user_emb.rows(), dataset_->num_users)
       << "user embedding block must cover every user id";
-  return FusedScoreTopK(user_emb, SplitUsers(split), item_emb, k,
+  return FusedScoreTopK(user_emb, users, item_emb, k,
                         &dataset_->train_graph.user_items(), fused_);
 }
 
@@ -103,7 +129,7 @@ RankingMetrics Evaluator::Evaluate(const tensor::Matrix& user_emb,
                                    const tensor::Matrix& item_emb,
                                    EvalSplit split) const {
   OBS_SPAN("eval.evaluate");
-  const auto& users = SplitUsers(split);
+  const std::vector<int32_t> users = ValidUsers(split);
   const auto& truth = SplitTruth(split);
   RankingMetrics out;
   for (int k : ks_) {
@@ -113,7 +139,7 @@ RankingMetrics Evaluator::Evaluate(const tensor::Matrix& user_emb,
   if (users.empty()) return out;
 
   const std::vector<std::vector<int32_t>> ranked =
-      RankSplit(user_emb, item_emb, split, max_k_);
+      RankUsers(user_emb, item_emb, users, max_k_);
   const MultiKMetrics multi_k(ks_);
   std::vector<double> recall(ks_.size());
   std::vector<double> ndcg(ks_.size());
@@ -137,7 +163,7 @@ RankingMetrics Evaluator::Evaluate(const tensor::Matrix& user_emb,
 
 Evaluator::PerUser Evaluator::EvaluatePerUser(const ScoreFn& score_fn,
                                               EvalSplit split, int k) const {
-  const auto& users = SplitUsers(split);
+  const std::vector<int32_t> users = ValidUsers(split);
   const auto& truth = SplitTruth(split);
   const auto& user_items = dataset_->train_graph.user_items();
   const int64_t num_items = dataset_->num_items;
@@ -167,13 +193,13 @@ Evaluator::PerUser Evaluator::EvaluatePerUser(const ScoreFn& score_fn,
 Evaluator::PerUser Evaluator::EvaluatePerUser(const tensor::Matrix& user_emb,
                                               const tensor::Matrix& item_emb,
                                               EvalSplit split, int k) const {
-  const auto& users = SplitUsers(split);
+  const std::vector<int32_t> users = ValidUsers(split);
   const auto& truth = SplitTruth(split);
   PerUser out;
   out.recall.resize(users.size());
   out.ndcg.resize(users.size());
   const std::vector<std::vector<int32_t>> ranked =
-      RankSplit(user_emb, item_emb, split, k);
+      RankUsers(user_emb, item_emb, users, k);
   for (size_t r = 0; r < users.size(); ++r) {
     const auto& gt = truth[static_cast<size_t>(users[r])];
     out.recall[r] = RecallAtK(ranked[r], gt, k);

@@ -43,6 +43,14 @@ class Evaluator {
   /// Computes mean Recall@K / NDCG@K over all users with ground truth in
   /// the chosen split. Training items are excluded from the candidates
   /// (all-ranking protocol). Scores arrive chunk-wise via `score_fn`.
+  ///
+  /// Malformed split entries — user ids outside the dataset's id space, or
+  /// users with an empty ground-truth list — are skipped rather than
+  /// indexed (counted as eval.skipped_users, warned once per call), and
+  /// the metric means are taken over the evaluated users only. Datasets
+  /// from data::BuildDataset never contain such entries, so this changes
+  /// nothing for well-formed data; it turns a hand-built or corrupted
+  /// split from UB into a measurable skip.
   RankingMetrics Evaluate(const ScoreFn& score_fn, EvalSplit split) const;
 
   /// Fused-kernel overload for inner-product models: `user_emb` holds one
@@ -55,7 +63,8 @@ class Evaluator {
                           EvalSplit split) const;
 
   /// Per-user metric values (for paired significance tests): one entry per
-  /// user with ground truth, in `users()` order.
+  /// evaluated user (malformed split entries are skipped, as above), in
+  /// split order.
   struct PerUser {
     std::vector<double> recall;  // at ks[primary_index]
     std::vector<double> ndcg;
@@ -73,10 +82,16 @@ class Evaluator {
   const std::vector<int32_t>& SplitUsers(EvalSplit split) const;
   const std::vector<std::vector<int32_t>>& SplitTruth(EvalSplit split) const;
 
-  /// Top-`k` rankings for every user of the split, via the fused kernel.
-  std::vector<std::vector<int32_t>> RankSplit(const tensor::Matrix& user_emb,
-                                              const tensor::Matrix& item_emb,
-                                              EvalSplit split, int k) const;
+  /// The split's users that can actually be evaluated: id inside every
+  /// indexed table (truth, train adjacency, embeddings) and non-empty
+  /// ground truth. Skips are counted and warned.
+  std::vector<int32_t> ValidUsers(EvalSplit split) const;
+
+  /// Top-`k` rankings for `users` (a ValidUsers() list), via the fused
+  /// kernel.
+  std::vector<std::vector<int32_t>> RankUsers(
+      const tensor::Matrix& user_emb, const tensor::Matrix& item_emb,
+      const std::vector<int32_t>& users, int k) const;
 
   const data::Dataset* dataset_;
   std::vector<int> ks_;

@@ -4,13 +4,40 @@
 #include <memory>
 
 #include "eval/metrics.h"
+#include "obs/obs.h"
 #include "obs/trace.h"
 #include "tensor/gemm.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/thread_pool.h"
 
 namespace layergcn::eval {
 namespace {
+
+// True when the deadline is armed and has passed. The first worker to see
+// the clock run out latches `expired` so later checks (and the caller) skip
+// the clock read.
+inline bool DeadlineExpired(RankDeadline* deadline) {
+  if (deadline == nullptr || deadline->deadline_us == 0) return false;
+  if (deadline->expired.load(std::memory_order_relaxed)) return true;
+  if (obs::NowMicros() < deadline->deadline_us) return false;
+  if (!deadline->expired.exchange(true, std::memory_order_relaxed)) {
+    OBS_COUNT("fused_rank.deadline_expired", 1);
+  }
+  return true;
+}
+
+// Fault point `serve.slow_score`: stall scoring until just past the armed
+// deadline so the next boundary check trips mid-request. Only meaningful
+// when a deadline is set (otherwise there is nothing to overrun).
+inline void MaybeSlowScore(const RankDeadline* deadline) {
+  if (deadline == nullptr || deadline->deadline_us == 0) return;
+  if (!util::fault::Fire("serve.slow_score")) return;
+  const uint64_t until = deadline->deadline_us + 1000;
+  while (obs::NowMicros() < until) {
+  }
+}
 
 // Heap entry ordered by (score desc, index asc) — the TopKIndices order.
 struct HeapEntry {
@@ -59,10 +86,14 @@ void ReferenceTopK(const tensor::Matrix& user_emb,
                    const tensor::Matrix& item_emb, int k,
                    const std::vector<std::vector<int32_t>>* exclude,
                    int64_t lo, int64_t hi,
-                   std::vector<std::vector<int32_t>>* out) {
+                   std::vector<std::vector<int32_t>>* out,
+                   RankDeadline* deadline,
+                   std::vector<std::vector<float>>* scores_out) {
   const int64_t num_items = item_emb.rows();
   const int64_t depth = item_emb.cols();
   for (int64_t r = lo; r < hi; ++r) {
+    MaybeSlowScore(deadline);
+    if (DeadlineExpired(deadline)) return;  // remaining users stay empty
     const int32_t u = user_ids[static_cast<size_t>(r)];
     const float* urow = user_emb.row(u);
     std::vector<float> scores(static_cast<size_t>(num_items), 0.f);
@@ -78,8 +109,15 @@ void ReferenceTopK(const tensor::Matrix& user_emb,
         flags[static_cast<size_t>(i)] = true;
       }
     }
-    (*out)[static_cast<size_t>(r)] =
-        TopKIndices(scores.data(), num_items, k, &flags);
+    std::vector<int32_t>& ranked = (*out)[static_cast<size_t>(r)];
+    ranked = TopKIndices(scores.data(), num_items, k, &flags);
+    if (scores_out != nullptr) {
+      std::vector<float>& sc = (*scores_out)[static_cast<size_t>(r)];
+      sc.resize(ranked.size());
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        sc[i] = scores[static_cast<size_t>(ranked[i])];
+      }
+    }
   }
 }
 
@@ -89,7 +127,8 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
     const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
     const tensor::Matrix& item_emb, int k,
     const std::vector<std::vector<int32_t>>* exclude,
-    const FusedRankConfig& config) {
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
   LAYERGCN_CHECK_GT(k, 0);
   LAYERGCN_CHECK_EQ(user_emb.cols(), item_emb.cols())
       << "user/item embedding width mismatch";
@@ -97,6 +136,7 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
   const int64_t num_items = item_emb.rows();
   const int64_t depth = item_emb.cols();
   std::vector<std::vector<int32_t>> out(user_ids.size());
+  if (scores_out != nullptr) scores_out->assign(user_ids.size(), {});
   if (num_users == 0 || num_items == 0) return out;
   OBS_SPAN("eval.fused_rank");
   OBS_COUNT("fused_rank.calls", 1);
@@ -107,9 +147,10 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
   OBS_COUNT("gemm.calls", 1);
   OBS_COUNT("gemm.flops", 2 * num_users * num_items * depth);
 
-  // Optional dedicated pool (determinism tests sweep the worker count).
+  // Optional dedicated pool (determinism tests sweep the worker count);
+  // otherwise the shared compute pool, so ScopedComputePool overrides apply.
   std::unique_ptr<util::ThreadPool> local_pool;
-  util::ThreadPool* pool = &util::ThreadPool::Global();
+  util::ThreadPool* pool = util::parallel::ComputePool();
   if (config.num_threads > 0) {
     local_pool = std::make_unique<util::ThreadPool>(config.num_threads);
     pool = local_pool.get();
@@ -117,7 +158,8 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
 
   if (!config.enabled) {
     util::ParallelForRanges(pool, 0, num_users, [&](int64_t lo, int64_t hi) {
-      ReferenceTopK(user_emb, user_ids, item_emb, k, exclude, lo, hi, &out);
+      ReferenceTopK(user_emb, user_ids, item_emb, k, exclude, lo, hi, &out,
+                    deadline, scores_out);
     });
     return out;
   }
@@ -149,6 +191,7 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
     std::vector<size_t> cursors(static_cast<size_t>(user_tile));
 
     for (int64_t tile = tile_lo; tile < tile_hi; ++tile) {
+      if (DeadlineExpired(deadline)) break;  // untouched users stay empty
       const int64_t base = tile * user_tile;
       const int64_t m = std::min(user_tile, num_users - base);
       for (int64_t r = 0; r < m; ++r) {
@@ -159,6 +202,10 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
       }
 
       for (int64_t j0 = 0; j0 < num_items; j0 += item_tile) {
+        // Deadline is enforced at item-tile boundaries: cheap enough to
+        // check here, and a tile bounds how late expiry can be noticed.
+        MaybeSlowScore(deadline);
+        if (j0 > 0 && DeadlineExpired(deadline)) break;
         const int64_t jn = std::min(item_tile, num_items - j0);
         std::fill(scores.begin(), scores.begin() + m * jn, 0.f);
         GemmMicroPanel(user_rows.data(), m, depth, items_t, j0, jn,
@@ -191,6 +238,8 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
         }
       }
 
+      // Extract whatever the heaps hold — the full top-K normally, a
+      // truncated prefix scan when the deadline cut the item loop short.
       for (int64_t r = 0; r < m; ++r) {
         HeapEntry* heap = heaps.data() + r * cap;
         const int64_t hs = heap_sizes[static_cast<size_t>(r)];
@@ -202,6 +251,13 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
         ranked.resize(static_cast<size_t>(hs));
         for (int64_t i = 0; i < hs; ++i) {
           ranked[static_cast<size_t>(i)] = heap[i].idx;
+        }
+        if (scores_out != nullptr) {
+          std::vector<float>& sc = (*scores_out)[static_cast<size_t>(base + r)];
+          sc.resize(static_cast<size_t>(hs));
+          for (int64_t i = 0; i < hs; ++i) {
+            sc[static_cast<size_t>(i)] = heap[i].score;
+          }
         }
       }
     }

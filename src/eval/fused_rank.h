@@ -18,12 +18,29 @@
 #ifndef LAYERGCN_EVAL_FUSED_RANK_H_
 #define LAYERGCN_EVAL_FUSED_RANK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace layergcn::eval {
+
+/// Cooperative per-call deadline for the fused kernel (serving requests
+/// carry one; offline evaluation passes none). The kernel checks the clock
+/// at item-tile boundaries — never inside the GEMM micro-kernel — and on
+/// expiry stops scanning: users whose tiles already streamed keep their
+/// (possibly truncated) top-K, untouched users come back empty, and
+/// `expired` is set so the caller can flag the result partial. Which items
+/// were scanned before expiry is timing-dependent, so partial results are
+/// NOT deterministic — complete results (expired == false) remain
+/// bit-identical to an undeadlined call.
+struct RankDeadline {
+  /// Absolute deadline on the obs::NowMicros() clock; 0 disarms the check.
+  uint64_t deadline_us = 0;
+  /// Set by the kernel when the deadline tripped (workers share the flag).
+  std::atomic<bool> expired{false};
+};
 
 /// Tuning knobs for the fused kernel.
 struct FusedRankConfig {
@@ -35,8 +52,9 @@ struct FusedRankConfig {
   int64_t user_tile = 64;
   /// Items scored per tile (score block is user_tile x item_tile floats).
   int64_t item_tile = 1024;
-  /// Worker count: 0 = the global thread pool, otherwise a dedicated pool
-  /// of this size (used by the determinism tests).
+  /// Worker count: 0 = the shared compute pool (util::parallel::
+  /// ComputePool()), otherwise a dedicated pool of this size (used by the
+  /// determinism tests).
   int num_threads = 0;
 };
 
@@ -49,11 +67,16 @@ struct FusedRankConfig {
 /// excluded items (training interactions); excluded items never appear in
 /// the ranking. Returns one ranked list per entry of `user_ids`, each of
 /// length min(k, num_items - |excluded|).
+///
+/// `deadline` (optional) bounds the call's wall clock (see RankDeadline).
+/// `scores_out` (optional) receives the score of every returned item,
+/// aligned with the returned index lists.
 std::vector<std::vector<int32_t>> FusedScoreTopK(
     const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
     const tensor::Matrix& item_emb, int k,
     const std::vector<std::vector<int32_t>>* exclude,
-    const FusedRankConfig& config = {});
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
 
 }  // namespace layergcn::eval
 

@@ -80,14 +80,23 @@ void EnumerateGrid(const std::vector<SearchDimension>& dims, size_t depth,
 
 }  // namespace
 
-SearchResult GridSearch(
+util::StatusOr<SearchResult> GridSearchOr(
     const std::function<std::unique_ptr<train::Recommender>()>& make_model,
     const data::Dataset& dataset, const train::TrainConfig& base_config,
     const std::vector<SearchDimension>& dimensions,
     const SearchOptions& options) {
-  LAYERGCN_CHECK(!dimensions.empty());
+  if (dimensions.empty()) {
+    return util::InvalidArgumentError("grid search needs >= 1 dimension");
+  }
   for (const SearchDimension& d : dimensions) {
-    LAYERGCN_CHECK(!d.values.empty()) << "empty dimension " << d.name;
+    if (d.values.empty()) {
+      return util::InvalidArgumentError("search dimension " + d.name +
+                                        " has no candidate values");
+    }
+    if (d.apply == nullptr) {
+      return util::InvalidArgumentError("search dimension " + d.name +
+                                        " has no apply function");
+    }
   }
 
   std::vector<std::vector<double>> assignments;
@@ -142,6 +151,17 @@ SearchResult GridSearch(
   }
   result.best = result.trials[static_cast<size_t>(best_index)];
   return result;
+}
+
+SearchResult GridSearch(
+    const std::function<std::unique_ptr<train::Recommender>()>& make_model,
+    const data::Dataset& dataset, const train::TrainConfig& base_config,
+    const std::vector<SearchDimension>& dimensions,
+    const SearchOptions& options) {
+  util::StatusOr<SearchResult> result =
+      GridSearchOr(make_model, dataset, base_config, dimensions, options);
+  LAYERGCN_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
 }
 
 }  // namespace layergcn::experiments

@@ -14,6 +14,7 @@
 #include "data/dataset.h"
 #include "train/trainer.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace layergcn::experiments {
 
@@ -64,6 +65,16 @@ struct SearchOptions {
 /// Runs the search: every trial builds a fresh model via `make_model`,
 /// trains it under the modified config, and scores the validation split.
 /// The best assignment is retrained (same seed) and reported on test.
+/// A degenerate search space — no dimensions, or a dimension with no
+/// candidate values — is an InvalidArgument (these arrive from CLI flags
+/// and experiment specs, so they are caller input, not invariants).
+util::StatusOr<SearchResult> GridSearchOr(
+    const std::function<std::unique_ptr<train::Recommender>()>& make_model,
+    const data::Dataset& dataset, const train::TrainConfig& base_config,
+    const std::vector<SearchDimension>& dimensions,
+    const SearchOptions& options = {});
+
+/// Legacy entry point: GridSearchOr that aborts on a degenerate space.
 SearchResult GridSearch(
     const std::function<std::unique_ptr<train::Recommender>()>& make_model,
     const data::Dataset& dataset, const train::TrainConfig& base_config,

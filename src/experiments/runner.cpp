@@ -1,22 +1,34 @@
 #include "experiments/runner.h"
 
+#include "util/logging.h"
 #include "util/table_printer.h"
 
 namespace layergcn::experiments {
+
+util::StatusOr<RunRow> RunModelOr(
+    const std::string& model_name, const data::Dataset& dataset,
+    const train::TrainConfig& config, const train::TrainOptions& options,
+    std::vector<train::CheckpointMetrics>* checkpoints) {
+  util::StatusOr<std::unique_ptr<train::Recommender>> model =
+      core::CreateModelOr(model_name);
+  if (!model.ok()) return model.status();
+  const train::TrainConfig adapted = core::AdaptConfig(model_name, config);
+  RunRow row;
+  row.model = model_name;
+  row.dataset = dataset.name;
+  row.result = train::FitRecommender(model.value().get(), dataset, adapted,
+                                     options, checkpoints);
+  return row;
+}
 
 RunRow RunModel(const std::string& model_name, const data::Dataset& dataset,
                 const train::TrainConfig& config,
                 const train::TrainOptions& options,
                 std::vector<train::CheckpointMetrics>* checkpoints) {
-  std::unique_ptr<train::Recommender> model = core::CreateModel(model_name);
-  const train::TrainConfig adapted = core::AdaptConfig(model_name, config);
-  RunRow row;
-  row.model = model_name;
-  row.dataset = dataset.name;
-  row.result =
-      train::FitRecommender(model.get(), dataset, adapted, options,
-                            checkpoints);
-  return row;
+  util::StatusOr<RunRow> row =
+      RunModelOr(model_name, dataset, config, options, checkpoints);
+  LAYERGCN_CHECK(row.ok()) << row.status().message();
+  return std::move(row).value();
 }
 
 std::vector<std::string> MetricCells(const eval::RankingMetrics& metrics,

@@ -10,6 +10,7 @@
 #include "core/model_factory.h"
 #include "data/dataset.h"
 #include "train/trainer.h"
+#include "util/status.h"
 
 namespace layergcn::experiments {
 
@@ -22,6 +23,15 @@ struct RunRow {
 
 /// Trains `model_name` (factory name) on `dataset` with the given config
 /// (adapted per-model via core::AdaptConfig) and returns the row.
+/// An unknown model name is an InvalidArgument; training-time failures
+/// stay inside the returned row's result.status (callers already branch
+/// on it per trial).
+util::StatusOr<RunRow> RunModelOr(
+    const std::string& model_name, const data::Dataset& dataset,
+    const train::TrainConfig& config, const train::TrainOptions& options = {},
+    std::vector<train::CheckpointMetrics>* checkpoints = nullptr);
+
+/// Legacy entry point: RunModelOr that aborts on unknown model names.
 RunRow RunModel(const std::string& model_name, const data::Dataset& dataset,
                 const train::TrainConfig& config,
                 const train::TrainOptions& options = {},

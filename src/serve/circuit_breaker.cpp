@@ -1,0 +1,77 @@
+#include "serve/circuit_breaker.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace layergcn::serve {
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options()) {}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  LAYERGCN_CHECK_GE(options_.failure_threshold, 1);
+  LAYERGCN_CHECK_GE(options_.half_open_probes, 1);
+}
+
+void CircuitBreaker::TripOpen(uint64_t now_us) {
+  state_ = State::kOpen;
+  opened_at_us_ = now_us;
+  probes_issued_ = 0;
+  probe_successes_ = 0;
+  OBS_COUNT("serve.breaker_opens", 1);
+}
+
+bool CircuitBreaker::Allow(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us < opened_at_us_ + options_.open_cooldown_us) return false;
+      state_ = State::kHalfOpen;
+      probes_issued_ = 1;  // this call is the first probe
+      probe_successes_ = 0;
+      return true;
+    case State::kHalfOpen:
+      if (probes_issued_ >= options_.half_open_probes) return false;
+      ++probes_issued_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    if (++probe_successes_ >= options_.half_open_probes) {
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    TripOpen(now_us);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    TripOpen(now_us);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace layergcn::serve

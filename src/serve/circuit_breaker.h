@@ -1,0 +1,67 @@
+// Circuit breaker guarding the full-model scoring path.
+//
+// Classic three-state breaker: kClosed passes every request and counts
+// consecutive failures; `failure_threshold` of them trips the breaker to
+// kOpen (counted as serve.breaker_opens), which rejects requests outright
+// so a struggling scoring path is not hammered while it is slow. After
+// `open_cooldown_us` the next Allow() moves to kHalfOpen and lets a probe
+// budget of `half_open_probes` requests through: if they all succeed the
+// breaker closes, a single failure re-opens it and restarts the cooldown.
+//
+// Callers pass `now_us` explicitly (obs::NowMicros() in production) so
+// tests drive the state machine with a synthetic clock instead of
+// sleeping through cooldowns.
+
+#ifndef LAYERGCN_SERVE_CIRCUIT_BREAKER_H_
+#define LAYERGCN_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace layergcn::serve {
+
+/// Thread-safe three-state circuit breaker.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures (while closed) that trip the breaker open.
+    int failure_threshold = 5;
+    /// Time spent open before half-open probing begins.
+    uint64_t open_cooldown_us = 250000;
+    /// Probe requests admitted half-open; all must succeed to close.
+    int half_open_probes = 1;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker();  // default Options
+  explicit CircuitBreaker(const Options& options);
+
+  /// True when the protected path may be attempted at `now_us`. An open
+  /// breaker whose cooldown has elapsed transitions to half-open here and
+  /// admits the probe; while half-open, only the probe budget passes.
+  bool Allow(uint64_t now_us);
+
+  /// Reports the outcome of an admitted attempt.
+  void RecordSuccess();
+  void RecordFailure(uint64_t now_us);
+
+  State state() const;
+  /// Consecutive failures seen while closed (diagnostics).
+  int consecutive_failures() const;
+
+ private:
+  void TripOpen(uint64_t now_us);  // mu_ held
+
+  const Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t opened_at_us_ = 0;
+  int probes_issued_ = 0;    // half-open: Allow() calls admitted
+  int probe_successes_ = 0;  // half-open: successes so far
+};
+
+}  // namespace layergcn::serve
+
+#endif  // LAYERGCN_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,173 @@
+#include "serve/recommend_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace layergcn::serve {
+namespace {
+
+// serve.latency_us histogram bucket upper edges (microseconds).
+const std::vector<double>& LatencyBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000};
+  return *bounds;
+}
+
+}  // namespace
+
+RecommendService::RecommendService(SnapshotStore* store)
+    : RecommendService(store, RecommendServiceOptions()) {}
+
+RecommendService::RecommendService(SnapshotStore* store,
+                                   const RecommendServiceOptions& options)
+    : store_(store), options_(options), breaker_(options.breaker) {
+  LAYERGCN_CHECK(store_ != nullptr);
+  LAYERGCN_CHECK_GE(options_.max_k, 1);
+  LAYERGCN_CHECK_GE(options_.queue_capacity, 1);
+}
+
+RecommendService::~RecommendService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+util::Status RecommendService::Validate(const ModelSnapshot& snap,
+                                        const RecommendRequest& req) const {
+  if (req.user_id < 0 ||
+      static_cast<int64_t>(req.user_id) >= snap.num_users()) {
+    return util::InvalidArgumentError(
+        "user_id " + std::to_string(req.user_id) + " outside [0, " +
+        std::to_string(snap.num_users()) + ")");
+  }
+  if (req.k < 1 || req.k > options_.max_k) {
+    return util::InvalidArgumentError("k " + std::to_string(req.k) +
+                                      " outside [1, " +
+                                      std::to_string(options_.max_k) + "]");
+  }
+  return util::OkStatus();
+}
+
+RecommendResponse RecommendService::ServeDegraded(
+    const ModelSnapshot& snap, const RecommendRequest& req) const {
+  OBS_COUNT("serve.degraded", 1);
+  RecommendResponse resp;
+  resp.degraded = true;
+  resp.snapshot_version = snap.version();
+  const std::vector<int32_t>& hist =
+      snap.user_history()[static_cast<size_t>(req.user_id)];
+  resp.items.reserve(static_cast<size_t>(req.k));
+  for (int32_t item : snap.popular_items()) {
+    if (std::binary_search(hist.begin(), hist.end(), item)) continue;
+    resp.items.push_back(ScoredItem{
+        item,
+        static_cast<float>(snap.item_counts()[static_cast<size_t>(item)])});
+    if (resp.items.size() == static_cast<size_t>(req.k)) break;
+  }
+  return resp;
+}
+
+util::StatusOr<RecommendResponse> RecommendService::Recommend(
+    const RecommendRequest& req) {
+  OBS_SPAN("serve.request");
+  OBS_COUNT("serve.requests", 1);
+  const uint64_t start_us = obs::NowMicros();
+
+  const std::shared_ptr<const ModelSnapshot> snap = store_->current();
+  if (snap == nullptr) {
+    OBS_COUNT("serve.validation_errors", 1);
+    return util::FailedPreconditionError("no snapshot loaded");
+  }
+  const util::Status valid = Validate(*snap, req);
+  if (!valid.ok()) {
+    OBS_COUNT("serve.validation_errors", 1);
+    return valid;
+  }
+
+  RecommendResponse resp;
+  if (!breaker_.Allow(start_us)) {
+    // Breaker open: skip model scoring, serve the popularity ranking.
+    resp = ServeDegraded(*snap, req);
+  } else {
+    eval::RankDeadline deadline;
+    if (req.budget_us > 0) deadline.deadline_us = start_us + req.budget_us;
+    const std::vector<int32_t> user_ids = {req.user_id};
+    std::vector<std::vector<float>> scores;
+    const std::vector<std::vector<int32_t>> ranked = eval::FusedScoreTopK(
+        snap->user_emb(), user_ids, snap->item_emb(), req.k,
+        &snap->user_history(), options_.rank,
+        req.budget_us > 0 ? &deadline : nullptr, &scores);
+
+    const bool expired =
+        deadline.expired.load(std::memory_order_relaxed);
+    if (!expired) {
+      breaker_.RecordSuccess();
+    } else {
+      breaker_.RecordFailure(obs::NowMicros());
+      if (ranked[0].empty()) {
+        OBS_COUNT("serve.deadline_errors", 1);
+        OBS_OBSERVE("serve.latency_us", LatencyBounds(),
+                    obs::NowMicros() - start_us);
+        return util::DeadlineExceededError(
+            "budget " + std::to_string(req.budget_us) +
+            "us spent before any item tile was scored");
+      }
+      OBS_COUNT("serve.deadline_partial", 1);
+      resp.partial = true;
+    }
+    resp.snapshot_version = snap->version();
+    resp.items.resize(ranked[0].size());
+    for (size_t i = 0; i < ranked[0].size(); ++i) {
+      resp.items[i] = ScoredItem{ranked[0][i], scores[0][i]};
+    }
+  }
+
+  resp.latency_us = obs::NowMicros() - start_us;
+  OBS_OBSERVE("serve.latency_us", LatencyBounds(), resp.latency_us);
+  return resp;
+}
+
+std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
+    const RecommendRequest& req) {
+  auto promise =
+      std::make_shared<std::promise<util::StatusOr<RecommendResponse>>>();
+  std::future<util::StatusOr<RecommendResponse>> future =
+      promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ || in_flight_ >= options_.queue_capacity) {
+      OBS_COUNT("serve.shed", 1);
+      promise->set_value(util::ResourceExhaustedError(
+          shutting_down_ ? "service shutting down"
+                         : "admission queue full (" +
+                               std::to_string(options_.queue_capacity) +
+                               " in flight)"));
+      return future;
+    }
+    ++in_flight_;
+  }
+  util::parallel::ComputePool()->Submit([this, promise, req] {
+    promise->set_value(Recommend(req));
+    // Decrement after the future is satisfied; the destructor holds `this`
+    // alive until in_flight_ reaches zero.
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    drained_cv_.notify_all();
+  });
+  return future;
+}
+
+int64_t RecommendService::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+}  // namespace layergcn::serve

@@ -1,0 +1,130 @@
+// Hardened top-K recommendation serving on top of the fused rank kernel.
+//
+// A request names a user and a K; the response is the model's top-K items
+// (training interactions excluded), scored against the current
+// ModelSnapshot through eval::FusedScoreTopK — the same kernel, arguments,
+// and (score desc, id asc) total order the offline Evaluator uses, so a
+// served ranking is bit-identical to the evaluation ranking for the same
+// embeddings at any thread count.
+//
+// Robustness ladder, in order:
+//   validation   every request field is checked up front; anything
+//                unusable is a structured InvalidArgument, never UB
+//   admission    Submit() bounds the number of queued + in-flight async
+//                requests; past `queue_capacity` requests are shed
+//                immediately with ResourceExhausted (serve.shed)
+//   deadline     a per-request budget becomes an absolute RankDeadline
+//                enforced at item-tile boundaries inside the kernel; on
+//                expiry a truncated prefix ranking is returned flagged
+//                `partial` (serve.deadline_partial), or DeadlineExceeded
+//                when nothing was scored (serve.deadline_errors)
+//   degradation  deadline failures feed a CircuitBreaker; while it is
+//                open, requests skip model scoring and serve the
+//                snapshot's popularity ranking flagged `degraded`
+//                (serve.degraded) — the service answers something
+//                sensible even when scoring is unhealthy
+//
+// Every request increments serve.requests, lands in the serve.latency_us
+// histogram, and runs under an OBS_SPAN("serve.request") trace span.
+
+#ifndef LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
+#define LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "eval/fused_rank.h"
+#include "serve/circuit_breaker.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace layergcn::serve {
+
+struct RecommendRequest {
+  int32_t user_id = -1;
+  /// Number of items wanted; 1 <= k <= options.max_k.
+  int32_t k = 10;
+  /// Wall-clock budget in microseconds; 0 = no deadline.
+  uint64_t budget_us = 0;
+};
+
+struct ScoredItem {
+  int32_t item = 0;
+  float score = 0.f;
+};
+
+struct RecommendResponse {
+  /// Best first. Model scores normally; popularity counts when degraded.
+  std::vector<ScoredItem> items;
+  /// Deadline expired mid-scan: `items` ranks only the scanned prefix of
+  /// the item space (still best-first within it).
+  bool partial = false;
+  /// Served from the popularity fallback, not model scoring.
+  bool degraded = false;
+  int64_t snapshot_version = 0;
+  uint64_t latency_us = 0;
+};
+
+struct RecommendServiceOptions {
+  /// Largest admissible request k.
+  int32_t max_k = 1000;
+  /// Async admission bound: queued + in-flight Submit() requests past this
+  /// are shed. >= 1.
+  int64_t queue_capacity = 64;
+  CircuitBreaker::Options breaker;
+  /// Kernel tuning; num_threads = 0 uses the shared compute pool.
+  eval::FusedRankConfig rank;
+};
+
+/// Thread-safe serving front end over a SnapshotStore. The store outlives
+/// the service; the service holds no training state.
+class RecommendService {
+ public:
+  explicit RecommendService(SnapshotStore* store);  // default options
+  RecommendService(SnapshotStore* store,
+                   const RecommendServiceOptions& options);
+  /// Drains in-flight async requests before returning.
+  ~RecommendService();
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  /// Synchronous path: validate, score (or degrade), respond. Errors:
+  /// FailedPrecondition (no snapshot), InvalidArgument (bad request),
+  /// DeadlineExceeded (budget spent with nothing scored).
+  util::StatusOr<RecommendResponse> Recommend(const RecommendRequest& req);
+
+  /// Admission-controlled async path: runs Recommend() on the shared
+  /// compute pool. When the bound is hit the future resolves immediately
+  /// to ResourceExhausted — load is shed at the door, not queued forever.
+  std::future<util::StatusOr<RecommendResponse>> Submit(
+      const RecommendRequest& req);
+
+  /// Async requests currently queued or running.
+  int64_t in_flight() const;
+
+  CircuitBreaker& breaker() { return breaker_; }
+  const RecommendServiceOptions& options() const { return options_; }
+
+ private:
+  util::Status Validate(const ModelSnapshot& snap,
+                        const RecommendRequest& req) const;
+  RecommendResponse ServeDegraded(const ModelSnapshot& snap,
+                                  const RecommendRequest& req) const;
+
+  SnapshotStore* const store_;
+  const RecommendServiceOptions options_;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace layergcn::serve
+
+#endif  // LAYERGCN_SERVE_RECOMMEND_SERVICE_H_

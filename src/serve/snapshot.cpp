@@ -1,0 +1,135 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "train/checkpoint.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace layergcn::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const std::string& path) {
+  util::StatusOr<train::ServingExport> loaded =
+      train::LoadServingExport(path);
+  if (!loaded.ok()) return loaded.status();
+  train::ServingExport& ex = loaded.value();
+
+  // Private constructor: build in place, then freeze behind const.
+  std::shared_ptr<ModelSnapshot> snap(new ModelSnapshot());
+  snap->version_ = ex.version;
+  snap->user_emb_ = std::move(ex.user_emb);
+  snap->item_emb_ = std::move(ex.item_emb);
+  snap->user_history_ = std::move(ex.user_history);
+
+  // Popularity ranking for degraded mode: items by (training interaction
+  // count desc, id asc). The tie-break makes the ranking a total order, so
+  // degraded responses are deterministic.
+  const int64_t num_items = snap->item_emb_.rows();
+  snap->item_counts_.assign(static_cast<size_t>(num_items), 0);
+  for (const std::vector<int32_t>& hist : snap->user_history_) {
+    for (int32_t item : hist) {
+      ++snap->item_counts_[static_cast<size_t>(item)];
+    }
+  }
+  snap->popular_items_.resize(static_cast<size_t>(num_items));
+  for (int64_t i = 0; i < num_items; ++i) {
+    snap->popular_items_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  const std::vector<int64_t>& counts = snap->item_counts_;
+  std::sort(snap->popular_items_.begin(), snap->popular_items_.end(),
+            [&counts](int32_t a, int32_t b) {
+              const int64_t ca = counts[static_cast<size_t>(a)];
+              const int64_t cb = counts[static_cast<size_t>(b)];
+              return ca != cb ? ca > cb : a < b;
+            });
+
+  OBS_COUNT("serve.snapshot_loads", 1);
+  return std::shared_ptr<const ModelSnapshot>(std::move(snap));
+}
+
+std::string SnapshotStore::SnapshotPath(const std::string& dir,
+                                        int64_t version) {
+  return dir + "/" +
+         util::StrFormat("snap-%06lld.lgcn", static_cast<long long>(version));
+}
+
+std::vector<std::pair<int64_t, std::string>> SnapshotStore::ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<int64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    int64_t version = 0;
+    if (name.size() == 16 && util::StartsWith(name, "snap-") &&
+        name.compare(11, 5, ".lgcn") == 0 &&
+        util::ParseInt64(name.substr(5, 6), &version)) {
+      out.emplace_back(version, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Status SnapshotStore::Reload() {
+  OBS_COUNT("serve.reloads", 1);
+  const std::vector<std::pair<int64_t, std::string>> files =
+      ListSnapshots(dir_);
+  if (files.empty()) {
+    OBS_COUNT("serve.reload_failures", 1);
+    return util::NotFoundError("no snapshots in " + dir_);
+  }
+
+  const std::shared_ptr<const ModelSnapshot> previous = current();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    // Already serving this version (or something newer a racing reload
+    // published): the serving snapshot is at least as new as anything
+    // valid on disk, so the reload is a no-op.
+    if (previous != nullptr && previous->version() >= it->first) {
+      return util::OkStatus();
+    }
+
+    util::StatusOr<std::shared_ptr<const ModelSnapshot>> snap =
+        ModelSnapshot::Load(it->second);
+    if (snap.ok()) {
+      if (it != files.rbegin()) {
+        LAYERGCN_LOG(kWarning)
+            << "fell back to snapshot " << it->second << " ("
+            << std::distance(files.rbegin(), it) << " newer corrupt)";
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = std::move(snap).value();
+      return util::OkStatus();
+    }
+    LAYERGCN_LOG(kWarning) << "skipping corrupt snapshot " << it->second
+                           << ": " << snap.status().ToString();
+    OBS_COUNT("serve.snapshot_fallbacks", 1);
+  }
+
+  if (previous != nullptr) {
+    // Every file newer than the serving snapshot failed; keep serving it.
+    // Still an error so callers know the reload did not advance.
+    OBS_COUNT("serve.reload_failures", 1);
+    return util::DataLossError(
+        "no valid snapshot newer than serving version " +
+        std::to_string(previous->version()) + " in " + dir_);
+  }
+  OBS_COUNT("serve.reload_failures", 1);
+  return util::NotFoundError("no valid snapshot in " + dir_ + " (" +
+                             std::to_string(files.size()) +
+                             " corrupt files skipped)");
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotStore::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace layergcn::serve

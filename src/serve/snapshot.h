@@ -1,0 +1,110 @@
+// Immutable model snapshots and the directory store that hot-swaps them.
+//
+// Serving never touches training state: a snapshot is the fixed final
+// user/item embedding matrices (PAPER.md Eq. 7 makes inference a pair of
+// matrix lookups plus a dot product) together with the per-user training
+// histories used as exclusion lists and as the popularity source for
+// degraded mode. Snapshots are loaded from the checkpoint-v2 serving
+// export (train/checkpoint.h) — per-section CRCs make corruption a
+// structured DataLoss, never UB.
+//
+// SnapshotStore manages a directory of snap-NNNNNN.lgcn files. Reload()
+// loads the newest file that validates, falling back version by version
+// across the directory when the newest is torn or bit-flipped (counted as
+// serve.snapshot_fallbacks), and publishes the result with an atomic
+// shared_ptr swap: requests in flight keep the snapshot they started with,
+// new requests see the new one, and a failed reload leaves the previous
+// snapshot serving.
+
+#ifndef LAYERGCN_SERVE_SNAPSHOT_H_
+#define LAYERGCN_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace layergcn::serve {
+
+/// A fully validated, immutable in-memory model snapshot. Construction
+/// goes through Load(); every accessor is safe to call concurrently.
+class ModelSnapshot {
+ public:
+  /// Reads a serving export and precomputes the popularity ranking.
+  /// Corruption and shape problems surface as the underlying
+  /// LoadServingExport status (DataLoss / NotFound / ...).
+  static util::StatusOr<std::shared_ptr<const ModelSnapshot>> Load(
+      const std::string& path);
+
+  int64_t version() const { return version_; }
+  int64_t num_users() const { return user_emb_.rows(); }
+  int64_t num_items() const { return item_emb_.rows(); }
+  int64_t dim() const { return user_emb_.cols(); }
+
+  const tensor::Matrix& user_emb() const { return user_emb_; }
+  const tensor::Matrix& item_emb() const { return item_emb_; }
+
+  /// Sorted-ascending training items per user id (exclusion lists).
+  const std::vector<std::vector<int32_t>>& user_history() const {
+    return user_history_;
+  }
+
+  /// Every item id ordered by (training interaction count desc, id asc) —
+  /// the ranking degraded mode serves when model scoring is unavailable.
+  const std::vector<int32_t>& popular_items() const { return popular_items_; }
+
+  /// Training interaction count per item id (the popularity "score").
+  const std::vector<int64_t>& item_counts() const { return item_counts_; }
+
+ private:
+  ModelSnapshot() = default;
+
+  int64_t version_ = 0;
+  tensor::Matrix user_emb_;
+  tensor::Matrix item_emb_;
+  std::vector<std::vector<int32_t>> user_history_;
+  std::vector<int32_t> popular_items_;
+  std::vector<int64_t> item_counts_;
+};
+
+/// Directory of versioned snapshot files with newest-valid loading and
+/// atomic hot-swap publication. Thread-safe.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// The file name used for snapshot `version`: dir/snap-NNNNNN.lgcn.
+  static std::string SnapshotPath(const std::string& dir, int64_t version);
+
+  /// (version, path) of every well-named snapshot file, ascending version.
+  static std::vector<std::pair<int64_t, std::string>> ListSnapshots(
+      const std::string& dir);
+
+  /// Loads the newest snapshot that validates end-to-end, skipping corrupt
+  /// files newest-first (each skip increments serve.snapshot_fallbacks),
+  /// and swaps it in. When every file fails — or the directory is empty —
+  /// the previous snapshot (if any) keeps serving and the error is
+  /// returned. Re-loading the already-current version is a cheap no-op.
+  util::Status Reload();
+
+  /// The currently published snapshot; nullptr before the first successful
+  /// Reload(). The returned shared_ptr keeps the snapshot alive across a
+  /// concurrent hot-swap.
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_;
+};
+
+}  // namespace layergcn::serve
+
+#endif  // LAYERGCN_SERVE_SNAPSHOT_H_

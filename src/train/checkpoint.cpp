@@ -38,9 +38,16 @@ enum SectionTag : uint32_t {
   kTagAdamV = 5,
   kTagBestSnapshot = 6,
   kTagHistory = 7,
+  kTagServeHistory = 8,
+  kTagServeMeta = 9,
 };
 
 constexpr uint32_t kMetaStateVersion = 1;
+constexpr uint32_t kServeMetaVersion = 1;
+
+// Value-table names of the serving-export embedding blocks.
+constexpr char kServeUserEmbName[] = "serve.user_emb";
+constexpr char kServeItemEmbName[] = "serve.item_emb";
 
 // ---------------------------------------------------------------------------
 // Buffer writers.
@@ -189,6 +196,16 @@ util::Status ReadFileImage(const std::string& path, std::string* out) {
   if (util::fault::Fire("checkpoint.bit_flip") && !buf.empty()) {
     buf[buf.size() / 2] = static_cast<char>(buf[buf.size() / 2] ^ 0x10);
   }
+  // Serve-side fault points: a flipped bit in a snapshot image and a torn
+  // read during hot-swap reload. They live here because every snapshot
+  // load goes through this reader, so injected damage is indistinguishable
+  // from real disk damage.
+  if (util::fault::Fire("serve.snapshot_bit_flip") && !buf.empty()) {
+    buf[buf.size() / 3] = static_cast<char>(buf[buf.size() / 3] ^ 0x04);
+  }
+  if (util::fault::Fire("serve.reload_torn_read") && !buf.empty()) {
+    buf.resize(buf.size() / 2);
+  }
   *out = std::move(buf);
   return util::OkStatus();
 }
@@ -282,6 +299,15 @@ struct ParsedCheckpoint {
   bool has_best_snapshot = false;
   bool has_meta = false;
   TrainingState state;
+
+  // Serving-export sections (absent in training checkpoints).
+  bool has_serve_meta = false;
+  int64_t serve_version = 0;
+  int64_t serve_num_users = 0;
+  int64_t serve_num_items = 0;
+  int64_t serve_dim = 0;
+  bool has_serve_history = false;
+  std::vector<std::vector<int32_t>> serve_history;
 };
 
 util::Status ParseMeta(const std::string& path, ByteReader* in,
@@ -342,6 +368,51 @@ util::Status ParseHistory(const std::string& path, ByteReader* in,
       return util::DataLossError(path + ": truncated history curve");
     }
   }
+  return util::OkStatus();
+}
+
+util::Status ParseServeMeta(const std::string& path, ByteReader* in,
+                            ParsedCheckpoint* parsed) {
+  uint32_t meta_version = 0;
+  if (!in->ReadPod(&meta_version)) {
+    return util::DataLossError(path + ": truncated serve meta section");
+  }
+  if (meta_version != kServeMetaVersion) {
+    return util::DataLossError(path + ": unsupported serve meta version " +
+                               std::to_string(meta_version));
+  }
+  if (!in->ReadPod(&parsed->serve_version) ||
+      !in->ReadPod(&parsed->serve_num_users) ||
+      !in->ReadPod(&parsed->serve_num_items) ||
+      !in->ReadPod(&parsed->serve_dim)) {
+    return util::DataLossError(path + ": truncated serve meta section");
+  }
+  parsed->has_serve_meta = true;
+  return util::OkStatus();
+}
+
+util::Status ParseServeHistory(const std::string& path, ByteReader* in,
+                               ParsedCheckpoint* parsed) {
+  uint64_t num_users = 0;
+  if (!in->ReadPod(&num_users) || num_users > in->remaining()) {
+    return util::DataLossError(path + ": truncated serve history section");
+  }
+  parsed->serve_history.resize(num_users);
+  for (uint64_t u = 0; u < num_users; ++u) {
+    uint64_t len = 0;
+    if (!in->ReadPod(&len) || len > in->remaining() / sizeof(int32_t)) {
+      return util::DataLossError(path + ": truncated serve history list " +
+                                 std::to_string(u));
+    }
+    std::vector<int32_t>& items = parsed->serve_history[u];
+    items.resize(len);
+    if (len > 0 &&
+        !in->ReadBytes(items.data(), len * sizeof(int32_t))) {
+      return util::DataLossError(path + ": truncated serve history list " +
+                                 std::to_string(u));
+    }
+  }
+  parsed->has_serve_history = true;
   return util::OkStatus();
 }
 
@@ -406,6 +477,12 @@ util::Status ParseV2(const std::string& path, ByteReader* in,
         LAYERGCN_RETURN_IF_ERROR(
             ParseHistory(path, &section, &parsed->state));
         break;
+      case kTagServeHistory:
+        LAYERGCN_RETURN_IF_ERROR(ParseServeHistory(path, &section, parsed));
+        break;
+      case kTagServeMeta:
+        LAYERGCN_RETURN_IF_ERROR(ParseServeMeta(path, &section, parsed));
+        break;
       default:
         // Unknown section from a newer writer: the CRC already validated,
         // so skipping is safe.
@@ -463,21 +540,11 @@ void ApplyMomentTable(const MatrixTable& table, const std::string& name,
   *dst = it->second;
 }
 
-}  // namespace
-
-util::Status SaveCheckpointV2(const std::string& path,
-                              const std::vector<Parameter*>& params,
-                              const TrainingState* state) {
-  std::set<std::string> names;
-  for (const Parameter* p : params) {
-    LAYERGCN_CHECK(p != nullptr);
-    if (!names.insert(p->name).second) {
-      return util::InvalidArgumentError("duplicate parameter name: " +
-                                        p->name);
-    }
-  }
-  const std::string image = SerializeV2(params, state);
-
+// Atomic image write shared by checkpoints and serving exports: buffer ->
+// temp file -> fsync -> rename, with the torn-write fault applied before
+// the safe path so tests can simulate a crash inside the write window.
+util::Status AtomicWriteImage(const std::string& path,
+                              const std::string& image) {
   if (util::fault::Fire("checkpoint.torn_write")) {
     // Simulated crash inside the write window: a prefix of the image lands
     // under the final name (as if the filesystem lost the rename barrier)
@@ -514,6 +581,121 @@ util::Status SaveCheckpointV2(const std::string& path,
     return util::UnavailableError("cannot rename " + tmp + " to " + path);
   }
   return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status SaveCheckpointV2(const std::string& path,
+                              const std::vector<Parameter*>& params,
+                              const TrainingState* state) {
+  std::set<std::string> names;
+  for (const Parameter* p : params) {
+    LAYERGCN_CHECK(p != nullptr);
+    if (!names.insert(p->name).second) {
+      return util::InvalidArgumentError("duplicate parameter name: " +
+                                        p->name);
+    }
+  }
+  return AtomicWriteImage(path, SerializeV2(params, state));
+}
+
+util::Status SaveServingExport(const std::string& path,
+                               const ServingExport& ex) {
+  if (ex.user_emb.cols() != ex.item_emb.cols()) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "serving export embedding width mismatch (user %lld, item %lld)",
+        static_cast<long long>(ex.user_emb.cols()),
+        static_cast<long long>(ex.item_emb.cols())));
+  }
+  if (static_cast<int64_t>(ex.user_history.size()) != ex.user_emb.rows()) {
+    return util::InvalidArgumentError(util::StrFormat(
+        "serving export history size %lld != user count %lld",
+        static_cast<long long>(ex.user_history.size()),
+        static_cast<long long>(ex.user_emb.rows())));
+  }
+  for (const std::vector<int32_t>& items : ex.user_history) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i] < 0 || items[i] >= ex.item_emb.rows()) {
+        return util::InvalidArgumentError(
+            "serving export history item id " + std::to_string(items[i]) +
+            " out of range");
+      }
+      if (i > 0 && items[i] <= items[i - 1]) {
+        return util::InvalidArgumentError(
+            "serving export history lists must be sorted ascending and "
+            "duplicate-free");
+      }
+    }
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(&out, kVersionV2);
+  AppendPod(&out, static_cast<uint32_t>(3));  // meta + values + history
+
+  std::string meta;
+  AppendPod(&meta, kServeMetaVersion);
+  AppendPod(&meta, ex.version);
+  AppendPod(&meta, ex.user_emb.rows());
+  AppendPod(&meta, ex.item_emb.rows());
+  AppendPod(&meta, ex.user_emb.cols());
+  AppendSection(&out, kTagServeMeta, meta);
+
+  AppendSection(&out, kTagParamValues,
+                MatrixTablePayload({{kServeUserEmbName, &ex.user_emb},
+                                    {kServeItemEmbName, &ex.item_emb}}));
+
+  std::string history;
+  AppendPod(&history, static_cast<uint64_t>(ex.user_history.size()));
+  for (const std::vector<int32_t>& items : ex.user_history) {
+    AppendPod(&history, static_cast<uint64_t>(items.size()));
+    AppendBytes(&history, items.data(), items.size() * sizeof(int32_t));
+  }
+  AppendSection(&out, kTagServeHistory, history);
+
+  return AtomicWriteImage(path, out);
+}
+
+util::StatusOr<ServingExport> LoadServingExport(const std::string& path) {
+  std::string image;
+  LAYERGCN_RETURN_IF_ERROR(ReadFileImage(path, &image));
+  ParsedCheckpoint parsed;
+  LAYERGCN_RETURN_IF_ERROR(ParseCheckpointImage(path, image, &parsed));
+  if (!parsed.has_serve_meta || !parsed.has_serve_history) {
+    return util::DataLossError(path + " is not a serving export (serve "
+                               "sections absent)");
+  }
+  const auto user_it = parsed.values.find(kServeUserEmbName);
+  const auto item_it = parsed.values.find(kServeItemEmbName);
+  if (user_it == parsed.values.end() || item_it == parsed.values.end()) {
+    return util::DataLossError(path + ": serving export missing embedding "
+                               "matrices");
+  }
+  ServingExport ex;
+  ex.version = parsed.serve_version;
+  ex.user_emb = std::move(user_it->second);
+  ex.item_emb = std::move(item_it->second);
+  ex.user_history = std::move(parsed.serve_history);
+  // The meta section double-checks the payload shapes so a section-level
+  // mix-up (e.g. a file assembled from two snapshots) cannot slip through.
+  if (ex.user_emb.rows() != parsed.serve_num_users ||
+      ex.item_emb.rows() != parsed.serve_num_items ||
+      ex.user_emb.cols() != parsed.serve_dim ||
+      ex.item_emb.cols() != parsed.serve_dim ||
+      static_cast<int64_t>(ex.user_history.size()) != parsed.serve_num_users) {
+    return util::DataLossError(path + ": serving export sections disagree "
+                               "on shapes");
+  }
+  for (const std::vector<int32_t>& items : ex.user_history) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i] < 0 || items[i] >= ex.item_emb.rows() ||
+          (i > 0 && items[i] <= items[i - 1])) {
+        return util::DataLossError(path + ": serving export history list "
+                                   "unsorted or out of range");
+      }
+    }
+  }
+  return ex;
 }
 
 util::StatusOr<int> LoadCheckpointV2(const std::string& path,

@@ -133,6 +133,34 @@ class CheckpointManager {
   int keep_last_;
 };
 
+/// Embedding-only serving export — the fixed final embeddings a serving
+/// process needs (PAPER.md Eq. 7 makes inference a snapshot of user/item
+/// matrices), in the v2 container (per-section CRCs, atomic temp+rename
+/// write): the value table carries the "serve.user_emb" / "serve.item_emb"
+/// matrices, section 8 the per-user training histories (serve-side
+/// exclusion lists + popularity source), section 9 the export meta.
+/// Training state is deliberately absent: a snapshot is immutable serving
+/// data, not a resume point.
+struct ServingExport {
+  /// Monotone snapshot version (by convention the epoch that produced it).
+  int64_t version = 0;
+  tensor::Matrix user_emb;  // one row per user id
+  tensor::Matrix item_emb;  // one row per item id
+  /// Sorted-ascending training items per user; size = user_emb.rows().
+  std::vector<std::vector<int32_t>> user_history;
+};
+
+/// Writes `ex` atomically. InvalidArgument when the shapes are inconsistent
+/// (width mismatch, history size != user count, out-of-range item ids).
+util::Status SaveServingExport(const std::string& path,
+                               const ServingExport& ex);
+
+/// Reads a serving export back. Corruption (bad magic, CRC mismatch,
+/// truncation) and missing serve sections surface as DataLoss — never UB;
+/// the fault points `serve.snapshot_bit_flip` / `serve.reload_torn_read`
+/// damage the in-memory file image on the next read when armed.
+util::StatusOr<ServingExport> LoadServingExport(const std::string& path);
+
 /// Legacy entry point: writes a params-only v2 checkpoint. Aborts on I/O
 /// failure or duplicate parameter names.
 void SaveCheckpoint(const std::string& path,

@@ -13,11 +13,21 @@
 // so a recovery retry of the same code path succeeds.
 //
 // Points wired up in this PR:
-//   checkpoint.torn_write  writer persists only a prefix of the file
-//                          (simulates a crash inside the write window)
-//   checkpoint.short_read  reader sees a truncated file image
-//   checkpoint.bit_flip    reader sees one flipped payload bit
-//   trainer.nan_loss       the epoch loss is replaced with a quiet NaN
+//   checkpoint.torn_write    writer persists only a prefix of the file
+//                            (simulates a crash inside the write window)
+//   checkpoint.short_read    reader sees a truncated file image
+//   checkpoint.bit_flip      reader sees one flipped payload bit
+//   trainer.nan_loss         the epoch loss is replaced with a quiet NaN
+//
+// Serving points (src/serve/):
+//   serve.snapshot_bit_flip  snapshot reader sees one flipped payload bit
+//                            (CRC mismatch -> newest-valid fallback)
+//   serve.reload_torn_read   snapshot reader sees half the file, as if a
+//                            reload raced a partially written snapshot
+//   serve.slow_score         the fused rank kernel stalls past the
+//                            request deadline (only fires when a request
+//                            carries a budget) -> partial result or
+//                            DeadlineExceeded, breaker food
 
 #ifndef LAYERGCN_UTIL_FAULT_INJECTION_H_
 #define LAYERGCN_UTIL_FAULT_INJECTION_H_

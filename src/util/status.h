@@ -31,6 +31,7 @@ enum class StatusCode {
   kCancelled,           // stopped on request (signal / stop token)
   kInternal,            // invariant violated on an error path
   kUnavailable,         // transient I/O failure
+  kDeadlineExceeded,    // request budget expired before completion
 };
 
 /// Human-readable code name ("DATA_LOSS", "OK", ...).
@@ -70,6 +71,7 @@ Status ResourceExhaustedError(std::string message);
 Status CancelledError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A Status or a value. No exceptions, no heap: the value lives inline and
 /// is only valid when ok().

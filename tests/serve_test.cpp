@@ -1,0 +1,454 @@
+// Robustness suite for the serving subsystem: corrupt-snapshot fallback,
+// deadline expiry mid-block, queue-overflow shedding, circuit-breaker
+// transitions, degraded mode, and bit-identical parity between the
+// RecommendService ranking and the offline fused-kernel ranking.
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "eval/fused_rank.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/circuit_breaker.h"
+#include "serve/recommend_service.h"
+#include "serve/snapshot.h"
+#include "tensor/matrix.h"
+#include "train/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace layergcn::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh directory under the test temp root.
+std::string TempDirFor(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// A small export with known popularity structure:
+//   counts: item0=3, item1=2, item2=1, item3=1, item4=0, item5=0
+//   popular_items (count desc, id asc): [0, 1, 2, 3, 4, 5]
+train::ServingExport SmallExport(int64_t version) {
+  train::ServingExport ex;
+  ex.version = version;
+  ex.user_emb = tensor::Matrix(3, 4);
+  ex.item_emb = tensor::Matrix(6, 4);
+  util::Rng rng(7 + static_cast<uint64_t>(version));
+  ex.user_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.item_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.user_history = {{0, 1}, {0, 2}, {0, 1, 3}};
+  return ex;
+}
+
+void SaveSmall(const std::string& dir, int64_t version) {
+  const util::Status s = train::SaveServingExport(
+      SnapshotStore::SnapshotPath(dir, version), SmallExport(version));
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::fault::DisarmAll();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override { util::fault::DisarmAll(); }
+};
+
+TEST_F(ServeTest, SnapshotRoundTripAndPopularity) {
+  const std::string dir = TempDirFor("serve_roundtrip");
+  SaveSmall(dir, 4);
+  const auto snap = ModelSnapshot::Load(SnapshotStore::SnapshotPath(dir, 4));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value()->version(), 4);
+  EXPECT_EQ(snap.value()->num_users(), 3);
+  EXPECT_EQ(snap.value()->num_items(), 6);
+  EXPECT_EQ(snap.value()->dim(), 4);
+  EXPECT_EQ(snap.value()->popular_items(),
+            (std::vector<int32_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(snap.value()->item_counts(), (std::vector<int64_t>{3, 2, 1, 1, 0, 0}));
+}
+
+TEST_F(ServeTest, SnapshotNamingAndListing) {
+  const std::string dir = TempDirFor("serve_listing");
+  EXPECT_EQ(SnapshotStore::SnapshotPath(dir, 12), dir + "/snap-000012.lgcn");
+  SaveSmall(dir, 12);
+  SaveSmall(dir, 3);
+  // Noise the listing must ignore.
+  { std::ofstream(dir + "/snap-xxxxxx.lgcn") << "nope"; }
+  { std::ofstream(dir + "/other.txt") << "nope"; }
+  const auto listed = SnapshotStore::ListSnapshots(dir);
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].first, 3);
+  EXPECT_EQ(listed[1].first, 12);
+}
+
+TEST_F(ServeTest, ReloadEmptyDirectoryIsStructuredError) {
+  const std::string dir = TempDirFor("serve_empty");
+  SnapshotStore store(dir);
+  const util::Status s = store.Reload();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(store.current(), nullptr);
+}
+
+TEST_F(ServeTest, CorruptNewestFallsBackToOlderValid) {
+  const std::string dir = TempDirFor("serve_fallback");
+  SaveSmall(dir, 1);
+  SaveSmall(dir, 3);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  // One-shot bit flip corrupts the first file read — the newest (v3).
+  util::fault::Arm("serve.snapshot_bit_flip");
+  SnapshotStore store(dir);
+  const util::Status s = store.Reload();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version(), 1);
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterDelta(before, "serve.snapshot_fallbacks"), 1u);
+}
+
+TEST_F(ServeTest, TornReloadKeepsPreviousSnapshotServing) {
+  const std::string dir = TempDirFor("serve_torn");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  ASSERT_EQ(store.current()->version(), 1);
+
+  SaveSmall(dir, 2);
+  util::fault::Arm("serve.reload_torn_read");
+  // v2 is torn mid-read; the store walks back to v1, which it is already
+  // serving, and keeps it — reload is a graceful no-op, not an outage.
+  const util::Status s = store.Reload();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version(), 1);
+
+  // Next reload (fault spent) picks up v2.
+  ASSERT_TRUE(store.Reload().ok());
+  EXPECT_EQ(store.current()->version(), 2);
+}
+
+TEST_F(ServeTest, AllSnapshotsCorruptKeepsNothingButNeverCrashes) {
+  const std::string dir = TempDirFor("serve_all_corrupt");
+  SaveSmall(dir, 1);
+  util::fault::Arm("serve.snapshot_bit_flip");
+  SnapshotStore store(dir);
+  const util::Status s = store.Reload();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(store.current(), nullptr);
+}
+
+TEST_F(ServeTest, RequestValidation) {
+  const std::string dir = TempDirFor("serve_validation");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendService service(&store);
+
+  for (const RecommendRequest req :
+       {RecommendRequest{-1, 5, 0}, RecommendRequest{3, 5, 0},
+        RecommendRequest{0, 0, 0},
+        RecommendRequest{0, service.options().max_k + 1, 0}}) {
+    const auto r = service.Recommend(req);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+  const auto ok = service.Recommend({0, 3, 0});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().items.size(), 3u);
+}
+
+TEST_F(ServeTest, NoSnapshotIsFailedPrecondition) {
+  const std::string dir = TempDirFor("serve_no_snapshot");
+  SnapshotStore store(dir);
+  RecommendService service(&store);
+  const auto r = service.Recommend({0, 5, 0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, DeadlineExpiryMidBlockReturnsPartialPrefix) {
+  const std::string dir = TempDirFor("serve_deadline");
+  // 64 items, item_tile 16 (the GEMM panel minimum) => 4 blocks; the armed
+  // slow-score stall burns the whole budget inside the first block, so the
+  // kernel stops at the first block boundary and only items [0, 16) were
+  // ever scored.
+  train::ServingExport ex;
+  ex.version = 1;
+  ex.user_emb = tensor::Matrix(4, 8);
+  ex.item_emb = tensor::Matrix(64, 8);
+  util::Rng rng(11);
+  ex.user_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.item_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.user_history.assign(4, {});
+  ASSERT_TRUE(
+      train::SaveServingExport(SnapshotStore::SnapshotPath(dir, 1), ex).ok());
+
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendServiceOptions opt;
+  opt.rank.item_tile = 16;
+  opt.rank.num_threads = 1;
+  RecommendService service(&store, opt);
+
+  util::fault::Arm("serve.slow_score");
+  const auto r = service.Recommend({0, 16, /*budget_us=*/3000});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().partial);
+  ASSERT_FALSE(r.value().items.empty());
+  EXPECT_LE(r.value().items.size(), 16u);
+  for (const ScoredItem& it : r.value().items) {
+    EXPECT_GE(it.item, 0);
+    EXPECT_LT(it.item, 16);
+  }
+}
+
+TEST_F(ServeTest, SpentBudgetIsStructuredNotACrash) {
+  const std::string dir = TempDirFor("serve_tiny_budget");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendService service(&store);
+  // A 1us budget is near-certainly spent before the kernel's first block
+  // check; either structured outcome (empty => DeadlineExceeded, something
+  // scored => partial success) is acceptable — never UB or a crash.
+  const auto r = service.Recommend({0, 4, /*budget_us=*/1});
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(ServeTest, QueueOverflowShedsWithResourceExhausted) {
+  const std::string dir = TempDirFor("serve_shed");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  // One compute-pool worker, blocked by a task we control: admitted
+  // requests can only queue, so admission state is fully deterministic.
+  util::ThreadPool pool(1);
+  util::parallel::ScopedComputePool scope(&pool);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  RecommendServiceOptions opt;
+  opt.queue_capacity = 2;
+  opt.rank.num_threads = 1;  // dedicated kernel pool; never our blocked one
+  {
+    RecommendService service(&store, opt);
+    auto f1 = service.Submit({0, 3, 0});
+    auto f2 = service.Submit({1, 3, 0});
+    EXPECT_EQ(service.in_flight(), 2);
+
+    auto f3 = service.Submit({2, 3, 0});
+    const auto shed = f3.get();  // resolves immediately: shed at the door
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    const auto r1 = f1.get();
+    const auto r2 = f2.get();
+    EXPECT_TRUE(r1.ok()) << r1.status().ToString();
+    EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+  }  // dtor drains with the pool alive
+}
+
+TEST_F(ServeTest, CircuitBreakerTransitions) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 2;
+  opt.open_cooldown_us = 100;
+  opt.half_open_probes = 1;
+  CircuitBreaker breaker(opt);
+
+  // Closed: everything is admitted; failures accumulate.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(1000));
+  breaker.RecordFailure(1000);
+  EXPECT_EQ(breaker.consecutive_failures(), 1);
+  EXPECT_TRUE(breaker.Allow(1001));
+  breaker.RecordFailure(1001);  // threshold hit -> open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Open: rejected until the cooldown elapses.
+  EXPECT_FALSE(breaker.Allow(1050));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Cooldown elapsed: half-open, one probe admitted, the rest rejected.
+  EXPECT_TRUE(breaker.Allow(1102));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(1103));
+
+  // Successful probe closes the breaker and resets the failure count.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_TRUE(breaker.Allow(1104));
+
+  // Re-open, probe fails: straight back to open with a fresh cooldown.
+  breaker.RecordFailure(2000);
+  breaker.RecordFailure(2001);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.Allow(2102));  // probe
+  breaker.RecordFailure(2103);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(2150));
+  EXPECT_TRUE(breaker.Allow(2204));  // next cooldown elapsed
+}
+
+TEST_F(ServeTest, OpenBreakerServesPopularityFallback) {
+  const std::string dir = TempDirFor("serve_degraded");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  RecommendServiceOptions opt;
+  opt.breaker.failure_threshold = 1;
+  opt.breaker.open_cooldown_us = 3600ull * 1000000ull;  // stay open
+  RecommendService service(&store, opt);
+  service.breaker().RecordFailure(obs::NowMicros());
+  ASSERT_EQ(service.breaker().state(), CircuitBreaker::State::kOpen);
+
+  // User 1's history is {0, 2}; popularity minus history = [1, 3, 4, 5]
+  // with counts [2, 1, 0, 0].
+  const auto r = service.Recommend({1, 3, 0});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+  ASSERT_EQ(r.value().items.size(), 3u);
+  EXPECT_EQ(r.value().items[0].item, 1);
+  EXPECT_EQ(r.value().items[1].item, 3);
+  EXPECT_EQ(r.value().items[2].item, 4);
+  EXPECT_FLOAT_EQ(r.value().items[0].score, 2.f);
+  EXPECT_FLOAT_EQ(r.value().items[1].score, 1.f);
+  EXPECT_FLOAT_EQ(r.value().items[2].score, 0.f);
+}
+
+// The service must rank bit-identically to the offline evaluation path:
+// same FusedScoreTopK kernel, same embeddings, same exclusion lists, same
+// (score desc, id asc) total order — at any worker count.
+TEST_F(ServeTest, TopKBitIdenticalToEvaluatorKernelAt1And8Threads) {
+  const std::string dir = TempDirFor("serve_parity");
+  const int32_t num_users = 40;
+  const int32_t num_items = 300;
+  const int64_t dim = 16;
+
+  train::ServingExport ex;
+  ex.version = 1;
+  ex.user_emb = tensor::Matrix(num_users, dim);
+  ex.item_emb = tensor::Matrix(num_items, dim);
+  util::Rng rng(23);
+  ex.user_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.item_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.user_history.resize(num_users);
+  for (int32_t u = 0; u < num_users; ++u) {
+    for (int32_t i = u % 7; i < num_items; i += 11 + u % 5) {
+      ex.user_history[static_cast<size_t>(u)].push_back(i);
+    }
+  }
+  ASSERT_TRUE(
+      train::SaveServingExport(SnapshotStore::SnapshotPath(dir, 1), ex).ok());
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  const int k = 20;
+  std::vector<int32_t> all_users(num_users);
+  for (int32_t u = 0; u < num_users; ++u) all_users[static_cast<size_t>(u)] = u;
+
+  std::vector<std::vector<ScoredItem>> per_thread_results;
+  for (const int threads : {1, 8}) {
+    eval::FusedRankConfig cfg;
+    cfg.num_threads = threads;
+    // The Evaluator's ranking for these embeddings: the fused kernel over
+    // every user with training items excluded (Evaluator::RankUsers makes
+    // exactly this call).
+    std::vector<std::vector<float>> ref_scores;
+    const std::vector<std::vector<int32_t>> reference = eval::FusedScoreTopK(
+        ex.user_emb, all_users, ex.item_emb, k, &ex.user_history, cfg,
+        /*deadline=*/nullptr, &ref_scores);
+
+    RecommendServiceOptions opt;
+    opt.rank.num_threads = threads;
+    RecommendService service(&store, opt);
+    std::vector<ScoredItem> flat;
+    for (int32_t u = 0; u < num_users; ++u) {
+      const auto r = service.Recommend({u, k, 0});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_FALSE(r.value().partial);
+      EXPECT_FALSE(r.value().degraded);
+      const auto& ref_u = reference[static_cast<size_t>(u)];
+      ASSERT_EQ(r.value().items.size(), ref_u.size()) << "user " << u;
+      for (size_t i = 0; i < ref_u.size(); ++i) {
+        EXPECT_EQ(r.value().items[i].item, ref_u[i])
+            << "user " << u << " rank " << i << " threads " << threads;
+        EXPECT_EQ(r.value().items[i].score, ref_scores[static_cast<size_t>(u)][i])
+            << "user " << u << " rank " << i << " threads " << threads;
+        flat.push_back(r.value().items[i]);
+      }
+    }
+    per_thread_results.push_back(std::move(flat));
+  }
+
+  // And the served rankings themselves are identical across worker counts.
+  ASSERT_EQ(per_thread_results[0].size(), per_thread_results[1].size());
+  for (size_t i = 0; i < per_thread_results[0].size(); ++i) {
+    EXPECT_EQ(per_thread_results[0][i].item, per_thread_results[1][i].item);
+    EXPECT_EQ(per_thread_results[0][i].score, per_thread_results[1][i].score);
+  }
+}
+
+// Every serve fault point degrades or errors structurally — no crash, and
+// the service keeps answering afterwards.
+TEST_F(ServeTest, FaultSweepNeverCrashes) {
+  const std::string dir = TempDirFor("serve_sweep");
+  SaveSmall(dir, 1);
+  SaveSmall(dir, 2);
+  for (const char* point :
+       {"serve.snapshot_bit_flip", "serve.reload_torn_read",
+        "serve.slow_score"}) {
+    SCOPED_TRACE(point);
+    util::fault::DisarmAll();
+    util::fault::Arm(point);
+    SnapshotStore store(dir);
+    (void)store.Reload();  // may fall back; must not crash
+    RecommendService service(&store);
+    const auto r1 = service.Recommend({0, 3, /*budget_us=*/2000});
+    if (!r1.ok()) {
+      EXPECT_NE(r1.status().code(), util::StatusCode::kOk);
+    }
+    util::fault::DisarmAll();
+    ASSERT_TRUE(store.Reload().ok());
+    const auto r2 = service.Recommend({0, 3, 0});
+    EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace layergcn::serve

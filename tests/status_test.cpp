@@ -32,12 +32,15 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -25,6 +25,12 @@
 # exit 0 (recovered) or exit 1 (structured error) — never a crash, abort,
 # or sanitizer report.
 #
+# The `serve` stage builds a UBSan-only config (LAYERGCN_SANITIZE=undefined)
+# and smokes the serving subsystem: train 2 synthetic epochs, export a
+# snapshot, then serve 1k JSONL requests through layergcn_serve under each
+# serve fault point (snapshot bit flip, torn reload, slow scoring) plus a
+# malformed-request batch — responses must stay structured JSONL.
+#
 # Usage: tools/check.sh [build-root]     (default: build-check/)
 # Exits non-zero on the first failing build or test.
 
@@ -105,6 +111,70 @@ run_fault_stage() {
     --checkpoint-dir="${out}/ckpt-checkpoint-torn_write" --resume
 }
 run_fault_stage
+
+# UBSan-only build (LAYERGCN_SANITIZE=undefined): cheap enough to drive the
+# serving subsystem end to end. The serve smoke trains a small synthetic
+# run, exports a serving snapshot, plants an older copy as the fallback
+# target, and pushes 1k requests through layergcn_serve under every serve
+# fault point. Graceful outcomes only: exit 0 (every request answered) or
+# 1 (structured setup error) — never a crash or a sanitizer report; the
+# response stream must stay valid JSONL throughout.
+run_config ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=undefined
+
+run_serve_stage() {
+  local dir="${build_root}/ubsan"
+  local out="${build_root}/serve-out"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  echo "=== [serve] train 2 epochs + export serving snapshot ==="
+  "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=2 \
+    --model=LayerGCN --export-snapshot="${out}/snaps"
+  # Plant the exported snapshot again under a higher version: the fault
+  # sweep corrupts the newest file first, so serving must fall back to the
+  # original underneath it.
+  local newest
+  newest="$(ls "${out}/snaps" | sort | tail -1)"
+  cp "${out}/snaps/${newest}" "${out}/snaps/snap-000099.lgcn"
+
+  local serve_faults=(
+    ""
+    "serve.snapshot_bit_flip"
+    "serve.reload_torn_read"
+    "serve.slow_score"
+    "serve.snapshot_bit_flip,serve.slow_score"
+  )
+  for fault in "${serve_faults[@]}"; do
+    echo "=== [serve] LAYERGCN_FAULT='${fault}' 1k requests ==="
+    local tag="${fault//[^a-z0-9_]/-}"
+    local rc=0
+    LAYERGCN_FAULT="${fault}" "${dir}/tools/layergcn_serve" \
+      --snapshot-dir="${out}/snaps" --random-requests=1000 \
+      --deadline-us=2000 --seed=7 \
+      --metrics-out="${out}/metrics-${tag:-clean}.json" \
+      > "${out}/responses-${tag:-clean}.jsonl" || rc=$?
+    if [[ "${rc}" -gt 1 ]]; then
+      echo "SERVE STAGE FAILED: LAYERGCN_FAULT=${fault} exited ${rc}" \
+           "(expected graceful 0 or 1)"
+      exit 1
+    fi
+    "${dir}/tools/validate_jsonl" "${out}/responses-${tag:-clean}.jsonl" \
+      "${out}/metrics-${tag:-clean}.json"
+  done
+
+  # Malformed request lines must come back as structured error responses
+  # in a still-valid JSONL stream, with the valid requests served.
+  echo "=== [serve] malformed request lines ==="
+  printf '%s\n' \
+    '{"user": 0, "k": 5}' \
+    'not json at all' \
+    '{"user": -3}' \
+    '{"user": 1, "k": 999999}' \
+    '{"user": 2, "k": 5, "budget_us": 2000}' \
+    | "${dir}/tools/layergcn_serve" --snapshot-dir="${out}/snaps" \
+      > "${out}/responses-malformed.jsonl"
+  "${dir}/tools/validate_jsonl" "${out}/responses-malformed.jsonl"
+}
+run_serve_stage
 
 # LAYERGCN_SANITIZE=thread exercises the parallel layer under TSan with a
 # pool wide enough to interleave even on small CI machines.

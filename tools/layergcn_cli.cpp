@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/api.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 #include "train/checkpoint.h"
 #include "train/stop_token.h"
 #include "util/parallel.h"
@@ -53,6 +56,7 @@ struct Flags {
   std::string out_path;    // recommendations CSV
   std::string save_path;   // checkpoint to write after training
   std::string load_path;   // checkpoint to restore instead of training
+  std::string export_snapshot_dir;  // serving snapshot directory
   int topk = 10;
   bool verbose = false;
   int threads = 0;  // 0 = hardware concurrency / LAYERGCN_NUM_THREADS
@@ -88,6 +92,8 @@ void PrintUsage(const char* argv0) {
       "  --topk=N           recommendations per user (default 10)\n"
       "  --save=PATH        write a parameter checkpoint after training\n"
       "  --load=PATH        restore a checkpoint and skip training\n"
+      "  --export-snapshot=DIR write a serving snapshot (snap-NNNNNN.lgcn,\n"
+      "                     versioned by best epoch) for layergcn_serve\n"
       "  --verbose          per-epoch logging\n"
       "  --threads=N        compute threads (default: LAYERGCN_NUM_THREADS\n"
       "                     env var, else hardware concurrency); results are\n"
@@ -165,6 +171,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->save_path = value;
     } else if (key == "--load") {
       flags->load_path = value;
+    } else if (key == "--export-snapshot") {
+      flags->export_snapshot_dir = value;
     } else if (key == "--topk") {
       ok = as_int(&flags->topk);
     } else if (key == "--verbose") {
@@ -291,6 +299,7 @@ int main(int argc, char** argv) {
   // --- Train (or restore) ---
   auto model = core::CreateModel(flags.model);
   int exit_code = 0;
+  int64_t snapshot_version = 0;  // best epoch when trained; 0 when restored
   if (!flags.load_path.empty()) {
     // Restore: initialize the architecture, then load the checkpoint and
     // evaluate without training.
@@ -336,6 +345,7 @@ int main(int argc, char** argv) {
                       : "; rerun with --resume to continue");
       exit_code = 2;
     }
+    snapshot_version = result.best_epoch;
     std::printf("model=%s best_epoch=%d epochs_run=%d train_time=%.1fs\n",
                 flags.model.c_str(), result.best_epoch, result.epochs_run,
                 result.train_seconds);
@@ -359,6 +369,42 @@ int main(int argc, char** argv) {
       }
       std::printf("saved checkpoint to %s\n", flags.save_path.c_str());
     }
+  }
+
+  // --- Export serving snapshot ---
+  if (!flags.export_snapshot_dir.empty()) {
+    model->PrepareEval();
+    const train::EmbeddingView view = model->GetEmbeddingView();
+    if (!view.valid()) {
+      std::fprintf(stderr,
+                   "--export-snapshot needs an inner-product model with an "
+                   "embedding view; %s has none\n",
+                   flags.model.c_str());
+      return 1;
+    }
+    train::ServingExport ex;
+    ex.version = snapshot_version;
+    // The view's user block may be a node matrix with trailing non-user
+    // rows; the snapshot carries exactly one row per user id.
+    ex.user_emb = tensor::Matrix(dataset.num_users, view.user->cols());
+    for (int32_t u = 0; u < dataset.num_users; ++u) {
+      const float* src = view.user->row(u);
+      float* dst = ex.user_emb.row(u);
+      for (int64_t c = 0; c < view.user->cols(); ++c) dst[c] = src[c];
+    }
+    ex.item_emb = *view.item;
+    ex.user_history = dataset.train_graph.user_items();
+    std::error_code ec;
+    std::filesystem::create_directories(flags.export_snapshot_dir, ec);
+    const std::string snap_path = serve::SnapshotStore::SnapshotPath(
+        flags.export_snapshot_dir, ex.version);
+    const util::Status saved = train::SaveServingExport(snap_path, ex);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot export snapshot %s: %s\n",
+                   snap_path.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("exported serving snapshot to %s\n", snap_path.c_str());
   }
 
   // --- Export recommendations ---

@@ -1,0 +1,375 @@
+// layergcn_serve — batch-drive the hardened recommendation service from
+// JSONL requests (stdin or a file), against a snapshot directory written
+// by `layergcn_cli --export-snapshot=DIR`.
+//
+// One request per line:
+//   {"user": 17, "k": 10, "budget_us": 5000}
+// "k" and "budget_us" are optional (defaults --topk / --deadline-us).
+// One response line per request, in request order:
+//   {"user":17,"status":"OK","items":[...],"scores":[...],"partial":false,
+//    "degraded":false,"snapshot_version":3,"latency_us":412}
+// Failed requests keep the line protocol with a structured status:
+//   {"user":-1,"status":"INVALID_ARGUMENT","error":"user_id -1 ..."}
+//
+// Exit codes: 0 = every request received a response (including structured
+// errors — degradation is graceful, not fatal); 1 = setup failure (bad
+// flags, no valid snapshot). The process never crashes on a bad request
+// or a corrupt snapshot; LAYERGCN_FAULT sweeps rely on that.
+//
+// Examples:
+//   layergcn_serve --snapshot-dir=snaps --random-requests=1000
+//       --deadline-us=50000   (one command line)
+//   layergcn_serve --snapshot-dir=snaps --requests=reqs.jsonl --burst
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/recommend_service.h"
+#include "serve/snapshot.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+using namespace layergcn;
+
+namespace {
+
+struct Flags {
+  std::string snapshot_dir;
+  std::string requests_path;  // "-" or empty = stdin
+  int64_t random_requests = 0;
+  uint64_t deadline_us = 0;  // default request budget; 0 = none
+  int32_t topk = 10;
+  int32_t max_k = 1000;
+  int64_t queue_capacity = 64;
+  int threads = 0;
+  bool burst = false;  // submit everything before draining (sheds load)
+  bool quiet = false;  // suppress per-request response lines
+  uint64_t seed = 42;
+  std::string metrics_out;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --snapshot-dir=DIR [flags]\n"
+      "  --snapshot-dir=DIR   directory of snap-NNNNNN.lgcn files (required)\n"
+      "request source (one of):\n"
+      "  --requests=PATH      JSONL requests; '-' = stdin (default)\n"
+      "  --random-requests=N  generate N uniform-random requests instead\n"
+      "request defaults:\n"
+      "  --topk=N             k for requests that omit it (default 10)\n"
+      "  --deadline-us=N      budget_us for requests that omit it (0 = none)\n"
+      "service tuning:\n"
+      "  --max-k=N            largest admissible k (default 1000)\n"
+      "  --queue-capacity=N   async admission bound (default 64)\n"
+      "  --threads=N          compute threads (0 = default pool)\n"
+      "  --burst              submit all requests before draining any —\n"
+      "                       overruns the admission queue on purpose\n"
+      "  --quiet              print only the summary, not response lines\n"
+      "  --seed=N             RNG seed for --random-requests (default 42)\n"
+      "  --metrics-out=PATH   write a metrics snapshot JSON on exit\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    auto as_int = [&](auto* out) {
+      int64_t v;
+      if (!util::ParseInt64(value, &v)) return false;
+      *out = static_cast<std::remove_pointer_t<decltype(out)>>(v);
+      return true;
+    };
+    bool ok = true;
+    if (key == "--help" || key == "-h") {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    } else if (key == "--snapshot-dir") {
+      flags->snapshot_dir = value;
+    } else if (key == "--requests") {
+      flags->requests_path = value;
+    } else if (key == "--random-requests") {
+      ok = as_int(&flags->random_requests) && flags->random_requests >= 1;
+    } else if (key == "--deadline-us") {
+      ok = as_int(&flags->deadline_us);
+    } else if (key == "--topk") {
+      ok = as_int(&flags->topk) && flags->topk >= 1;
+    } else if (key == "--max-k") {
+      ok = as_int(&flags->max_k) && flags->max_k >= 1;
+    } else if (key == "--queue-capacity") {
+      ok = as_int(&flags->queue_capacity) && flags->queue_capacity >= 1;
+    } else if (key == "--threads") {
+      ok = as_int(&flags->threads) && flags->threads >= 0;
+    } else if (key == "--burst") {
+      flags->burst = true;
+    } else if (key == "--quiet") {
+      flags->quiet = true;
+    } else if (key == "--seed") {
+      ok = as_int(&flags->seed);
+    } else if (key == "--metrics-out") {
+      flags->metrics_out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+      return false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s: '%s'\n", key.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  if (flags->snapshot_dir.empty()) {
+    std::fprintf(stderr, "--snapshot-dir is required\n");
+    return false;
+  }
+  if (flags->random_requests > 0 && !flags->requests_path.empty()) {
+    std::fprintf(stderr,
+                 "--requests and --random-requests are exclusive\n");
+    return false;
+  }
+  return true;
+}
+
+// A request line parsed (or rejected) before it reaches the service. Parse
+// failures still produce a response line, so the JSONL protocol stays
+// one-in/one-out even for garbage input.
+struct PendingRequest {
+  serve::RecommendRequest req;
+  bool parse_ok = true;
+  std::string parse_error;
+};
+
+PendingRequest ParseRequestLine(const std::string& line, const Flags& flags) {
+  PendingRequest pending;
+  pending.req.k = flags.topk;
+  pending.req.budget_us = flags.deadline_us;
+  obs::JsonValue value;
+  std::string error;
+  if (!obs::ParseJson(line, &value, &error)) {
+    pending.parse_ok = false;
+    pending.parse_error = "bad JSON: " + error;
+    return pending;
+  }
+  if (value.type != obs::JsonValue::Type::kObject) {
+    pending.parse_ok = false;
+    pending.parse_error = "request must be a JSON object";
+    return pending;
+  }
+  const obs::JsonValue* user = value.Find("user");
+  if (user == nullptr || !user->is_number()) {
+    pending.parse_ok = false;
+    pending.parse_error = "missing numeric \"user\"";
+    return pending;
+  }
+  pending.req.user_id = static_cast<int32_t>(user->number);
+  if (const obs::JsonValue* k = value.Find("k"); k != nullptr) {
+    if (!k->is_number()) {
+      pending.parse_ok = false;
+      pending.parse_error = "\"k\" must be a number";
+      return pending;
+    }
+    pending.req.k = static_cast<int32_t>(k->number);
+  }
+  if (const obs::JsonValue* b = value.Find("budget_us"); b != nullptr) {
+    if (!b->is_number() || b->number < 0) {
+      pending.parse_ok = false;
+      pending.parse_error = "\"budget_us\" must be a non-negative number";
+      return pending;
+    }
+    pending.req.budget_us = static_cast<uint64_t>(b->number);
+  }
+  return pending;
+}
+
+std::string ResponseLine(const serve::RecommendRequest& req,
+                         const util::StatusOr<serve::RecommendResponse>& r) {
+  obs::JsonWriter w;
+  w.BeginObject().Key("user").Int(req.user_id);
+  if (!r.ok()) {
+    w.Key("status").String(util::StatusCodeName(r.status().code()));
+    w.Key("error").String(r.status().message());
+    w.EndObject();
+    return w.str();
+  }
+  const serve::RecommendResponse& resp = r.value();
+  w.Key("status").String("OK");
+  w.Key("items").BeginArray();
+  for (const serve::ScoredItem& it : resp.items) w.Int(it.item);
+  w.EndArray();
+  w.Key("scores").BeginArray();
+  for (const serve::ScoredItem& it : resp.items) w.Number(it.score);
+  w.EndArray();
+  w.Key("partial").Bool(resp.partial);
+  w.Key("degraded").Bool(resp.degraded);
+  w.Key("snapshot_version").Int(resp.snapshot_version);
+  w.Key("latency_us").Uint(resp.latency_us);
+  w.EndObject();
+  return w.str();
+}
+
+struct Tally {
+  int64_t total = 0, ok = 0, partial = 0, degraded = 0;
+  int64_t shed = 0, deadline = 0, invalid = 0, other_error = 0;
+};
+
+void Count(const util::StatusOr<serve::RecommendResponse>& r, Tally* tally) {
+  ++tally->total;
+  if (r.ok()) {
+    ++tally->ok;
+    if (r.value().partial) ++tally->partial;
+    if (r.value().degraded) ++tally->degraded;
+    return;
+  }
+  switch (r.status().code()) {
+    case util::StatusCode::kResourceExhausted: ++tally->shed; break;
+    case util::StatusCode::kDeadlineExceeded: ++tally->deadline; break;
+    case util::StatusCode::kInvalidArgument: ++tally->invalid; break;
+    default: ++tally->other_error; break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage(argv[0]);
+    return 1;
+  }
+
+  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<util::parallel::ScopedComputePool> pool_scope;
+  if (flags.threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(flags.threads);
+    pool_scope =
+        std::make_unique<util::parallel::ScopedComputePool>(pool.get());
+  }
+  obs::SetEnabled(true);
+
+  serve::SnapshotStore store(flags.snapshot_dir);
+  const util::Status loaded = store.Reload();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load a snapshot from %s: %s\n",
+                 flags.snapshot_dir.c_str(), loaded.ToString().c_str());
+    return 1;
+  }
+  const std::shared_ptr<const serve::ModelSnapshot> snap = store.current();
+  std::fprintf(stderr,
+               "serving snapshot v%lld: %lld users, %lld items, dim %lld\n",
+               static_cast<long long>(snap->version()),
+               static_cast<long long>(snap->num_users()),
+               static_cast<long long>(snap->num_items()),
+               static_cast<long long>(snap->dim()));
+
+  serve::RecommendServiceOptions options;
+  options.max_k = flags.max_k;
+  options.queue_capacity = flags.queue_capacity;
+  serve::RecommendService service(&store, options);
+
+  // Build the request stream.
+  std::vector<PendingRequest> requests;
+  if (flags.random_requests > 0) {
+    util::Rng rng(flags.seed);
+    requests.reserve(static_cast<size_t>(flags.random_requests));
+    for (int64_t i = 0; i < flags.random_requests; ++i) {
+      PendingRequest pending;
+      pending.req.user_id = static_cast<int32_t>(
+          rng.NextBounded(static_cast<uint64_t>(snap->num_users())));
+      pending.req.k = flags.topk;
+      pending.req.budget_us = flags.deadline_us;
+      requests.push_back(pending);
+    }
+  } else {
+    std::ifstream file;
+    const bool use_stdin =
+        flags.requests_path.empty() || flags.requests_path == "-";
+    if (!use_stdin) {
+      file.open(flags.requests_path);
+      if (!file.good()) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     flags.requests_path.c_str());
+        return 1;
+      }
+    }
+    std::istream& in = use_stdin ? std::cin : file;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      requests.push_back(ParseRequestLine(line, flags));
+    }
+  }
+
+  // Drive the admission-controlled async path, printing responses in
+  // request order. Windowed mode keeps at most queue_capacity requests
+  // outstanding; --burst submits everything up front so overload actually
+  // sheds.
+  Tally tally;
+  std::deque<std::pair<serve::RecommendRequest,
+                       std::future<util::StatusOr<serve::RecommendResponse>>>>
+      window;
+  auto drain_one = [&] {
+    auto& front = window.front();
+    const util::StatusOr<serve::RecommendResponse> r = front.second.get();
+    Count(r, &tally);
+    if (!flags.quiet) {
+      std::printf("%s\n", ResponseLine(front.first, r).c_str());
+    }
+    window.pop_front();
+  };
+  for (const PendingRequest& pending : requests) {
+    if (!flags.burst) {
+      while (static_cast<int64_t>(window.size()) >= flags.queue_capacity) {
+        drain_one();
+      }
+    }
+    if (!pending.parse_ok) {
+      // Pre-resolved future so parse failures stay in request order.
+      std::promise<util::StatusOr<serve::RecommendResponse>> failed;
+      failed.set_value(util::InvalidArgumentError(pending.parse_error));
+      window.emplace_back(pending.req, failed.get_future());
+      continue;
+    }
+    window.emplace_back(pending.req, service.Submit(pending.req));
+  }
+  while (!window.empty()) drain_one();
+
+  std::fprintf(stderr,
+               "served %lld requests: %lld ok (%lld partial, %lld degraded), "
+               "%lld shed, %lld deadline, %lld invalid, %lld other\n",
+               static_cast<long long>(tally.total),
+               static_cast<long long>(tally.ok),
+               static_cast<long long>(tally.partial),
+               static_cast<long long>(tally.degraded),
+               static_cast<long long>(tally.shed),
+               static_cast<long long>(tally.deadline),
+               static_cast<long long>(tally.invalid),
+               static_cast<long long>(tally.other_error));
+
+  if (!flags.metrics_out.empty()) {
+    if (!obs::MetricsRegistry::Global().WriteSnapshotJson(
+            flags.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics snapshot to %s\n",
+                 flags.metrics_out.c_str());
+  }
+  return 0;
+}
