@@ -1,0 +1,79 @@
+// Shared machine/build stamping for the BENCH_*.json writers.
+//
+// Every bench JSON should record the environment its numbers came from —
+// a throughput figure without the core count, thread width, and build
+// flavor behind it cannot be compared across runs. WriteBenchEnvJson()
+// emits one "env" object with:
+//
+//   hardware_concurrency  std::thread::hardware_concurrency()
+//   compute_pool_threads  worker count of the shared compute pool (the
+//                         width parallel kernels actually run at)
+//   compiler              __VERSION__
+//   build                 "release" (NDEBUG) or "debug"
+//   obs_enabled           the LAYERGCN_OBS_ENABLED compile-time switch
+//   sanitizer             "address" / "thread" / "none" as detectable at
+//                         compile time (UBSan exposes no macro; an
+//                         ASan+UBSan build reports "address")
+//
+// Usage inside an existing fprintf-style writer, after the opening brace:
+//
+//   std::fprintf(out, "{\n");
+//   bench::WriteBenchEnvJson(out);       // emits   "env": {...},\n
+//   std::fprintf(out, "  \"bench\": ...);
+
+#ifndef LAYERGCN_BENCH_BENCH_ENV_H_
+#define LAYERGCN_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <thread>
+
+#include "obs/obs.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace layergcn::bench {
+
+inline const char* BenchSanitizerName() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#else
+  return "none";
+#endif
+}
+
+inline const char* BenchBuildName() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Writes the `"env": {...},` member (two-space indented, trailing comma)
+/// into an open JSON object.
+inline void WriteBenchEnvJson(std::FILE* out) {
+  std::fprintf(out,
+               "  \"env\": {\"hardware_concurrency\": %d, "
+               "\"compute_pool_threads\": %d, \"compiler\": \"%s\", "
+               "\"build\": \"%s\", \"obs_enabled\": %s, "
+               "\"sanitizer\": \"%s\"},\n",
+               static_cast<int>(std::thread::hardware_concurrency()),
+               util::parallel::ComputePool()->num_threads(), __VERSION__,
+               BenchBuildName(), LAYERGCN_OBS_ENABLED ? "true" : "false",
+               BenchSanitizerName());
+}
+
+}  // namespace layergcn::bench
+
+#endif  // LAYERGCN_BENCH_BENCH_ENV_H_

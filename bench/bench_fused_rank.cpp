@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_env.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
@@ -171,8 +172,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_fused_rank.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
   std::fprintf(out,
-               "{\n"
                "  \"bench\": \"fused_rank\",\n"
                "  \"num_users\": %d,\n"
                "  \"num_items\": %d,\n"

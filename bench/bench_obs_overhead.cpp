@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_env.h"
 #include "core/api.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -110,8 +111,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_obs_overhead.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
   std::fprintf(out,
-               "{\n"
                "  \"bench\": \"obs_overhead\",\n"
                "  \"num_users\": %d,\n"
                "  \"num_items\": %d,\n"

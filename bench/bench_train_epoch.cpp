@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_env.h"
 #include "core/layergcn.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -144,8 +145,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_train_epoch.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
   std::fprintf(out,
-               "{\n"
                "  \"bench\": \"train_epoch\",\n"
                "  \"num_users\": %d,\n"
                "  \"num_items\": %d,\n"

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "eval/metrics.h"
+#include "eval/rank_heap.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "tensor/gemm.h"
@@ -15,68 +16,11 @@
 namespace layergcn::eval {
 namespace {
 
-// True when the deadline is armed and has passed. The first worker to see
-// the clock run out latches `expired` so later checks (and the caller) skip
-// the clock read.
-inline bool DeadlineExpired(RankDeadline* deadline) {
-  if (deadline == nullptr || deadline->deadline_us == 0) return false;
-  if (deadline->expired.load(std::memory_order_relaxed)) return true;
-  if (obs::NowMicros() < deadline->deadline_us) return false;
-  if (!deadline->expired.exchange(true, std::memory_order_relaxed)) {
-    OBS_COUNT("fused_rank.deadline_expired", 1);
-  }
-  return true;
-}
-
-// Fault point `serve.slow_score`: stall scoring until just past the armed
-// deadline so the next boundary check trips mid-request. Only meaningful
-// when a deadline is set (otherwise there is nothing to overrun).
-inline void MaybeSlowScore(const RankDeadline* deadline) {
-  if (deadline == nullptr || deadline->deadline_us == 0) return;
-  if (!util::fault::Fire("serve.slow_score")) return;
-  const uint64_t until = deadline->deadline_us + 1000;
-  while (obs::NowMicros() < until) {
-  }
-}
-
-// Heap entry ordered by (score desc, index asc) — the TopKIndices order.
-struct HeapEntry {
-  float score;
-  int32_t idx;
-};
-
-// True when `a` ranks strictly below `b`.
-inline bool Worse(const HeapEntry& a, const HeapEntry& b) {
-  return a.score != b.score ? a.score < b.score : a.idx > b.idx;
-}
-
-// Bounded min-heap over a flat array: the root is the worst kept entry.
-inline void HeapPush(HeapEntry* h, int64_t* size, int64_t cap, HeapEntry e) {
-  if (*size < cap) {
-    int64_t i = (*size)++;
-    h[i] = e;
-    while (i > 0) {
-      const int64_t parent = (i - 1) / 2;
-      if (!Worse(h[i], h[parent])) break;
-      std::swap(h[i], h[parent]);
-      i = parent;
-    }
-    return;
-  }
-  if (!Worse(h[0], e)) return;
-  h[0] = e;
-  int64_t i = 0;
-  for (;;) {
-    const int64_t l = 2 * i + 1;
-    const int64_t r = 2 * i + 2;
-    int64_t worst = i;
-    if (l < cap && Worse(h[l], h[worst])) worst = l;
-    if (r < cap && Worse(h[r], h[worst])) worst = r;
-    if (worst == i) break;
-    std::swap(h[i], h[worst]);
-    i = worst;
-  }
-}
+using internal::DeadlineExpired;
+using internal::HeapEntry;
+using internal::HeapPush;
+using internal::MaybeSlowScore;
+using internal::Worse;
 
 // Exact-reference fallback: materialize one score row per user with the
 // ascending-depth scalar dot, mark exclusions in a fresh flag vector, rank

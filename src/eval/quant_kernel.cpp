@@ -1,0 +1,230 @@
+#include "eval/quant_kernel.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "eval/rank_heap.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
+namespace layergcn::eval {
+namespace {
+
+using internal::DeadlineExpired;
+using internal::HeapEntry;
+using internal::HeapPush;
+using internal::MaybeSlowScore;
+using internal::Worse;
+
+// The shared tile traversal: `score_block(r, j0, jn, out)` fills `out[j]`
+// with the score of (tile user r, item j0 + j) for j in [0, jn). Everything
+// around it — tiling, exclusion cursors, heaps, deadline checks, result
+// extraction — is encoding-independent and identical to FusedScoreTopK.
+template <typename ScoreBlock>
+std::vector<std::vector<int32_t>> TiledScoreTopK(
+    int64_t num_users_total, const std::vector<int32_t>& user_ids,
+    int64_t num_items, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out, const char* span_name,
+    ScoreBlock&& score_block) {
+  LAYERGCN_CHECK_GT(k, 0);
+  (void)num_users_total;
+  const int64_t num_users = static_cast<int64_t>(user_ids.size());
+  std::vector<std::vector<int32_t>> out(user_ids.size());
+  if (scores_out != nullptr) scores_out->assign(user_ids.size(), {});
+  if (num_users == 0 || num_items == 0) return out;
+  OBS_SPAN(span_name);
+  OBS_COUNT("quant_rank.calls", 1);
+  OBS_COUNT("quant_rank.users_ranked", num_users);
+
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = util::parallel::ComputePool();
+  if (config.num_threads > 0) {
+    local_pool = std::make_unique<util::ThreadPool>(config.num_threads);
+    pool = local_pool.get();
+  }
+
+  const int64_t user_tile = std::max<int64_t>(1, config.user_tile);
+  const int64_t item_tile = std::max<int64_t>(16, config.item_tile);
+  const int64_t cap = std::min<int64_t>(k, num_items);
+  const int64_t num_tiles = (num_users + user_tile - 1) / user_tile;
+
+  util::ParallelForRanges(pool, 0, num_tiles, [&](int64_t tile_lo,
+                                                  int64_t tile_hi) {
+    std::vector<float> scores(static_cast<size_t>(item_tile));
+    std::vector<HeapEntry> heaps(static_cast<size_t>(user_tile * cap));
+    std::vector<int64_t> heap_sizes(static_cast<size_t>(user_tile));
+    std::vector<size_t> cursors(static_cast<size_t>(user_tile));
+
+    for (int64_t tile = tile_lo; tile < tile_hi; ++tile) {
+      if (DeadlineExpired(deadline)) break;  // untouched users stay empty
+      const int64_t base = tile * user_tile;
+      const int64_t m = std::min(user_tile, num_users - base);
+      for (int64_t r = 0; r < m; ++r) {
+        heap_sizes[static_cast<size_t>(r)] = 0;
+        cursors[static_cast<size_t>(r)] = 0;
+      }
+
+      for (int64_t j0 = 0; j0 < num_items; j0 += item_tile) {
+        // Deadline is enforced at item-tile boundaries, exactly like the
+        // f32 kernel: cheap to check, bounded detection latency.
+        MaybeSlowScore(deadline);
+        if (j0 > 0 && DeadlineExpired(deadline)) break;
+        const int64_t jn = std::min(item_tile, num_items - j0);
+        for (int64_t r = 0; r < m; ++r) {
+          score_block(user_ids[static_cast<size_t>(base + r)], j0, jn,
+                      scores.data());
+
+          const std::vector<int32_t>* exc =
+              exclude != nullptr
+                  ? &(*exclude)[static_cast<size_t>(
+                        user_ids[static_cast<size_t>(base + r)])]
+                  : nullptr;
+          size_t& cur = cursors[static_cast<size_t>(r)];
+          HeapEntry* heap = heaps.data() + r * cap;
+          int64_t* hs = &heap_sizes[static_cast<size_t>(r)];
+          for (int64_t j = 0; j < jn; ++j) {
+            const int32_t item = static_cast<int32_t>(j0 + j);
+            if (exc != nullptr) {
+              while (cur < exc->size() && (*exc)[cur] < item) ++cur;
+              if (cur < exc->size() && (*exc)[cur] == item) {
+                ++cur;
+                continue;
+              }
+            }
+            HeapPush(heap, hs, cap, HeapEntry{scores[static_cast<size_t>(j)],
+                                              item});
+          }
+        }
+      }
+
+      for (int64_t r = 0; r < m; ++r) {
+        HeapEntry* heap = heaps.data() + r * cap;
+        const int64_t hs = heap_sizes[static_cast<size_t>(r)];
+        std::sort(heap, heap + hs,
+                  [](const HeapEntry& a, const HeapEntry& b) {
+                    return Worse(b, a);
+                  });
+        std::vector<int32_t>& ranked = out[static_cast<size_t>(base + r)];
+        ranked.resize(static_cast<size_t>(hs));
+        for (int64_t i = 0; i < hs; ++i) {
+          ranked[static_cast<size_t>(i)] = heap[i].idx;
+        }
+        if (scores_out != nullptr) {
+          std::vector<float>& sc =
+              (*scores_out)[static_cast<size_t>(base + r)];
+          sc.resize(static_cast<size_t>(hs));
+          for (int64_t i = 0; i < hs; ++i) {
+            sc[static_cast<size_t>(i)] = heap[i].score;
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+const char* ScoreEncodingName(ScoreEncoding encoding) {
+  switch (encoding) {
+    case ScoreEncoding::kF32: return "f32";
+    case ScoreEncoding::kInt8: return "int8";
+    case ScoreEncoding::kBf16: return "bf16";
+  }
+  return "?";
+}
+
+bool ParseScoreEncoding(const std::string& name, ScoreEncoding* out) {
+  if (name == "f32") { *out = ScoreEncoding::kF32; return true; }
+  if (name == "int8") { *out = ScoreEncoding::kInt8; return true; }
+  if (name == "bf16") { *out = ScoreEncoding::kBf16; return true; }
+  return false;
+}
+
+std::vector<std::vector<int32_t>> QuantScoreTopKInt8(
+    const tensor::Int8Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Int8Panel& item_panel, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
+  LAYERGCN_CHECK_EQ(user_q.cols, item_panel.depth)
+      << "int8 user/item depth mismatch";
+  const int64_t depth = item_panel.depth;
+  const int64_t num_items = item_panel.count;
+
+  // Per-thread int32 accumulator tile, sized once. Each call to the block
+  // lambda is single-threaded within one worker, so a thread_local scratch
+  // is race-free and allocation-free on the hot path.
+  thread_local std::vector<int32_t> acc;
+
+  return TiledScoreTopK(
+      user_q.rows, user_ids, num_items, k, exclude, config, deadline,
+      scores_out, "eval.quant_rank.int8",
+      [&](int32_t user, int64_t j0, int64_t jn, float* out_scores) {
+        if (static_cast<int64_t>(acc.size()) < jn) {
+          acc.resize(static_cast<size_t>(jn));
+        }
+        int32_t* a = acc.data();
+        std::fill(a, a + jn, 0);
+        const int8_t* urow = user_q.row(user);
+        for (int64_t p = 0; p < depth; ++p) {
+          const int32_t uq = urow[p];
+          if (uq == 0) continue;
+          const int8_t* prow = item_panel.depth_row(p) + j0;
+#pragma omp simd
+          for (int64_t j = 0; j < jn; ++j) {
+            a[j] += uq * static_cast<int32_t>(prow[j]);
+          }
+        }
+        const float su = user_q.scales[static_cast<size_t>(user)];
+        const float* si = item_panel.scales.data() + j0;
+#pragma omp simd
+        for (int64_t j = 0; j < jn; ++j) {
+          out_scores[j] = su * si[j] * static_cast<float>(a[j]);
+        }
+      });
+}
+
+std::vector<std::vector<int32_t>> QuantScoreTopKBf16(
+    const tensor::Bf16Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Bf16Panel& item_panel, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
+  LAYERGCN_CHECK_EQ(user_q.cols, item_panel.depth)
+      << "bf16 user/item depth mismatch";
+  const int64_t depth = item_panel.depth;
+  const int64_t num_items = item_panel.count;
+
+  // The user row widens to f32 once per block; items widen in-register in
+  // the inner loop (a 16-bit shift, vectorizable).
+  thread_local std::vector<float> urow_f32;
+
+  return TiledScoreTopK(
+      user_q.rows, user_ids, num_items, k, exclude, config, deadline,
+      scores_out, "eval.quant_rank.bf16",
+      [&](int32_t user, int64_t j0, int64_t jn, float* out_scores) {
+        if (static_cast<int64_t>(urow_f32.size()) < depth) {
+          urow_f32.resize(static_cast<size_t>(depth));
+        }
+        const uint16_t* urow = user_q.row(user);
+        for (int64_t p = 0; p < depth; ++p) {
+          urow_f32[static_cast<size_t>(p)] = tensor::Bf16ToF32(urow[p]);
+        }
+        std::fill(out_scores, out_scores + jn, 0.f);
+        for (int64_t p = 0; p < depth; ++p) {
+          const float up = urow_f32[static_cast<size_t>(p)];
+          const uint16_t* prow = item_panel.depth_row(p) + j0;
+#pragma omp simd
+          for (int64_t j = 0; j < jn; ++j) {
+            out_scores[j] += up * tensor::Bf16ToF32(prow[j]);
+          }
+        }
+      });
+}
+
+}  // namespace layergcn::eval

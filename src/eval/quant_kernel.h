@@ -1,0 +1,69 @@
+// Quantized score-and-rank kernels for serving (int8 / bf16 encodings).
+//
+// These are the bandwidth-conscious siblings of eval::FusedScoreTopK: the
+// same user-tile x item-tile traversal, the same bounded top-K heap with
+// the (score desc, id asc) total order, the same sorted-exclusion cursor
+// walk, and the same RankDeadline enforcement at item-tile boundaries —
+// only the score-block computation differs per encoding:
+//
+//   int8   score(u, i) = s_u * s_i * Σ_p qu[p] * qi[p], with the integer
+//          dot accumulated exactly in int32. Integer addition commutes, so
+//          the int8 ranking is bit-deterministic at any thread count or
+//          tile size by construction.
+//   bf16   score(u, i) = Σ_p bf16(u[p]) * bf16(i[p]) accumulated in f32 in
+//          ascending-depth order — the same per-element order as the f32
+//          kernel, hence equally deterministic.
+//
+// Item embeddings arrive as a depth-major panel (tensor/quant.h) built
+// once per snapshot load, so no per-request transpose happens on the hot
+// path. Rankings are deterministic *within* an encoding; across encodings
+// they differ by quantization error (measured in bench_serve_latency's
+// quantization pass and gated in tools/check.sh).
+
+#ifndef LAYERGCN_EVAL_QUANT_KERNEL_H_
+#define LAYERGCN_EVAL_QUANT_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/fused_rank.h"
+#include "tensor/quant.h"
+
+namespace layergcn::eval {
+
+/// Which embedding encoding a scoring path reads. kF32 is the bit-exact
+/// reference (FusedScoreTopK); the quantized encodings trade bounded score
+/// error for smaller embedding streams.
+enum class ScoreEncoding { kF32, kInt8, kBf16 };
+
+const char* ScoreEncodingName(ScoreEncoding encoding);
+
+/// Parses "f32" / "int8" / "bf16". Returns false on anything else.
+bool ParseScoreEncoding(const std::string& name, ScoreEncoding* out);
+
+/// Top-K ranking over int8-quantized embeddings. Mirrors FusedScoreTopK's
+/// contract: one ranked list (best first) per entry of `user_ids`,
+/// `exclude` maps user id -> sorted excluded items, `deadline` bounds the
+/// scan at item-tile boundaries, `scores_out` receives the dequantized
+/// scores aligned with the rankings. `config.enabled` is ignored (there is
+/// no materialized reference path for quantized scoring; quant_test checks
+/// the kernel against a scalar reference instead).
+std::vector<std::vector<int32_t>> QuantScoreTopKInt8(
+    const tensor::Int8Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Int8Panel& item_panel, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
+
+/// Top-K ranking over bf16 embeddings. Same contract as the int8 kernel.
+std::vector<std::vector<int32_t>> QuantScoreTopKBf16(
+    const tensor::Bf16Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Bf16Panel& item_panel, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
+
+}  // namespace layergcn::eval
+
+#endif  // LAYERGCN_EVAL_QUANT_KERNEL_H_

@@ -56,6 +56,65 @@ util::Status RecommendService::Validate(const ModelSnapshot& snap,
   return util::OkStatus();
 }
 
+bool RecommendService::CacheLookup(const ModelSnapshot& snap,
+                                   eval::ScoreEncoding encoding,
+                                   const RecommendRequest& req,
+                                   RecommendResponse* resp) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = cache_.find(req.user_id);
+  // Version + encoding keying is the invalidation: an entry computed
+  // against a hot-swapped-out snapshot (or another encoding) never serves.
+  // A cached top-k' answers any k <= k' exactly — serve the prefix.
+  if (it == cache_.end() || it->second.snapshot_version != snap.version() ||
+      it->second.encoding != encoding || it->second.k < req.k) {
+    OBS_COUNT("serve.score_cache_misses", 1);
+    return false;
+  }
+  CacheEntry& entry = it->second;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, entry.lru_it);
+  const size_t n =
+      std::min(entry.items.size(), static_cast<size_t>(req.k));
+  resp->items.assign(entry.items.begin(),
+                     entry.items.begin() + static_cast<ptrdiff_t>(n));
+  resp->cached = true;
+  resp->encoding = encoding;
+  resp->snapshot_version = snap.version();
+  OBS_COUNT("serve.score_cache_hits", 1);
+  return true;
+}
+
+void RecommendService::CacheInsert(const ModelSnapshot& snap,
+                                   eval::ScoreEncoding encoding,
+                                   const RecommendRequest& req,
+                                   const RecommendResponse& resp) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(req.user_id);
+  if (it == cache_.end()) {
+    while (static_cast<int64_t>(cache_.size()) >=
+           options_.score_cache_capacity) {
+      cache_.erase(cache_lru_.back());
+      cache_lru_.pop_back();
+    }
+    cache_lru_.push_front(req.user_id);
+    it = cache_.emplace(req.user_id, CacheEntry{}).first;
+    it->second.lru_it = cache_lru_.begin();
+  } else {
+    // Keep a same-version same-encoding entry with a larger k: it already
+    // answers this request and more.
+    if (it->second.snapshot_version == snap.version() &&
+        it->second.encoding == encoding && it->second.k >= req.k) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+      return;
+    }
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+  }
+  CacheEntry& entry = it->second;
+  entry.snapshot_version = snap.version();
+  entry.encoding = encoding;
+  entry.k = req.k;
+  entry.items = resp.items;
+}
+
 RecommendResponse RecommendService::ServeDegraded(
     const ModelSnapshot& snap, const RecommendRequest& req) const {
   OBS_COUNT("serve.degraded", 1);
@@ -97,14 +156,47 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
     // Breaker open: skip model scoring, serve the popularity ranking.
     resp = ServeDegraded(*snap, req);
   } else {
+    // Resolve the encoding this request actually scores with: a requested
+    // quantized copy the snapshot does not carry degrades to the f32
+    // reference for this request only.
+    eval::ScoreEncoding encoding = options_.encoding;
+    if ((encoding == eval::ScoreEncoding::kInt8 && !snap->has_int8()) ||
+        (encoding == eval::ScoreEncoding::kBf16 && !snap->has_bf16())) {
+      OBS_COUNT("serve.encoding_fallbacks", 1);
+      encoding = eval::ScoreEncoding::kF32;
+    }
+
+    if (options_.score_cache_capacity > 0 &&
+        CacheLookup(*snap, encoding, req, &resp)) {
+      breaker_.RecordSuccess();
+      resp.latency_us = obs::NowMicros() - start_us;
+      OBS_OBSERVE("serve.latency_us", LatencyBounds(), resp.latency_us);
+      return resp;
+    }
+
     eval::RankDeadline deadline;
     if (req.budget_us > 0) deadline.deadline_us = start_us + req.budget_us;
     const std::vector<int32_t> user_ids = {req.user_id};
     std::vector<std::vector<float>> scores;
-    const std::vector<std::vector<int32_t>> ranked = eval::FusedScoreTopK(
-        snap->user_emb(), user_ids, snap->item_emb(), req.k,
-        &snap->user_history(), options_.rank,
-        req.budget_us > 0 ? &deadline : nullptr, &scores);
+    eval::RankDeadline* dl = req.budget_us > 0 ? &deadline : nullptr;
+    std::vector<std::vector<int32_t>> ranked;
+    switch (encoding) {
+      case eval::ScoreEncoding::kInt8:
+        ranked = eval::QuantScoreTopKInt8(
+            snap->user_int8(), user_ids, snap->item_int8_panel(), req.k,
+            &snap->user_history(), options_.rank, dl, &scores);
+        break;
+      case eval::ScoreEncoding::kBf16:
+        ranked = eval::QuantScoreTopKBf16(
+            snap->user_bf16(), user_ids, snap->item_bf16_panel(), req.k,
+            &snap->user_history(), options_.rank, dl, &scores);
+        break;
+      case eval::ScoreEncoding::kF32:
+        ranked = eval::FusedScoreTopK(
+            snap->user_emb(), user_ids, snap->item_emb(), req.k,
+            &snap->user_history(), options_.rank, dl, &scores);
+        break;
+    }
 
     const bool expired =
         deadline.expired.load(std::memory_order_relaxed);
@@ -123,10 +215,14 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
       OBS_COUNT("serve.deadline_partial", 1);
       resp.partial = true;
     }
+    resp.encoding = encoding;
     resp.snapshot_version = snap->version();
     resp.items.resize(ranked[0].size());
     for (size_t i = 0; i < ranked[0].size(); ++i) {
       resp.items[i] = ScoredItem{ranked[0][i], scores[0][i]};
+    }
+    if (options_.score_cache_capacity > 0 && !resp.partial) {
+      CacheInsert(*snap, encoding, req, resp);
     }
   }
 

@@ -24,6 +24,21 @@
 //                (serve.degraded) — the service answers something
 //                sensible even when scoring is unhealthy
 //
+// Scoring encoding: options.encoding selects which embedding copy the
+// request scores against — f32 (the bit-exact reference, default), int8,
+// or bf16 (quantized kernels in eval/quant_kernel.h). A request whose
+// snapshot lacks the requested encoding falls back to f32 for that request
+// (serve.encoding_fallbacks). Rankings are deterministic within an
+// encoding; across encodings they differ by bounded quantization error.
+//
+// Score cache: a bounded LRU of complete responses keyed by user id
+// (serve.score_cache_{hits,misses}). An entry is served only when its
+// snapshot version AND encoding match the current ones and it was computed
+// for a k >= the request's k (a top-K prefix of a larger top-K is exact).
+// Version keying makes hot-swap invalidation automatic: entries from a
+// replaced snapshot can never be served again. Partial and degraded
+// responses are never cached.
+//
 // Every request increments serve.requests, lands in the serve.latency_us
 // histogram, and runs under an OBS_SPAN("serve.request") trace span.
 
@@ -33,10 +48,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "eval/fused_rank.h"
+#include "eval/quant_kernel.h"
 #include "serve/circuit_breaker.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
@@ -64,6 +82,11 @@ struct RecommendResponse {
   bool partial = false;
   /// Served from the popularity fallback, not model scoring.
   bool degraded = false;
+  /// Served from the score cache (no kernel ran for this request).
+  bool cached = false;
+  /// The encoding that actually scored this response (f32 when the
+  /// requested quantized encoding was absent from the snapshot).
+  eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
   int64_t snapshot_version = 0;
   uint64_t latency_us = 0;
 };
@@ -77,6 +100,11 @@ struct RecommendServiceOptions {
   CircuitBreaker::Options breaker;
   /// Kernel tuning; num_threads = 0 uses the shared compute pool.
   eval::FusedRankConfig rank;
+  /// Embedding encoding requests score against (per-request f32 fallback
+  /// when the snapshot lacks it).
+  eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+  /// Bounded LRU score cache size in users; 0 disables caching.
+  int64_t score_cache_capacity = 1024;
 };
 
 /// Thread-safe serving front end over a SnapshotStore. The store outlives
@@ -110,10 +138,29 @@ class RecommendService {
   const RecommendServiceOptions& options() const { return options_; }
 
  private:
+  /// One cached complete response: valid only against the snapshot version
+  /// and encoding it was computed with, reusable for any request k <= k.
+  struct CacheEntry {
+    int64_t snapshot_version = 0;
+    eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+    int32_t k = 0;
+    std::vector<ScoredItem> items;
+    std::list<int32_t>::iterator lru_it;
+  };
+
   util::Status Validate(const ModelSnapshot& snap,
                         const RecommendRequest& req) const;
   RecommendResponse ServeDegraded(const ModelSnapshot& snap,
                                   const RecommendRequest& req) const;
+  /// Cache lookup for (user, k) against `snap` + `encoding`; fills `resp`
+  /// and returns true on a hit. Counts serve.score_cache_{hits,misses}.
+  bool CacheLookup(const ModelSnapshot& snap, eval::ScoreEncoding encoding,
+                   const RecommendRequest& req, RecommendResponse* resp);
+  /// Inserts a complete (non-partial, non-degraded) response, evicting the
+  /// least recently used entry past capacity.
+  void CacheInsert(const ModelSnapshot& snap, eval::ScoreEncoding encoding,
+                   const RecommendRequest& req,
+                   const RecommendResponse& resp);
 
   SnapshotStore* const store_;
   const RecommendServiceOptions options_;
@@ -123,6 +170,12 @@ class RecommendService {
   std::condition_variable drained_cv_;
   int64_t in_flight_ = 0;
   bool shutting_down_ = false;
+
+  // Score cache state (own lock: cache traffic must not contend with the
+  // admission/drain bookkeeping above).
+  mutable std::mutex cache_mu_;
+  std::list<int32_t> cache_lru_;  // front = most recently used user
+  std::unordered_map<int32_t, CacheEntry> cache_;
 };
 
 }  // namespace layergcn::serve

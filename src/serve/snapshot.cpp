@@ -29,6 +29,28 @@ util::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
   snap->item_emb_ = std::move(ex.item_emb);
   snap->user_history_ = std::move(ex.user_history);
 
+  // Quantized copies: keep user rows row-major (one row gathered per
+  // request) and transpose item rows to depth-major panels once, here, so
+  // the quantized kernels stream items with unit stride and never pay a
+  // per-request transpose. A dropped (corrupt / truncated / stale-shape)
+  // quant section degrades this snapshot to f32-only — counted so
+  // operators can see quantized serving silently disabled itself.
+  if (ex.quant_dropped) {
+    OBS_COUNT("serve.snapshot_fallbacks", 1);
+    LAYERGCN_LOG(kWarning) << path << ": quantized sections dropped; "
+                           << "serving falls back to f32";
+  }
+  if (ex.has_int8) {
+    snap->has_int8_ = true;
+    snap->item_int8_panel_ = tensor::TransposeToPanel(ex.item_int8);
+    snap->user_int8_ = std::move(ex.user_int8);
+  }
+  if (ex.has_bf16) {
+    snap->has_bf16_ = true;
+    snap->item_bf16_panel_ = tensor::TransposeToPanel(ex.item_bf16);
+    snap->user_bf16_ = std::move(ex.user_bf16);
+  }
+
   // Popularity ranking for degraded mode: items by (training interaction
   // count desc, id asc). The tie-break makes the ranking a total order, so
   // degraded responses are deterministic.

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/quant.h"
 #include "util/status.h"
 
 namespace layergcn::serve {
@@ -49,6 +50,19 @@ class ModelSnapshot {
   const tensor::Matrix& user_emb() const { return user_emb_; }
   const tensor::Matrix& item_emb() const { return item_emb_; }
 
+  /// Quantized embedding copies, present when the serving export carried
+  /// valid int8 / bf16 sections. Item sides are pre-transposed to
+  /// depth-major panels at load time so the quantized kernels do zero
+  /// per-request data movement. A snapshot whose quant sections were
+  /// corrupt or absent simply reports has_int8()/has_bf16() == false and
+  /// serves from the f32 reference.
+  bool has_int8() const { return has_int8_; }
+  bool has_bf16() const { return has_bf16_; }
+  const tensor::Int8Rows& user_int8() const { return user_int8_; }
+  const tensor::Int8Panel& item_int8_panel() const { return item_int8_panel_; }
+  const tensor::Bf16Rows& user_bf16() const { return user_bf16_; }
+  const tensor::Bf16Panel& item_bf16_panel() const { return item_bf16_panel_; }
+
   /// Sorted-ascending training items per user id (exclusion lists).
   const std::vector<std::vector<int32_t>>& user_history() const {
     return user_history_;
@@ -70,6 +84,13 @@ class ModelSnapshot {
   std::vector<std::vector<int32_t>> user_history_;
   std::vector<int32_t> popular_items_;
   std::vector<int64_t> item_counts_;
+
+  bool has_int8_ = false;
+  bool has_bf16_ = false;
+  tensor::Int8Rows user_int8_;
+  tensor::Int8Panel item_int8_panel_;
+  tensor::Bf16Rows user_bf16_;
+  tensor::Bf16Panel item_bf16_panel_;
 };
 
 /// Directory of versioned snapshot files with newest-valid loading and

@@ -1,0 +1,99 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace layergcn::tensor {
+
+Int8Rows QuantizeInt8PerRow(const Matrix& m) {
+  Int8Rows q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(static_cast<size_t>(m.size()));
+  q.scales.resize(static_cast<size_t>(m.rows()));
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.row(r);
+    float amax = 0.f;
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      amax = std::max(amax, std::fabs(src[c]));
+    }
+    // An all-zero row quantizes to zeros under any scale; 1.0 keeps the
+    // dequantization well-defined.
+    const float scale = amax > 0.f ? amax / 127.f : 1.f;
+    const float inv = 1.f / scale;
+    int8_t* dst = q.data.data() + r * m.cols();
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      const long v = std::lrintf(src[c] * inv);
+      dst[c] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+    }
+    q.scales[static_cast<size_t>(r)] = scale;
+  }
+  return q;
+}
+
+Matrix DequantizeInt8(const Int8Rows& q) {
+  Matrix m(q.rows, q.cols);
+  for (int64_t r = 0; r < q.rows; ++r) {
+    const int8_t* src = q.row(r);
+    const float scale = q.scales[static_cast<size_t>(r)];
+    float* dst = m.row(r);
+    for (int64_t c = 0; c < q.cols; ++c) {
+      dst[c] = static_cast<float>(src[c]) * scale;
+    }
+  }
+  return m;
+}
+
+Bf16Rows ToBf16Rows(const Matrix& m) {
+  Bf16Rows q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(static_cast<size_t>(m.size()));
+  const float* src = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) {
+    q.data[static_cast<size_t>(i)] = F32ToBf16(src[i]);
+  }
+  return q;
+}
+
+Matrix FromBf16Rows(const Bf16Rows& q) {
+  Matrix m(q.rows, q.cols);
+  float* dst = m.data();
+  for (size_t i = 0; i < q.data.size(); ++i) {
+    dst[i] = Bf16ToF32(q.data[i]);
+  }
+  return m;
+}
+
+Int8Panel TransposeToPanel(const Int8Rows& rows) {
+  Int8Panel panel;
+  panel.depth = rows.cols;
+  panel.count = rows.rows;
+  panel.data.resize(static_cast<size_t>(rows.rows * rows.cols));
+  panel.scales = rows.scales;
+  for (int64_t r = 0; r < rows.rows; ++r) {
+    const int8_t* src = rows.row(r);
+    for (int64_t p = 0; p < rows.cols; ++p) {
+      panel.data[static_cast<size_t>(p * rows.rows + r)] = src[p];
+    }
+  }
+  return panel;
+}
+
+Bf16Panel TransposeToPanel(const Bf16Rows& rows) {
+  Bf16Panel panel;
+  panel.depth = rows.cols;
+  panel.count = rows.rows;
+  panel.data.resize(static_cast<size_t>(rows.rows * rows.cols));
+  for (int64_t r = 0; r < rows.rows; ++r) {
+    const uint16_t* src = rows.row(r);
+    for (int64_t p = 0; p < rows.cols; ++p) {
+      panel.data[static_cast<size_t>(p * rows.rows + r)] = src[p];
+    }
+  }
+  return panel;
+}
+
+}  // namespace layergcn::tensor

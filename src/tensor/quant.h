@@ -1,0 +1,121 @@
+// Quantized embedding storage for bandwidth-conscious serving.
+//
+// The serving hot path is memory-bandwidth-bound on item-embedding reads:
+// scoring one user against every item streams the whole item matrix. Two
+// compact encodings shrink that stream while f32 stays the bit-exact
+// reference:
+//
+//   int8   symmetric per-row quantization. Each row r stores its own scale
+//          s_r = max|x| / 127 and bytes q = rint(x / s_r), so
+//          dequant(q) = q * s_r and |x - dequant(q)| <= s_r / 2. A dot
+//          product accumulates the int8 x int8 products exactly in int32
+//          (<= 127*127*dim, far below 2^31 for any realistic dim) and
+//          applies s_u * s_i once at the end — integer accumulation is
+//          order-independent, so the int8 path is deterministic at any
+//          thread count by construction.
+//   bf16   round-to-nearest-even truncation of each f32 to its top 16
+//          bits. Dequantization is a 16-bit shift; scoring accumulates in
+//          f32 in ascending-depth order, matching the f32 kernel's
+//          per-element order, so it is equally deterministic.
+//
+// Row-major `*Rows` structs mirror tensor::Matrix (one embedding per row);
+// `*Panel` structs hold the depth-major transpose the scoring kernel
+// streams with unit stride (built once per snapshot load, never per
+// request).
+
+#ifndef LAYERGCN_TENSOR_QUANT_H_
+#define LAYERGCN_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace layergcn::tensor {
+
+/// Rounds to the nearest bf16 (ties to even), the standard truncation used
+/// by every bf16 implementation. Relative error <= 2^-8.
+inline uint16_t F32ToBf16(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7fffu + lsb;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+/// Exact widening: every bf16 value is representable in f32.
+inline float Bf16ToF32(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Row-major int8 matrix with one dequantization scale per row.
+struct Int8Rows {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> data;    // rows * cols, row-major
+  std::vector<float> scales;   // one per row
+
+  bool empty() const { return rows == 0 || cols == 0; }
+  const int8_t* row(int64_t r) const { return data.data() + r * cols; }
+};
+
+/// Row-major bf16 matrix (no scales; bf16 carries its own exponent).
+struct Bf16Rows {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<uint16_t> data;  // rows * cols, row-major
+
+  bool empty() const { return rows == 0 || cols == 0; }
+  const uint16_t* row(int64_t r) const { return data.data() + r * cols; }
+};
+
+/// Depth-major int8 item panel: data[p * count + j] is component p of item
+/// j, so the kernel's inner item loop is unit-stride. `scales[j]` is item
+/// j's dequantization scale.
+struct Int8Panel {
+  int64_t depth = 0;
+  int64_t count = 0;
+  std::vector<int8_t> data;    // depth * count
+  std::vector<float> scales;   // one per column (item)
+
+  bool empty() const { return depth == 0 || count == 0; }
+  const int8_t* depth_row(int64_t p) const { return data.data() + p * count; }
+};
+
+/// Depth-major bf16 item panel.
+struct Bf16Panel {
+  int64_t depth = 0;
+  int64_t count = 0;
+  std::vector<uint16_t> data;  // depth * count
+
+  bool empty() const { return depth == 0 || count == 0; }
+  const uint16_t* depth_row(int64_t p) const {
+    return data.data() + p * count;
+  }
+};
+
+/// Symmetric per-row int8 quantization: scale_r = max|row| / 127 (1.0 for
+/// an all-zero row), q = rint(x / scale_r) clamped to [-127, 127].
+/// Round-trip error per element is <= scale_r / 2.
+Int8Rows QuantizeInt8PerRow(const Matrix& m);
+
+/// Dequantizes back to f32 (q * scale per element).
+Matrix DequantizeInt8(const Int8Rows& q);
+
+/// Element-wise bf16 conversion (round-to-nearest-even).
+Bf16Rows ToBf16Rows(const Matrix& m);
+
+/// Exact widening of every element back to f32.
+Matrix FromBf16Rows(const Bf16Rows& q);
+
+/// Depth-major transposes for the scoring kernels.
+Int8Panel TransposeToPanel(const Int8Rows& rows);
+Bf16Panel TransposeToPanel(const Bf16Rows& rows);
+
+}  // namespace layergcn::tensor
+
+#endif  // LAYERGCN_TENSOR_QUANT_H_

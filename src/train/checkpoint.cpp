@@ -40,10 +40,21 @@ enum SectionTag : uint32_t {
   kTagHistory = 7,
   kTagServeHistory = 8,
   kTagServeMeta = 9,
+  kTagServeInt8 = 10,
+  kTagServeBf16 = 11,
 };
 
 constexpr uint32_t kMetaStateVersion = 1;
 constexpr uint32_t kServeMetaVersion = 1;
+constexpr uint32_t kServeQuantVersion = 1;
+
+// The quantized serving sections are optional accelerations of the always-
+// present f32 reference: damage inside one of them must not fail the whole
+// snapshot load, only drop the quantized copy (the caller falls back to
+// f32 and counts serve.snapshot_fallbacks).
+inline bool IsServeQuantTag(uint32_t tag) {
+  return tag == kTagServeInt8 || tag == kTagServeBf16;
+}
 
 // Value-table names of the serving-export embedding blocks.
 constexpr char kServeUserEmbName[] = "serve.user_emb";
@@ -308,6 +319,11 @@ struct ParsedCheckpoint {
   int64_t serve_dim = 0;
   bool has_serve_history = false;
   std::vector<std::vector<int32_t>> serve_history;
+  bool has_serve_int8 = false;
+  tensor::Int8Rows serve_user_int8, serve_item_int8;
+  bool has_serve_bf16 = false;
+  tensor::Bf16Rows serve_user_bf16, serve_item_bf16;
+  bool serve_quant_dropped = false;
 };
 
 util::Status ParseMeta(const std::string& path, ByteReader* in,
@@ -416,6 +432,75 @@ util::Status ParseServeHistory(const std::string& path, ByteReader* in,
   return util::OkStatus();
 }
 
+util::Status ParseInt8Block(const std::string& path, ByteReader* in,
+                            tensor::Int8Rows* out) {
+  int64_t rows = 0, cols = 0;
+  if (!in->ReadPod(&rows) || !in->ReadPod(&cols) || rows < 0 || cols < 0 ||
+      (cols > 0 &&
+       rows > static_cast<int64_t>(in->remaining() /
+                                   static_cast<size_t>(cols)))) {
+    return util::DataLossError(path + ": truncated int8 block header");
+  }
+  out->rows = rows;
+  out->cols = cols;
+  out->scales.resize(static_cast<size_t>(rows));
+  out->data.resize(static_cast<size_t>(rows * cols));
+  if (!in->ReadBytes(out->scales.data(),
+                     static_cast<size_t>(rows) * sizeof(float)) ||
+      !in->ReadBytes(out->data.data(), static_cast<size_t>(rows * cols))) {
+    return util::DataLossError(path + ": truncated int8 block payload");
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseBf16Block(const std::string& path, ByteReader* in,
+                            tensor::Bf16Rows* out) {
+  int64_t rows = 0, cols = 0;
+  if (!in->ReadPod(&rows) || !in->ReadPod(&cols) || rows < 0 || cols < 0 ||
+      (cols > 0 &&
+       rows > static_cast<int64_t>(in->remaining() /
+                                   (sizeof(uint16_t) *
+                                    static_cast<size_t>(cols))))) {
+    return util::DataLossError(path + ": truncated bf16 block header");
+  }
+  out->rows = rows;
+  out->cols = cols;
+  out->data.resize(static_cast<size_t>(rows * cols));
+  if (!in->ReadBytes(out->data.data(),
+                     static_cast<size_t>(rows * cols) * sizeof(uint16_t))) {
+    return util::DataLossError(path + ": truncated bf16 block payload");
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseServeInt8(const std::string& path, ByteReader* in,
+                            ParsedCheckpoint* parsed) {
+  uint32_t quant_version = 0;
+  if (!in->ReadPod(&quant_version) || quant_version != kServeQuantVersion) {
+    return util::DataLossError(path + ": bad serve int8 section version");
+  }
+  LAYERGCN_RETURN_IF_ERROR(
+      ParseInt8Block(path, in, &parsed->serve_user_int8));
+  LAYERGCN_RETURN_IF_ERROR(
+      ParseInt8Block(path, in, &parsed->serve_item_int8));
+  parsed->has_serve_int8 = true;
+  return util::OkStatus();
+}
+
+util::Status ParseServeBf16(const std::string& path, ByteReader* in,
+                            ParsedCheckpoint* parsed) {
+  uint32_t quant_version = 0;
+  if (!in->ReadPod(&quant_version) || quant_version != kServeQuantVersion) {
+    return util::DataLossError(path + ": bad serve bf16 section version");
+  }
+  LAYERGCN_RETURN_IF_ERROR(
+      ParseBf16Block(path, in, &parsed->serve_user_bf16));
+  LAYERGCN_RETURN_IF_ERROR(
+      ParseBf16Block(path, in, &parsed->serve_item_bf16));
+  parsed->has_serve_bf16 = true;
+  return util::OkStatus();
+}
+
 util::Status ParseV2(const std::string& path, ByteReader* in,
                      uint32_t section_count, ParsedCheckpoint* parsed) {
   bool saw_values = false;
@@ -428,6 +513,14 @@ util::Status ParseV2(const std::string& path, ByteReader* in,
                                  std::to_string(section_count) + ")");
     }
     if (payload_len > in->remaining()) {
+      // Quantized serving sections are optional *and written last*: a tail
+      // truncation that eats into them loses only the quantized copies, so
+      // degrade to the f32 reference instead of rejecting the file. Damage
+      // to any required section still fails the whole load.
+      if (IsServeQuantTag(tag)) {
+        parsed->serve_quant_dropped = true;
+        break;
+      }
       return util::DataLossError(path + ": section " + std::to_string(tag) +
                                  " payload exceeds file size");
     }
@@ -435,12 +528,21 @@ util::Status ParseV2(const std::string& path, ByteReader* in,
     in->Skip(static_cast<size_t>(payload_len));
     uint32_t stored_crc = 0;
     if (!in->ReadPod(&stored_crc)) {
+      if (IsServeQuantTag(tag)) {
+        parsed->serve_quant_dropped = true;
+        break;
+      }
       return util::DataLossError(path + ": section " + std::to_string(tag) +
                                  " missing CRC");
     }
     const uint32_t actual_crc =
         util::Crc32(payload, static_cast<size_t>(payload_len));
     if (actual_crc != stored_crc) {
+      if (IsServeQuantTag(tag)) {
+        // Drop just this quantized copy; the rest of the file is intact.
+        parsed->serve_quant_dropped = true;
+        continue;
+      }
       return util::DataLossError(
           path + ": CRC mismatch in section " + std::to_string(tag) +
           util::StrFormat(" (stored %08x, computed %08x)", stored_crc,
@@ -482,6 +584,20 @@ util::Status ParseV2(const std::string& path, ByteReader* in,
         break;
       case kTagServeMeta:
         LAYERGCN_RETURN_IF_ERROR(ParseServeMeta(path, &section, parsed));
+        break;
+      case kTagServeInt8:
+        // CRC passed but the body may still be malformed (e.g. written by
+        // a buggy tool): a bad quant body drops the copy, not the file.
+        if (!ParseServeInt8(path, &section, parsed).ok()) {
+          parsed->has_serve_int8 = false;
+          parsed->serve_quant_dropped = true;
+        }
+        break;
+      case kTagServeBf16:
+        if (!ParseServeBf16(path, &section, parsed).ok()) {
+          parsed->has_serve_bf16 = false;
+          parsed->serve_quant_dropped = true;
+        }
         break;
       default:
         // Unknown section from a newer writer: the CRC already validated,
@@ -631,7 +747,11 @@ util::Status SaveServingExport(const std::string& path,
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   AppendPod(&out, kVersionV2);
-  AppendPod(&out, static_cast<uint32_t>(3));  // meta + values + history
+  // meta + values + history, plus the optional quantized copies. The quant
+  // sections go LAST so a tail truncation degrades to f32 instead of
+  // killing the snapshot.
+  AppendPod(&out, static_cast<uint32_t>(3 + (ex.write_int8 ? 1 : 0) +
+                                        (ex.write_bf16 ? 1 : 0)));
 
   std::string meta;
   AppendPod(&meta, kServeMetaVersion);
@@ -652,6 +772,31 @@ util::Status SaveServingExport(const std::string& path,
     AppendBytes(&history, items.data(), items.size() * sizeof(int32_t));
   }
   AppendSection(&out, kTagServeHistory, history);
+
+  if (ex.write_int8) {
+    std::string quant;
+    AppendPod(&quant, kServeQuantVersion);
+    for (const tensor::Matrix* m : {&ex.user_emb, &ex.item_emb}) {
+      const tensor::Int8Rows q = tensor::QuantizeInt8PerRow(*m);
+      AppendPod(&quant, q.rows);
+      AppendPod(&quant, q.cols);
+      AppendBytes(&quant, q.scales.data(), q.scales.size() * sizeof(float));
+      AppendBytes(&quant, q.data.data(), q.data.size());
+    }
+    AppendSection(&out, kTagServeInt8, quant);
+  }
+
+  if (ex.write_bf16) {
+    std::string quant;
+    AppendPod(&quant, kServeQuantVersion);
+    for (const tensor::Matrix* m : {&ex.user_emb, &ex.item_emb}) {
+      const tensor::Bf16Rows q = tensor::ToBf16Rows(*m);
+      AppendPod(&quant, q.rows);
+      AppendPod(&quant, q.cols);
+      AppendBytes(&quant, q.data.data(), q.data.size() * sizeof(uint16_t));
+    }
+    AppendSection(&out, kTagServeBf16, quant);
+  }
 
   return AtomicWriteImage(path, out);
 }
@@ -693,6 +838,35 @@ util::StatusOr<ServingExport> LoadServingExport(const std::string& path) {
         return util::DataLossError(path + ": serving export history list "
                                    "unsorted or out of range");
       }
+    }
+  }
+
+  // Quantized copies ride along only when shape-consistent with the f32
+  // reference; a disagreement means the section is stale or damaged, and
+  // the right degradation is dropping the copy, not failing the snapshot.
+  ex.quant_dropped = parsed.serve_quant_dropped;
+  if (parsed.has_serve_int8) {
+    if (parsed.serve_user_int8.rows == ex.user_emb.rows() &&
+        parsed.serve_user_int8.cols == ex.user_emb.cols() &&
+        parsed.serve_item_int8.rows == ex.item_emb.rows() &&
+        parsed.serve_item_int8.cols == ex.item_emb.cols()) {
+      ex.has_int8 = true;
+      ex.user_int8 = std::move(parsed.serve_user_int8);
+      ex.item_int8 = std::move(parsed.serve_item_int8);
+    } else {
+      ex.quant_dropped = true;
+    }
+  }
+  if (parsed.has_serve_bf16) {
+    if (parsed.serve_user_bf16.rows == ex.user_emb.rows() &&
+        parsed.serve_user_bf16.cols == ex.user_emb.cols() &&
+        parsed.serve_item_bf16.rows == ex.item_emb.rows() &&
+        parsed.serve_item_bf16.cols == ex.item_emb.cols()) {
+      ex.has_bf16 = true;
+      ex.user_bf16 = std::move(parsed.serve_user_bf16);
+      ex.item_bf16 = std::move(parsed.serve_item_bf16);
+    } else {
+      ex.quant_dropped = true;
     }
   }
   return ex;

@@ -18,6 +18,10 @@
 //   5 adam v         second-moment table
 //   6 best snapshot  parameter values of the best validation epoch
 //   7 history        epoch losses + validation curve
+//   8 serve history  per-user training histories (serving exports only)
+//   9 serve meta     serving-export version + shape summary
+//  10 serve int8     per-row-scale int8 user/item embedding copies
+//  11 serve bf16     bf16 user/item embedding copies
 //
 // Writes are atomic: the file is serialized to a buffer, written to
 // `path.tmp`, flushed/synced, and renamed over `path`, so a crash never
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/quant.h"
 #include "train/parameter.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -138,9 +143,12 @@ class CheckpointManager {
 /// matrices), in the v2 container (per-section CRCs, atomic temp+rename
 /// write): the value table carries the "serve.user_emb" / "serve.item_emb"
 /// matrices, section 8 the per-user training histories (serve-side
-/// exclusion lists + popularity source), section 9 the export meta.
-/// Training state is deliberately absent: a snapshot is immutable serving
-/// data, not a resume point.
+/// exclusion lists + popularity source), section 9 the export meta,
+/// sections 10/11 the optional int8 (per-row-scale) and bf16 quantized
+/// embedding copies for bandwidth-conscious scoring. The f32 matrices are
+/// always written — they are the bit-exact reference, and old (pre-quant)
+/// snapshots load exactly as before. Training state is deliberately
+/// absent: a snapshot is immutable serving data, not a resume point.
 struct ServingExport {
   /// Monotone snapshot version (by convention the epoch that produced it).
   int64_t version = 0;
@@ -148,6 +156,26 @@ struct ServingExport {
   tensor::Matrix item_emb;  // one row per item id
   /// Sorted-ascending training items per user; size = user_emb.rows().
   std::vector<std::vector<int32_t>> user_history;
+
+  // --- Save-side knobs ---------------------------------------------------
+  /// Which quantized sections SaveServingExport derives from the f32
+  /// matrices and writes alongside them (both on by default; the f32
+  /// reference is unconditional).
+  bool write_int8 = true;
+  bool write_bf16 = true;
+
+  // --- Load-side results -------------------------------------------------
+  /// Decoded quantized sections, valid only when the matching has_ flag is
+  /// set. SaveServingExport ignores these (it re-derives from f32).
+  bool has_int8 = false;
+  bool has_bf16 = false;
+  tensor::Int8Rows user_int8, item_int8;
+  tensor::Bf16Rows user_bf16, item_bf16;
+  /// Set by LoadServingExport when a quantized section was present but
+  /// corrupt, truncated, or shape-inconsistent: the quantized copy was
+  /// dropped and scoring must fall back to the still-valid f32 reference
+  /// (callers count this as serve.snapshot_fallbacks).
+  bool quant_dropped = false;
 };
 
 /// Writes `ex` atomically. InvalidArgument when the shapes are inconsistent

@@ -450,5 +450,254 @@ TEST_F(ServeTest, FaultSweepNeverCrashes) {
   }
 }
 
+// --- Quantized snapshot encodings --------------------------------------
+
+TEST_F(ServeTest, SnapshotCarriesQuantizedCopies) {
+  const std::string dir = TempDirFor("serve_quant_roundtrip");
+  SaveSmall(dir, 1);
+  const auto snap = ModelSnapshot::Load(SnapshotStore::SnapshotPath(dir, 1));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap.value()->has_int8());
+  EXPECT_TRUE(snap.value()->has_bf16());
+  EXPECT_EQ(snap.value()->user_int8().rows, snap.value()->num_users());
+  EXPECT_EQ(snap.value()->item_int8_panel().depth, snap.value()->dim());
+  EXPECT_EQ(snap.value()->item_int8_panel().count, snap.value()->num_items());
+  EXPECT_EQ(snap.value()->user_bf16().rows, snap.value()->num_users());
+  EXPECT_EQ(snap.value()->item_bf16_panel().count, snap.value()->num_items());
+}
+
+TEST_F(ServeTest, F32OnlyExportLoadsWithoutQuant) {
+  const std::string dir = TempDirFor("serve_quant_f32only");
+  train::ServingExport ex = SmallExport(1);
+  ex.write_int8 = false;
+  ex.write_bf16 = false;
+  ASSERT_TRUE(
+      train::SaveServingExport(SnapshotStore::SnapshotPath(dir, 1), ex).ok());
+  const auto snap = ModelSnapshot::Load(SnapshotStore::SnapshotPath(dir, 1));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap.value()->has_int8());
+  EXPECT_FALSE(snap.value()->has_bf16());
+}
+
+TEST_F(ServeTest, CorruptQuantSectionFallsBackToF32) {
+  const std::string dir = TempDirFor("serve_quant_corrupt");
+  SaveSmall(dir, 1);
+  const std::string path = SnapshotStore::SnapshotPath(dir, 1);
+
+  // Flip a byte inside the bf16 section payload (the last section): its
+  // CRC no longer matches, so exactly that quantized copy is dropped.
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+  }
+  image[image.size() - 8] ^= 0x10;
+  { std::ofstream(path, std::ios::binary | std::ios::trunc) << image; }
+
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto snap = ModelSnapshot::Load(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap.value()->has_int8());   // earlier section, still valid
+  EXPECT_FALSE(snap.value()->has_bf16());  // damaged copy dropped
+  // The f32 reference is untouched — scoring still works.
+  EXPECT_EQ(snap.value()->num_users(), 3);
+  EXPECT_EQ(snap.value()->num_items(), 6);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterDelta(before, "serve.snapshot_fallbacks"), 1u);
+}
+
+TEST_F(ServeTest, TruncatedQuantTailFallsBackToF32) {
+  const std::string dir = TempDirFor("serve_quant_truncated");
+  // Baseline: the same export without quant sections, to find where the
+  // quant tail begins.
+  train::ServingExport f32_only = SmallExport(1);
+  f32_only.write_int8 = false;
+  f32_only.write_bf16 = false;
+  const std::string probe = dir + "/probe.bin";
+  ASSERT_TRUE(train::SaveServingExport(probe, f32_only).ok());
+  const auto f32_size = fs::file_size(probe);
+
+  SaveSmall(dir, 1);
+  const std::string path = SnapshotStore::SnapshotPath(dir, 1);
+  ASSERT_GT(fs::file_size(path), f32_size);
+
+  // Tear the file inside the int8 section payload: both quant sections are
+  // gone, the required sections before them are intact.
+  fs::resize_file(path, f32_size + 16);
+  // The v2 header still claims 5 sections; the parse must degrade, not
+  // fail. (Quant sections are written last precisely for this.)
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto snap = ModelSnapshot::Load(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap.value()->has_int8());
+  EXPECT_FALSE(snap.value()->has_bf16());
+  EXPECT_EQ(snap.value()->num_items(), 6);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterDelta(before, "serve.snapshot_fallbacks"), 1u);
+}
+
+TEST_F(ServeTest, MissingEncodingFallsBackToF32PerRequest) {
+  const std::string dir = TempDirFor("serve_encoding_fallback");
+  train::ServingExport ex = SmallExport(1);
+  ex.write_int8 = false;
+  ex.write_bf16 = false;
+  ASSERT_TRUE(
+      train::SaveServingExport(SnapshotStore::SnapshotPath(dir, 1), ex).ok());
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  RecommendServiceOptions opt;
+  opt.encoding = eval::ScoreEncoding::kInt8;
+  RecommendService service(&store, opt);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto r = service.Recommend({0, 3, 0});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().encoding, eval::ScoreEncoding::kF32);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterDelta(before, "serve.encoding_fallbacks"), 1u);
+}
+
+TEST_F(ServeTest, Int8ServingOverlapsF32TopK) {
+  const std::string dir = TempDirFor("serve_quant_overlap");
+  const int32_t num_users = 30;
+  const int32_t num_items = 200;
+  train::ServingExport ex;
+  ex.version = 1;
+  ex.user_emb = tensor::Matrix(num_users, 16);
+  ex.item_emb = tensor::Matrix(num_items, 16);
+  util::Rng rng(31);
+  ex.user_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.item_emb.UniformInit(&rng, -1.f, 1.f);
+  ex.user_history.resize(num_users);
+  ASSERT_TRUE(
+      train::SaveServingExport(SnapshotStore::SnapshotPath(dir, 1), ex).ok());
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  RecommendServiceOptions f32_opt;
+  RecommendServiceOptions int8_opt;
+  int8_opt.encoding = eval::ScoreEncoding::kInt8;
+  RecommendService f32_service(&store, f32_opt);
+  RecommendService int8_service(&store, int8_opt);
+
+  const int k = 20;
+  double overlap_total = 0.0;
+  for (int32_t u = 0; u < num_users; ++u) {
+    const auto rf = f32_service.Recommend({u, k, 0});
+    const auto rq = int8_service.Recommend({u, k, 0});
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rq.ok());
+    EXPECT_EQ(rq.value().encoding, eval::ScoreEncoding::kInt8);
+    std::vector<int32_t> a, b;
+    for (const ScoredItem& it : rf.value().items) a.push_back(it.item);
+    for (const ScoredItem& it : rq.value().items) b.push_back(it.item);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int32_t> inter;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(inter));
+    overlap_total += static_cast<double>(inter.size()) /
+                     static_cast<double>(a.size());
+  }
+  // int8 perturbs scores by a bounded amount; the served top-K must stay
+  // close to the f32 reference (exact agreement is not required — ranks
+  // near the cutoff may swap).
+  EXPECT_GE(overlap_total / num_users, 0.8);
+}
+
+// --- Score cache --------------------------------------------------------
+
+TEST_F(ServeTest, ScoreCacheHitsServePrefixesAndInvalidateOnHotSwap) {
+  const std::string dir = TempDirFor("serve_score_cache");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendService service(&store);  // cache on by default
+
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto r1 = service.Recommend({0, 4, 0});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value().cached);
+
+  // Same request: served from cache, byte-identical items.
+  const auto r2 = service.Recommend({0, 4, 0});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value().cached);
+  ASSERT_EQ(r2.value().items.size(), r1.value().items.size());
+  for (size_t i = 0; i < r1.value().items.size(); ++i) {
+    EXPECT_EQ(r2.value().items[i].item, r1.value().items[i].item);
+    EXPECT_EQ(r2.value().items[i].score, r1.value().items[i].score);
+  }
+
+  // Smaller k: the cached top-4 answers k=2 exactly (prefix serve).
+  const auto r3 = service.Recommend({0, 2, 0});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.value().cached);
+  ASSERT_EQ(r3.value().items.size(), 2u);
+  EXPECT_EQ(r3.value().items[0].item, r1.value().items[0].item);
+  EXPECT_EQ(r3.value().items[1].item, r1.value().items[1].item);
+
+  // Larger k cannot be answered from a smaller cached list.
+  const auto r4 = service.Recommend({0, 5, 0});
+  ASSERT_TRUE(r4.ok());
+  EXPECT_FALSE(r4.value().cached);
+
+  const obs::MetricsSnapshot mid = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(mid.CounterDelta(before, "serve.score_cache_hits"), 2u);
+  EXPECT_GE(mid.CounterDelta(before, "serve.score_cache_misses"), 2u);
+
+  // Hot-swap to v2: entries keyed to v1 must never serve again.
+  SaveSmall(dir, 2);
+  ASSERT_TRUE(store.Reload().ok());
+  const auto r5 = service.Recommend({0, 4, 0});
+  ASSERT_TRUE(r5.ok());
+  EXPECT_FALSE(r5.value().cached);
+  EXPECT_EQ(r5.value().snapshot_version, 2);
+  const auto r6 = service.Recommend({0, 4, 0});
+  ASSERT_TRUE(r6.ok());
+  EXPECT_TRUE(r6.value().cached);
+  EXPECT_EQ(r6.value().snapshot_version, 2);
+}
+
+TEST_F(ServeTest, ScoreCacheDisabledNeverServesCached) {
+  const std::string dir = TempDirFor("serve_cache_off");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendServiceOptions opt;
+  opt.score_cache_capacity = 0;
+  RecommendService service(&store, opt);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = service.Recommend({0, 4, 0});
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().cached);
+  }
+}
+
+TEST_F(ServeTest, ScoreCacheEvictsLeastRecentlyUsed) {
+  const std::string dir = TempDirFor("serve_cache_lru");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+  RecommendServiceOptions opt;
+  opt.score_cache_capacity = 2;
+  RecommendService service(&store, opt);
+
+  ASSERT_TRUE(service.Recommend({0, 3, 0}).ok());  // cache: {0}
+  ASSERT_TRUE(service.Recommend({1, 3, 0}).ok());  // cache: {0, 1}
+  // Touch 0 so user 1 is the LRU entry, then insert 2 — evicting 1.
+  EXPECT_TRUE(service.Recommend({0, 3, 0}).value().cached);
+  ASSERT_TRUE(service.Recommend({2, 3, 0}).ok());  // cache: {0, 2}
+  EXPECT_TRUE(service.Recommend({0, 3, 0}).value().cached);
+  EXPECT_TRUE(service.Recommend({2, 3, 0}).value().cached);
+  EXPECT_FALSE(service.Recommend({1, 3, 0}).value().cached);  // evicted
+}
+
 }  // namespace
 }  // namespace layergcn::serve

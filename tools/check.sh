@@ -31,6 +31,16 @@
 # serve fault point (snapshot bit flip, torn reload, slow scoring) plus a
 # malformed-request batch — responses must stay structured JSONL.
 #
+# The `quant` stage runs under both sanitized builds (ASan+UBSan and
+# UBSan-only): export an all-encodings snapshot (f32 + int8 + bf16), push
+# 1k requests through layergcn_serve with each --encoding, and run the
+# bench_serve_latency quality gates (LAYERGCN_BENCH_QUALITY_ONLY=1 skips
+# only the throughput floor, which is meaningless under sanitizers) — the
+# bench exits non-zero if any quant encoding loses more than 0.1% relative
+# Recall@20/NDCG@20 vs f32, if the f32 path diverges from the offline
+# reference ranking, or if the score cache fails to hit or to invalidate
+# on hot-swap.
+#
 # Usage: tools/check.sh [build-root]     (default: build-check/)
 # Exits non-zero on the first failing build or test.
 
@@ -112,6 +122,36 @@ run_fault_stage() {
 }
 run_fault_stage
 
+# Quantized-serving sweep: export a snapshot carrying every encoding, serve
+# the same 1k-request stream with each scoring kernel (responses must stay
+# structured JSONL), then let bench_serve_latency assert the quality gates
+# under the sanitizer. Takes the build config name as its argument so both
+# sanitized builds run it.
+run_quant_stage() {
+  local name="$1"
+  local dir="${build_root}/${name}"
+  local out="${build_root}/quant-out-${name}"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  echo "=== [quant/${name}] train 2 epochs + export all-encodings snapshot ==="
+  "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=2 \
+    --model=LayerGCN --export-snapshot="${out}/snaps" \
+    --snapshot-encoding=all
+  for enc in f32 int8 bf16; do
+    echo "=== [quant/${name}] 1k requests --encoding=${enc} ==="
+    "${dir}/tools/layergcn_serve" --snapshot-dir="${out}/snaps" \
+      --random-requests=1000 --seed=11 --encoding="${enc}" \
+      --metrics-out="${out}/metrics-${enc}.json" \
+      > "${out}/responses-${enc}.jsonl"
+    "${dir}/tools/validate_jsonl" "${out}/responses-${enc}.jsonl" \
+      "${out}/metrics-${enc}.json"
+  done
+  echo "=== [quant/${name}] bench_serve_latency quality gates ==="
+  ( cd "${out}" && LAYERGCN_BENCH_QUALITY_ONLY=1 \
+      "${dir}/bench/bench_serve_latency" )
+}
+run_quant_stage asan-ubsan
+
 # UBSan-only build (LAYERGCN_SANITIZE=undefined): cheap enough to drive the
 # serving subsystem end to end. The serve smoke trains a small synthetic
 # run, exports a serving snapshot, plants an older copy as the fallback
@@ -175,6 +215,7 @@ run_serve_stage() {
   "${dir}/tools/validate_jsonl" "${out}/responses-malformed.jsonl"
 }
 run_serve_stage
+run_quant_stage ubsan
 
 # LAYERGCN_SANITIZE=thread exercises the parallel layer under TSan with a
 # pool wide enough to interleave even on small CI machines.

@@ -57,6 +57,7 @@ struct Flags {
   std::string save_path;   // checkpoint to write after training
   std::string load_path;   // checkpoint to restore instead of training
   std::string export_snapshot_dir;  // serving snapshot directory
+  std::string snapshot_encoding = "all";  // quant sections: all|f32|int8|bf16
   int topk = 10;
   bool verbose = false;
   int threads = 0;  // 0 = hardware concurrency / LAYERGCN_NUM_THREADS
@@ -94,6 +95,9 @@ void PrintUsage(const char* argv0) {
       "  --load=PATH        restore a checkpoint and skip training\n"
       "  --export-snapshot=DIR write a serving snapshot (snap-NNNNNN.lgcn,\n"
       "                     versioned by best epoch) for layergcn_serve\n"
+      "  --snapshot-encoding=all|f32|int8|bf16  which quantized embedding\n"
+      "                     copies ride along in the snapshot (default all;\n"
+      "                     the f32 reference is always written)\n"
       "  --verbose          per-epoch logging\n"
       "  --threads=N        compute threads (default: LAYERGCN_NUM_THREADS\n"
       "                     env var, else hardware concurrency); results are\n"
@@ -173,6 +177,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->load_path = value;
     } else if (key == "--export-snapshot") {
       flags->export_snapshot_dir = value;
+    } else if (key == "--snapshot-encoding") {
+      ok = value == "all" || value == "f32" || value == "int8" ||
+           value == "bf16";
+      flags->snapshot_encoding = value;
     } else if (key == "--topk") {
       ok = as_int(&flags->topk);
     } else if (key == "--verbose") {
@@ -394,6 +402,10 @@ int main(int argc, char** argv) {
     }
     ex.item_emb = *view.item;
     ex.user_history = dataset.train_graph.user_items();
+    ex.write_int8 = flags.snapshot_encoding == "all" ||
+                    flags.snapshot_encoding == "int8";
+    ex.write_bf16 = flags.snapshot_encoding == "all" ||
+                    flags.snapshot_encoding == "bf16";
     std::error_code ec;
     std::filesystem::create_directories(flags.export_snapshot_dir, ec);
     const std::string snap_path = serve::SnapshotStore::SnapshotPath(

@@ -56,6 +56,8 @@ struct Flags {
   int32_t max_k = 1000;
   int64_t queue_capacity = 64;
   int threads = 0;
+  std::string encoding = "f32";       // f32|int8|bf16 scoring encoding
+  int64_t score_cache = 1024;         // LRU score cache capacity; 0 = off
   bool burst = false;  // submit everything before draining (sheds load)
   bool quiet = false;  // suppress per-request response lines
   uint64_t seed = 42;
@@ -76,6 +78,11 @@ void PrintUsage(const char* argv0) {
       "  --max-k=N            largest admissible k (default 1000)\n"
       "  --queue-capacity=N   async admission bound (default 64)\n"
       "  --threads=N          compute threads (0 = default pool)\n"
+      "  --encoding=f32|int8|bf16  embedding encoding scored against\n"
+      "                       (default f32; falls back to f32 per request\n"
+      "                       when the snapshot lacks the quantized copy)\n"
+      "  --score-cache=N      LRU score cache capacity in users\n"
+      "                       (default 1024; 0 disables)\n"
       "  --burst              submit all requests before draining any —\n"
       "                       overruns the admission queue on purpose\n"
       "  --quiet              print only the summary, not response lines\n"
@@ -117,6 +124,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       ok = as_int(&flags->queue_capacity) && flags->queue_capacity >= 1;
     } else if (key == "--threads") {
       ok = as_int(&flags->threads) && flags->threads >= 0;
+    } else if (key == "--encoding") {
+      eval::ScoreEncoding parsed;
+      ok = eval::ParseScoreEncoding(value, &parsed);
+      flags->encoding = value;
+    } else if (key == "--score-cache") {
+      ok = as_int(&flags->score_cache) && flags->score_cache >= 0;
     } else if (key == "--burst") {
       flags->burst = true;
     } else if (key == "--quiet") {
@@ -218,6 +231,8 @@ std::string ResponseLine(const serve::RecommendRequest& req,
   w.EndArray();
   w.Key("partial").Bool(resp.partial);
   w.Key("degraded").Bool(resp.degraded);
+  w.Key("cached").Bool(resp.cached);
+  w.Key("encoding").String(eval::ScoreEncodingName(resp.encoding));
   w.Key("snapshot_version").Int(resp.snapshot_version);
   w.Key("latency_us").Uint(resp.latency_us);
   w.EndObject();
@@ -272,15 +287,23 @@ int main(int argc, char** argv) {
   }
   const std::shared_ptr<const serve::ModelSnapshot> snap = store.current();
   std::fprintf(stderr,
-               "serving snapshot v%lld: %lld users, %lld items, dim %lld\n",
+               "serving snapshot v%lld: %lld users, %lld items, dim %lld "
+               "(encodings: f32%s%s)\n",
                static_cast<long long>(snap->version()),
                static_cast<long long>(snap->num_users()),
                static_cast<long long>(snap->num_items()),
-               static_cast<long long>(snap->dim()));
+               static_cast<long long>(snap->dim()),
+               snap->has_int8() ? " int8" : "",
+               snap->has_bf16() ? " bf16" : "");
 
   serve::RecommendServiceOptions options;
   options.max_k = flags.max_k;
   options.queue_capacity = flags.queue_capacity;
+  options.score_cache_capacity = flags.score_cache;
+  eval::ParseScoreEncoding(flags.encoding, &options.encoding);
+  std::fprintf(stderr, "scoring encoding: %s, score cache: %lld\n",
+               eval::ScoreEncodingName(options.encoding),
+               static_cast<long long>(flags.score_cache));
   serve::RecommendService service(&store, options);
 
   // Build the request stream.
