@@ -45,6 +45,7 @@
 #include "eval/fused_rank.h"
 #include "eval/quant_kernel.h"
 #include "experiments/env.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/recommend_service.h"
 #include "serve/snapshot.h"
@@ -72,6 +73,12 @@ struct PassResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;
+  // The same latencies as the registry's serve.latency_us histogram saw
+  // them, per-pass via HistogramData::Delta — coarser buckets than the
+  // exact client-side sort above, but the series operators actually watch.
+  double hist_p50_us = 0.0;
+  double hist_p95_us = 0.0;
+  double hist_p99_us = 0.0;
 };
 
 double Percentile(std::vector<uint64_t>* latencies, double q) {
@@ -91,6 +98,7 @@ PassResult RunPass(serve::RecommendService* service, const std::string& name,
   out.name = name;
   out.client_threads = client_threads;
   out.rank_threads = util::parallel::ComputePool()->num_threads();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
 
   std::vector<std::vector<uint64_t>> latencies(
       static_cast<size_t>(client_threads));
@@ -151,6 +159,17 @@ PassResult RunPass(serve::RecommendService* service, const std::string& name,
                   : static_cast<double>(sum) / static_cast<double>(all.size());
   out.p50_us = Percentile(&all, 0.50);
   out.p99_us = Percentile(&all, 0.99);
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  const auto it = after.histograms.find("serve.latency_us");
+  if (it != after.histograms.end()) {
+    obs::HistogramData pass = it->second;
+    const auto base = before.histograms.find("serve.latency_us");
+    if (base != before.histograms.end()) pass = pass.Delta(base->second);
+    out.hist_p50_us = pass.Quantile(0.50);
+    out.hist_p95_us = pass.Quantile(0.95);
+    out.hist_p99_us = pass.Quantile(0.99);
+  }
   return out;
 }
 
@@ -158,11 +177,13 @@ void PrintPass(const PassResult& r) {
   std::printf(
       "%-8s  %ld req x %d clients  p50 %7.0fus  p99 %7.0fus  mean %7.0fus\n"
       "          complete %ld, partial %ld, degraded %ld, deadline %ld, "
-      "other %ld\n",
+      "other %ld\n"
+      "          registry histogram p50 %7.0fus  p95 %7.0fus  p99 %7.0fus\n",
       r.name.c_str(), static_cast<long>(r.requests), r.client_threads,
       r.p50_us, r.p99_us, r.mean_us, static_cast<long>(r.ok_complete),
       static_cast<long>(r.partial), static_cast<long>(r.degraded),
-      static_cast<long>(r.deadline_errors), static_cast<long>(r.other_errors));
+      static_cast<long>(r.deadline_errors), static_cast<long>(r.other_errors),
+      r.hist_p50_us, r.hist_p95_us, r.hist_p99_us);
 }
 
 void WritePassJson(FILE* out, const PassResult& r, bool last) {
@@ -170,12 +191,14 @@ void WritePassJson(FILE* out, const PassResult& r, bool last) {
                "    {\"pass\": \"%s\", \"requests\": %ld, "
                "\"client_threads\": %d, \"rank_threads\": %d, "
                "\"p50_us\": %.1f, \"p99_us\": %.1f, "
-               "\"mean_us\": %.1f, \"complete\": %ld, \"partial\": %ld, "
+               "\"mean_us\": %.1f, \"hist_p50_us\": %.1f, "
+               "\"hist_p95_us\": %.1f, \"hist_p99_us\": %.1f, "
+               "\"complete\": %ld, \"partial\": %ld, "
                "\"degraded\": %ld, \"deadline_errors\": %ld, "
                "\"other_errors\": %ld}%s\n",
                r.name.c_str(), static_cast<long>(r.requests),
                r.client_threads, r.rank_threads, r.p50_us, r.p99_us,
-               r.mean_us,
+               r.mean_us, r.hist_p50_us, r.hist_p95_us, r.hist_p99_us,
                static_cast<long>(r.ok_complete), static_cast<long>(r.partial),
                static_cast<long>(r.degraded),
                static_cast<long>(r.deadline_errors),

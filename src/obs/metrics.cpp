@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include "obs/json.h"
@@ -38,6 +40,49 @@ void Histogram::Reset() {
   for (auto& b : buckets_) b->Reset();
   count_.Reset();
   sum_.Reset();
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0 || bucket_counts.empty()) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::min(std::max<uint64_t>(rank, 1), count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double within =
+        static_cast<double>(rank - cum) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * within;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+HistogramData HistogramData::Delta(const HistogramData& earlier) const {
+  if (earlier.bounds != bounds ||
+      earlier.bucket_counts.size() != bucket_counts.size()) {
+    return *this;
+  }
+  HistogramData out;
+  out.bounds = bounds;
+  out.bucket_counts.resize(bucket_counts.size());
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    out.bucket_counts[i] = bucket_counts[i] >= earlier.bucket_counts[i]
+                               ? bucket_counts[i] - earlier.bucket_counts[i]
+                               : 0;
+  }
+  out.count = count >= earlier.count ? count - earlier.count : 0;
+  out.sum = sum - earlier.sum;
+  return out;
 }
 
 uint64_t MetricsSnapshot::CounterDelta(const MetricsSnapshot& earlier,
@@ -123,6 +168,9 @@ std::string MetricsRegistry::SnapshotJson() const {
     w.EndArray();
     w.Key("count").Uint(h.count);
     w.Key("sum").Number(h.sum);
+    w.Key("p50").Number(h.Quantile(0.50));
+    w.Key("p95").Number(h.Quantile(0.95));
+    w.Key("p99").Number(h.Quantile(0.99));
     w.EndObject();
   }
   w.EndObject();
@@ -134,6 +182,72 @@ bool MetricsRegistry::WriteSnapshotJson(const std::string& path) const {
   std::ofstream out(path);
   if (!out.good()) return false;
   out << SnapshotJson() << "\n";
+  return out.good();
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted
+// names map '.' (and any other illegal byte) to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "layergcn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendNumber(value, &out);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cum += h.bucket_counts[i];
+      out += prom + "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        AppendNumber(h.bounds[i], &out);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    out += prom + "_sum ";
+    AppendNumber(h.sum, &out);
+    out += "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::WritePrometheusText(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << PrometheusText();
   return out.good();
 }
 

@@ -133,6 +133,17 @@ struct HistogramData {
   std::vector<uint64_t> bucket_counts;
   uint64_t count = 0;
   double sum = 0.0;
+
+  /// The q-quantile (0 < q <= 1) estimated from the bucket counts by
+  /// linear interpolation inside the bucket holding rank ceil(q * count);
+  /// ranks landing in the overflow bucket answer the last bound. 0 when
+  /// the histogram is empty. Deterministic given the same counts.
+  double Quantile(double q) const;
+
+  /// this minus `earlier`, bucket by bucket (for per-phase summaries over
+  /// a long-lived histogram). Bounds must match; mismatched shapes return
+  /// a copy of *this.
+  HistogramData Delta(const HistogramData& earlier) const;
 };
 
 struct MetricsSnapshot {
@@ -159,10 +170,18 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
 
   MetricsSnapshot Snapshot() const;
-  /// Snapshot rendered as one JSON object (stable key order).
+  /// Snapshot rendered as one JSON object (stable key order). Histograms
+  /// carry p50/p95/p99 summaries next to their bucket counts.
   std::string SnapshotJson() const;
   /// Writes SnapshotJson() to `path`; false on I/O failure.
   bool WriteSnapshotJson(const std::string& path) const;
+
+  /// Snapshot rendered as Prometheus text exposition format (one
+  /// `layergcn_`-prefixed family per metric; '.' in names becomes '_';
+  /// histograms export cumulative `_bucket{le=...}` series + _sum/_count).
+  std::string PrometheusText() const;
+  /// Writes PrometheusText() to `path`; false on I/O failure.
+  bool WritePrometheusText(const std::string& path) const;
 
   /// Zeroes every registered metric (names stay registered).
   void ResetAll();

@@ -18,8 +18,18 @@ struct ThreadBuffer {
 };
 
 thread_local uint32_t t_span_depth = 0;
+thread_local uint64_t t_request_id = 0;
 
 }  // namespace
+
+TraceRequestScope::TraceRequestScope(uint64_t request_id)
+    : prev_(t_request_id) {
+  t_request_id = request_id;
+}
+
+TraceRequestScope::~TraceRequestScope() { t_request_id = prev_; }
+
+uint64_t TraceRequestScope::Current() { return t_request_id; }
 
 struct TraceRecorder::Impl {
   mutable std::mutex mu;  // guards buffers/retired membership
@@ -111,6 +121,7 @@ std::string TraceRecorder::ChromeTraceJson() const {
     w.Key("tid").Uint(e.tid);
     w.Key("args").BeginObject();
     w.Key("depth").Uint(e.depth);
+    if (e.request_id != 0) w.Key("request_id").Uint(e.request_id);
     w.EndObject();
     w.EndObject();
   }
@@ -181,7 +192,7 @@ SpanGuard::~SpanGuard() {
   const char* name = site_ != nullptr ? site_->name : name_;
   if ((flags_ & kTraceBit) != 0) {
     TraceRecorder::Global().Record(
-        TraceEvent{name, start_us_, dur, ThreadId(), depth_});
+        TraceEvent{name, start_us_, dur, ThreadId(), depth_, t_request_id});
   }
   if ((flags_ & kMetricsBit) != 0) {
     if (site_ != nullptr) {

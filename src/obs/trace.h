@@ -35,6 +35,28 @@ struct TraceEvent {
   uint64_t dur_us = 0;
   uint32_t tid = 0;
   uint32_t depth = 0;  // nesting depth on its thread at open time
+  /// Request the span served (0 = none). Spans inherit the calling
+  /// thread's TraceRequestScope, so every kernel/cache/serialize span of a
+  /// served request is keyed to that request's id in the Chrome trace.
+  uint64_t request_id = 0;
+};
+
+/// RAII: tags every span closed on this thread within the scope with
+/// `request_id` (restores the previous id on exit, so nested scopes work).
+/// The serving tier opens one per request around the whole request path.
+class TraceRequestScope {
+ public:
+  explicit TraceRequestScope(uint64_t request_id);
+  ~TraceRequestScope();
+
+  TraceRequestScope(const TraceRequestScope&) = delete;
+  TraceRequestScope& operator=(const TraceRequestScope&) = delete;
+
+  /// The calling thread's active request id (0 outside any scope).
+  static uint64_t Current();
+
+ private:
+  uint64_t prev_;
 };
 
 /// Process-wide span store.

@@ -1,0 +1,70 @@
+#include "serve/access_log.h"
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace layergcn::serve {
+
+bool AccessLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::trunc);
+  ok_ = out_.good();
+  return ok_;
+}
+
+bool AccessLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return out_.is_open();
+}
+
+void AccessLog::Append(const RequestContext& ctx) {
+  const std::string line = RecordJson(ctx);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!out_.is_open()) return;
+    out_ << line << "\n";
+    ok_ = ok_ && out_.good();
+  }
+  OBS_COUNT("serve.access_log_records", 1);
+}
+
+bool AccessLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) {
+    out_.flush();
+    ok_ = ok_ && out_.good();
+    out_.close();
+  }
+  return ok_;
+}
+
+std::string AccessLog::RecordJson(const RequestContext& ctx) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("access");
+  w.Key("id").Uint(ctx.id);
+  w.Key("user").Int(ctx.user);
+  w.Key("k").Int(ctx.k);
+  w.Key("budget_us").Uint(ctx.budget_us);
+  w.Key("status").String(util::StatusCodeName(ctx.code));
+  if (!ctx.error.empty()) w.Key("error").String(ctx.error);
+  w.Key("malformed").Bool(ctx.malformed);
+  w.Key("shed").Bool(ctx.shed);
+  w.Key("cached").Bool(ctx.cached);
+  w.Key("partial").Bool(ctx.partial);
+  w.Key("degraded").Bool(ctx.degraded);
+  w.Key("encoding").String(eval::ScoreEncodingName(ctx.encoding));
+  w.Key("snapshot_version").Int(ctx.snapshot_version);
+  w.Key("submit_us").Uint(ctx.submit_us);
+  w.Key("done_us").Uint(ctx.done_us);
+  w.Key("latency_us").Uint(ctx.total_us());
+  for (int i = 0; i < kNumStages; ++i) {
+    w.Key(std::string(StageName(static_cast<Stage>(i))) + "_us")
+        .Uint(ctx.stage_us[i]);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace layergcn::serve

@@ -1,0 +1,59 @@
+// Structured per-request access log (JSONL).
+//
+// One line per request the driver finished — served, shed, errored, or
+// malformed — so a run's access log has exactly one record per submitted
+// request and operators can reconstruct any request's path through the
+// service offline. Records are flat JSON objects with "type":"access";
+// tools/validate_jsonl checks the schema (id uniqueness, status enum,
+// stage-micros consistency) and check.sh runs it on every serve sweep.
+//
+// Appends take one mutex and one formatted write; the driver serializes
+// responses on one thread, so the lock is uncontended in practice. Lines
+// are flushed on Close()/destruction, not per record.
+
+#ifndef LAYERGCN_SERVE_ACCESS_LOG_H_
+#define LAYERGCN_SERVE_ACCESS_LOG_H_
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "serve/request_context.h"
+
+namespace layergcn::serve {
+
+/// Thread-safe JSONL access-log sink.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog() { Close(); }
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens (truncates) `path` for writing. False on I/O failure.
+  bool Open(const std::string& path);
+
+  /// True between a successful Open() and Close().
+  bool is_open() const;
+
+  /// Appends one record; no-op when the log is not open. Counts
+  /// serve.access_log_records.
+  void Append(const RequestContext& ctx);
+
+  /// Flushes and closes; false if any write failed.
+  bool Close();
+
+  /// One access record as a JSON object (no trailing newline) — the exact
+  /// line Append() writes; exposed so tests can pin the schema.
+  static std::string RecordJson(const RequestContext& ctx);
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  bool ok_ = true;
+};
+
+}  // namespace layergcn::serve
+
+#endif  // LAYERGCN_SERVE_ACCESS_LOG_H_

@@ -26,9 +26,22 @@ const std::vector<double>& LatencyBounds() {
 RecommendService::RecommendService(SnapshotStore* store)
     : RecommendService(store, RecommendServiceOptions()) {}
 
+namespace {
+
+// LAYERGCN_SLO_* environment overrides win over programmatic options.
+ServingStatsOptions WithEnvSlo(ServingStatsOptions stats) {
+  stats.slo = obs::SloMonitor::FromEnv(stats.slo);
+  return stats;
+}
+
+}  // namespace
+
 RecommendService::RecommendService(SnapshotStore* store,
                                    const RecommendServiceOptions& options)
-    : store_(store), options_(options), breaker_(options.breaker) {
+    : store_(store),
+      options_(options),
+      breaker_(options.breaker),
+      stats_(WithEnvSlo(options.stats)) {
   LAYERGCN_CHECK(store_ != nullptr);
   LAYERGCN_CHECK_GE(options_.max_k, 1);
   LAYERGCN_CHECK_GE(options_.queue_capacity, 1);
@@ -136,25 +149,59 @@ RecommendResponse RecommendService::ServeDegraded(
 
 util::StatusOr<RecommendResponse> RecommendService::Recommend(
     const RecommendRequest& req) {
+  // Self-recording convenience path: the local context still feeds the
+  // SLO/percentile stats, it just has no driver-side serialize stage.
+  RequestContext ctx;
+  util::StatusOr<RecommendResponse> out = Recommend(req, &ctx);
+  ctx.done_us = obs::NowMicros();
+  stats_.Record(ctx, ctx.done_us);
+  return out;
+}
+
+util::StatusOr<RecommendResponse> RecommendService::Recommend(
+    const RecommendRequest& req, RequestContext* ctx) {
+  LAYERGCN_CHECK(ctx != nullptr);
+  obs::TraceRequestScope request_scope(ctx->id);
   OBS_SPAN("serve.request");
   OBS_COUNT("serve.requests", 1);
   const uint64_t start_us = obs::NowMicros();
+  ctx->user = req.user_id;
+  ctx->k = req.k;
+  ctx->budget_us = req.budget_us;
+  ctx->start_us = start_us;
+  if (ctx->submit_us != 0 && start_us > ctx->submit_us) {
+    ctx->stage(Stage::kAdmission) = start_us - ctx->submit_us;
+  }
+
+  const auto fail = [ctx](util::Status status) {
+    ctx->code = status.code();
+    ctx->error = status.message();
+    ctx->finish_us = obs::NowMicros();
+    return status;
+  };
 
   const std::shared_ptr<const ModelSnapshot> snap = store_->current();
   if (snap == nullptr) {
     OBS_COUNT("serve.validation_errors", 1);
-    return util::FailedPreconditionError("no snapshot loaded");
+    ctx->stage(Stage::kSnapshot) = obs::NowMicros() - start_us;
+    return fail(util::FailedPreconditionError("no snapshot loaded"));
   }
+  ctx->snapshot_version = snap->version();
   const util::Status valid = Validate(*snap, req);
+  ctx->stage(Stage::kSnapshot) = obs::NowMicros() - start_us;
   if (!valid.ok()) {
     OBS_COUNT("serve.validation_errors", 1);
-    return valid;
+    return fail(valid);
   }
 
   RecommendResponse resp;
+  bool served = false;
   if (!breaker_.Allow(start_us)) {
     // Breaker open: skip model scoring, serve the popularity ranking.
+    const uint64_t score_t0 = obs::NowMicros();
     resp = ServeDegraded(*snap, req);
+    ctx->stage(Stage::kScore) = obs::NowMicros() - score_t0;
+    served = true;
   } else {
     // Resolve the encoding this request actually scores with: a requested
     // quantized copy the snapshot does not carry degrades to the f32
@@ -166,92 +213,147 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
       encoding = eval::ScoreEncoding::kF32;
     }
 
-    if (options_.score_cache_capacity > 0 &&
-        CacheLookup(*snap, encoding, req, &resp)) {
-      breaker_.RecordSuccess();
-      resp.latency_us = obs::NowMicros() - start_us;
-      OBS_OBSERVE("serve.latency_us", LatencyBounds(), resp.latency_us);
-      return resp;
-    }
-
-    eval::RankDeadline deadline;
-    if (req.budget_us > 0) deadline.deadline_us = start_us + req.budget_us;
-    const std::vector<int32_t> user_ids = {req.user_id};
-    std::vector<std::vector<float>> scores;
-    eval::RankDeadline* dl = req.budget_us > 0 ? &deadline : nullptr;
-    std::vector<std::vector<int32_t>> ranked;
-    switch (encoding) {
-      case eval::ScoreEncoding::kInt8:
-        ranked = eval::QuantScoreTopKInt8(
-            snap->user_int8(), user_ids, snap->item_int8_panel(), req.k,
-            &snap->user_history(), options_.rank, dl, &scores);
-        break;
-      case eval::ScoreEncoding::kBf16:
-        ranked = eval::QuantScoreTopKBf16(
-            snap->user_bf16(), user_ids, snap->item_bf16_panel(), req.k,
-            &snap->user_history(), options_.rank, dl, &scores);
-        break;
-      case eval::ScoreEncoding::kF32:
-        ranked = eval::FusedScoreTopK(
-            snap->user_emb(), user_ids, snap->item_emb(), req.k,
-            &snap->user_history(), options_.rank, dl, &scores);
-        break;
-    }
-
-    const bool expired =
-        deadline.expired.load(std::memory_order_relaxed);
-    if (!expired) {
-      breaker_.RecordSuccess();
-    } else {
-      breaker_.RecordFailure(obs::NowMicros());
-      if (ranked[0].empty()) {
-        OBS_COUNT("serve.deadline_errors", 1);
-        OBS_OBSERVE("serve.latency_us", LatencyBounds(),
-                    obs::NowMicros() - start_us);
-        return util::DeadlineExceededError(
-            "budget " + std::to_string(req.budget_us) +
-            "us spent before any item tile was scored");
+    if (options_.score_cache_capacity > 0) {
+      const uint64_t cache_t0 = obs::NowMicros();
+      const bool hit = CacheLookup(*snap, encoding, req, &resp);
+      ctx->stage(Stage::kCache) = obs::NowMicros() - cache_t0;
+      if (hit) {
+        breaker_.RecordSuccess();
+        served = true;
       }
-      OBS_COUNT("serve.deadline_partial", 1);
-      resp.partial = true;
     }
-    resp.encoding = encoding;
-    resp.snapshot_version = snap->version();
-    resp.items.resize(ranked[0].size());
-    for (size_t i = 0; i < ranked[0].size(); ++i) {
-      resp.items[i] = ScoredItem{ranked[0][i], scores[0][i]};
-    }
-    if (options_.score_cache_capacity > 0 && !resp.partial) {
-      CacheInsert(*snap, encoding, req, resp);
+
+    if (!served) {
+      const uint64_t score_t0 = obs::NowMicros();
+      eval::RankDeadline deadline;
+      if (req.budget_us > 0) deadline.deadline_us = start_us + req.budget_us;
+      const std::vector<int32_t> user_ids = {req.user_id};
+      std::vector<std::vector<float>> scores;
+      eval::RankDeadline* dl = req.budget_us > 0 ? &deadline : nullptr;
+      std::vector<std::vector<int32_t>> ranked;
+      switch (encoding) {
+        case eval::ScoreEncoding::kInt8:
+          ranked = eval::QuantScoreTopKInt8(
+              snap->user_int8(), user_ids, snap->item_int8_panel(), req.k,
+              &snap->user_history(), options_.rank, dl, &scores);
+          break;
+        case eval::ScoreEncoding::kBf16:
+          ranked = eval::QuantScoreTopKBf16(
+              snap->user_bf16(), user_ids, snap->item_bf16_panel(), req.k,
+              &snap->user_history(), options_.rank, dl, &scores);
+          break;
+        case eval::ScoreEncoding::kF32:
+          ranked = eval::FusedScoreTopK(
+              snap->user_emb(), user_ids, snap->item_emb(), req.k,
+              &snap->user_history(), options_.rank, dl, &scores);
+          break;
+      }
+      ctx->stage(Stage::kScore) = obs::NowMicros() - score_t0;
+
+      const bool expired =
+          deadline.expired.load(std::memory_order_relaxed);
+      if (!expired) {
+        breaker_.RecordSuccess();
+      } else {
+        breaker_.RecordFailure(obs::NowMicros());
+        if (ranked[0].empty()) {
+          OBS_COUNT("serve.deadline_errors", 1);
+          OBS_OBSERVE("serve.latency_us", LatencyBounds(),
+                      obs::NowMicros() - start_us);
+          return fail(util::DeadlineExceededError(
+              "budget " + std::to_string(req.budget_us) +
+              "us spent before any item tile was scored"));
+        }
+        OBS_COUNT("serve.deadline_partial", 1);
+        resp.partial = true;
+      }
+      resp.encoding = encoding;
+      resp.snapshot_version = snap->version();
+      resp.items.resize(ranked[0].size());
+      for (size_t i = 0; i < ranked[0].size(); ++i) {
+        resp.items[i] = ScoredItem{ranked[0][i], scores[0][i]};
+      }
+      if (options_.score_cache_capacity > 0 && !resp.partial) {
+        CacheInsert(*snap, encoding, req, resp);
+      }
     }
   }
 
+  ctx->cached = resp.cached;
+  ctx->partial = resp.partial;
+  ctx->degraded = resp.degraded;
+  ctx->encoding = resp.encoding;
   resp.latency_us = obs::NowMicros() - start_us;
   OBS_OBSERVE("serve.latency_us", LatencyBounds(), resp.latency_us);
+  ctx->finish_us = obs::NowMicros();
   return resp;
 }
 
 std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
     const RecommendRequest& req) {
+  return Submit(req, nullptr);
+}
+
+std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
+    const RecommendRequest& req, RequestContext* ctx) {
+  const uint64_t submit_us = obs::NowMicros();
+  if (ctx != nullptr) {
+    ctx->submit_us = submit_us;
+    ctx->user = req.user_id;
+    ctx->k = req.k;
+    ctx->budget_us = req.budget_us;
+  }
   auto promise =
       std::make_shared<std::promise<util::StatusOr<RecommendResponse>>>();
   std::future<util::StatusOr<RecommendResponse>> future =
       promise->get_future();
+  bool shed = false;
+  std::string shed_reason;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_ || in_flight_ >= options_.queue_capacity) {
-      OBS_COUNT("serve.shed", 1);
-      promise->set_value(util::ResourceExhaustedError(
-          shutting_down_ ? "service shutting down"
-                         : "admission queue full (" +
-                               std::to_string(options_.queue_capacity) +
-                               " in flight)"));
-      return future;
+      shed = true;
+      shed_reason = shutting_down_
+                        ? "service shutting down"
+                        : "admission queue full (" +
+                              std::to_string(options_.queue_capacity) +
+                              " in flight)";
+    } else {
+      ++in_flight_;
     }
-    ++in_flight_;
   }
-  util::parallel::ComputePool()->Submit([this, promise, req] {
-    promise->set_value(Recommend(req));
+  if (shed) {
+    OBS_COUNT("serve.shed", 1);
+    util::Status status = util::ResourceExhaustedError(shed_reason);
+    const uint64_t now_us = obs::NowMicros();
+    if (ctx != nullptr) {
+      // Caller records when the future resolves.
+      ctx->shed = true;
+      ctx->code = status.code();
+      ctx->error = status.message();
+      ctx->finish_us = now_us;
+    } else {
+      RequestContext shed_ctx;
+      shed_ctx.user = req.user_id;
+      shed_ctx.k = req.k;
+      shed_ctx.budget_us = req.budget_us;
+      shed_ctx.shed = true;
+      shed_ctx.code = status.code();
+      shed_ctx.error = status.message();
+      shed_ctx.submit_us = submit_us;
+      shed_ctx.finish_us = now_us;
+      shed_ctx.done_us = now_us;
+      stats_.Record(shed_ctx, now_us);
+    }
+    promise->set_value(std::move(status));
+    return future;
+  }
+  util::parallel::ComputePool()->Submit([this, promise, req, ctx] {
+    if (ctx != nullptr) {
+      promise->set_value(Recommend(req, ctx));
+    } else {
+      promise->set_value(Recommend(req));
+    }
     // Decrement after the future is satisfied; the destructor holds `this`
     // alive until in_flight_ reaches zero.
     std::lock_guard<std::mutex> lock(mu_);

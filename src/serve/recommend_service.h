@@ -41,6 +41,14 @@
 //
 // Every request increments serve.requests, lands in the serve.latency_us
 // histogram, and runs under an OBS_SPAN("serve.request") trace span.
+//
+// Observability: the ctx-taking overloads thread a RequestContext through
+// the pipeline — per-stage timings (admission/snapshot/cache/score), the
+// outcome flags above, and the request's deterministic id, which a
+// TraceRequestScope stamps onto every span the request closes so Chrome
+// traces are filterable by request. Finished contexts feed stats():
+// sliding-window stage percentile gauges plus the availability/latency
+// SLO burn-rate monitor (see serve/serving_stats.h).
 
 #ifndef LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
 #define LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
@@ -56,6 +64,8 @@
 #include "eval/fused_rank.h"
 #include "eval/quant_kernel.h"
 #include "serve/circuit_breaker.h"
+#include "serve/request_context.h"
+#include "serve/serving_stats.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 
@@ -105,6 +115,10 @@ struct RecommendServiceOptions {
   eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
   /// Bounded LRU score cache size in users; 0 disables caching.
   int64_t score_cache_capacity = 1024;
+  /// SLO objectives + quantile windows. The service applies
+  /// obs::SloMonitor::FromEnv on top, so LAYERGCN_SLO_* environment
+  /// overrides always win over these programmatic defaults.
+  ServingStatsOptions stats;
 };
 
 /// Thread-safe serving front end over a SnapshotStore. The store outlives
@@ -122,8 +136,17 @@ class RecommendService {
 
   /// Synchronous path: validate, score (or degrade), respond. Errors:
   /// FailedPrecondition (no snapshot), InvalidArgument (bad request),
-  /// DeadlineExceeded (budget spent with nothing scored).
+  /// DeadlineExceeded (budget spent with nothing scored). Records itself
+  /// into stats() on completion.
   util::StatusOr<RecommendResponse> Recommend(const RecommendRequest& req);
+
+  /// Observable synchronous path: fills `ctx` (stage timings, outcome
+  /// flags, status) as the request moves through the pipeline and tags
+  /// every trace span with ctx->id. Does NOT record into stats() — the
+  /// caller finishes the request (stamps serialize time / done_us) and
+  /// records. `ctx` must be non-null.
+  util::StatusOr<RecommendResponse> Recommend(const RecommendRequest& req,
+                                              RequestContext* ctx);
 
   /// Admission-controlled async path: runs Recommend() on the shared
   /// compute pool. When the bound is hit the future resolves immediately
@@ -131,10 +154,21 @@ class RecommendService {
   std::future<util::StatusOr<RecommendResponse>> Submit(
       const RecommendRequest& req);
 
+  /// Observable async path: stamps ctx->submit_us now (admission time =
+  /// submit -> worker pickup) and, when shed, ctx's shed flag + status.
+  /// `ctx` may be null (self-recording, as Submit(req)); when non-null it
+  /// must outlive the returned future and recording is the caller's.
+  std::future<util::StatusOr<RecommendResponse>> Submit(
+      const RecommendRequest& req, RequestContext* ctx);
+
   /// Async requests currently queued or running.
   int64_t in_flight() const;
 
   CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Live per-stage quantiles + SLO burn state fed by finished requests.
+  ServingStats& stats() { return stats_; }
+  const ServingStats& stats() const { return stats_; }
   const RecommendServiceOptions& options() const { return options_; }
 
  private:
@@ -165,6 +199,7 @@ class RecommendService {
   SnapshotStore* const store_;
   const RecommendServiceOptions options_;
   CircuitBreaker breaker_;
+  ServingStats stats_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;

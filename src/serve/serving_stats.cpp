@@ -1,0 +1,115 @@
+#include "serve/serving_stats.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace layergcn::serve {
+namespace {
+
+ServingStatsOptions Sanitize(ServingStatsOptions options) {
+  options.gauge_update_every = std::max(options.gauge_update_every, 1);
+  return options;
+}
+
+// Gauge names are composed at run time, so the OBS_GAUGE macro's static
+// caching does not apply; registry lookups only happen on the every-N
+// refresh, never on the per-request path.
+obs::Gauge* StatGauge(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetGauge(name);
+}
+
+const std::vector<double>& GaugeQs() {
+  static const std::vector<double>* qs =
+      new std::vector<double>{0.50, 0.95, 0.99, 0.999};
+  return *qs;
+}
+
+const char* const kQLabels[] = {"p50", "p95", "p99", "p999"};
+
+}  // namespace
+
+ServingStats::ServingStats() : ServingStats(ServingStatsOptions()) {}
+
+ServingStats::ServingStats(const ServingStatsOptions& options)
+    : options_(Sanitize(options)),
+      latency_us_(options_.quantile),
+      slo_(options_.slo) {
+  for (int i = 0; i < kNumStages; ++i) {
+    stage_us_[i] = std::make_unique<obs::SlidingQuantile>(options_.quantile);
+  }
+}
+
+bool ServingStats::IsServerError(util::StatusCode code) {
+  switch (code) {
+    case util::StatusCode::kResourceExhausted:   // shed at the door
+    case util::StatusCode::kDeadlineExceeded:    // nothing scored in budget
+    case util::StatusCode::kFailedPrecondition:  // no snapshot to serve
+    case util::StatusCode::kDataLoss:
+    case util::StatusCode::kUnavailable:
+    case util::StatusCode::kInternal:
+      return true;
+    case util::StatusCode::kOk:
+    case util::StatusCode::kInvalidArgument:  // client's mistake
+    case util::StatusCode::kNotFound:
+    case util::StatusCode::kCancelled:
+      return false;
+  }
+  return false;
+}
+
+void ServingStats::Record(const RequestContext& ctx, uint64_t now_us) {
+  if (ctx.malformed) OBS_COUNT("serve.malformed_requests", 1);
+
+  const bool answered = ctx.code == util::StatusCode::kOk;
+  const uint64_t latency = ctx.total_us();
+  if (answered) {
+    for (int i = 0; i < kNumStages; ++i) {
+      stage_us_[i]->Observe(ctx.stage_us[i], now_us);
+    }
+    latency_us_.Observe(latency, now_us);
+  }
+  slo_.Record(now_us, IsServerError(ctx.code), answered, latency);
+
+  const uint64_t n = recorded_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % static_cast<uint64_t>(options_.gauge_update_every) == 0) {
+    UpdateGauges(now_us);
+  }
+}
+
+void ServingStats::UpdateGauges(uint64_t now_us) {
+  if (obs::Enabled()) {
+    for (int i = 0; i < kNumStages; ++i) {
+      const std::vector<uint64_t> qs =
+          stage_us_[i]->Quantiles(GaugeQs(), now_us);
+      const std::string prefix =
+          std::string("serve.stage.") + StageName(static_cast<Stage>(i));
+      for (size_t j = 0; j < qs.size(); ++j) {
+        StatGauge(prefix + "." + kQLabels[j] + "_us")
+            ->Set(static_cast<double>(qs[j]));
+      }
+    }
+    const std::vector<uint64_t> qs = latency_us_.Quantiles(GaugeQs(), now_us);
+    for (size_t j = 0; j < qs.size(); ++j) {
+      StatGauge(std::string("serve.latency.") + kQLabels[j] + "_us")
+          ->Set(static_cast<double>(qs[j]));
+    }
+  }
+
+  const obs::SloMonitor::State before = slo_.state();
+  const obs::SloMonitor::State after = slo_.Update(now_us);
+  if (after != before) {
+    const obs::SloMonitor::Burn burn = slo_.BurnRates(now_us);
+    LAYERGCN_LOG(kWarning) << "SLO state " << obs::SloMonitor::StateName(before)
+                           << " -> " << obs::SloMonitor::StateName(after)
+                           << " (burn short=" << burn.max_short
+                           << " long=" << burn.max_long << " over "
+                           << burn.total_long << " requests)";
+  }
+}
+
+}  // namespace layergcn::serve

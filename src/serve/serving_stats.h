@@ -1,0 +1,92 @@
+// Live serving statistics: per-stage sliding quantiles + SLO burn rates.
+//
+// ServingStats is the single sink for finished RequestContexts. Each
+// Record() feeds
+//   * one obs::SlidingQuantile per pipeline stage plus one for end-to-end
+//     latency — refreshed as serve.stage.<name>.{p50,p95,p99,p999}_us and
+//     serve.latency.{p50,p95,p99,p999}_us gauges every
+//     `gauge_update_every` requests, so the metrics snapshot always shows
+//     the last-horizon percentiles, not all-of-process ones;
+//   * one obs::SloMonitor tracking the availability and latency
+//     objectives over short/long burn windows. State transitions are
+//     latched by the monitor (slo.transitions, slo.state gauges) and
+//     logged here at kWarning so an operator tailing the log sees
+//     OK -> WARN -> BREACH edges with their burn rates.
+//
+// Classification: a request counts against availability when it failed for
+// a server-side reason (shed, deadline with nothing scored, no snapshot,
+// internal/unavailable/data-loss). Client mistakes — malformed lines and
+// InvalidArgument — count in request totals but are nobody's outage; they
+// are still counted (serve.malformed_requests) and access-logged.
+//
+// Ownership: RecommendService owns one ServingStats. The contract for who
+// records is "whoever finishes the request": the ctx-taking
+// Recommend/Submit overloads leave recording to the driver (which stamps
+// serialize time first); the ctx-free overloads record internally.
+
+#ifndef LAYERGCN_SERVE_SERVING_STATS_H_
+#define LAYERGCN_SERVE_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "obs/sliding_quantile.h"
+#include "obs/slo.h"
+#include "serve/request_context.h"
+
+namespace layergcn::serve {
+
+struct ServingStatsOptions {
+  /// SLO objectives/windows; RecommendService applies SloMonitor::FromEnv
+  /// on top so LAYERGCN_SLO_* always win.
+  obs::SloMonitor::Options slo;
+  /// Ring geometry of every stage/latency quantile estimator.
+  obs::SlidingQuantile::Options quantile;
+  /// Refresh the percentile gauges and re-evaluate the SLO state every
+  /// this many recorded requests (>= 1).
+  int gauge_update_every = 32;
+};
+
+/// Thread-safe. Record() is lock-free in the steady state (sliding-window
+/// counter bumps); the periodic gauge refresh merges windows.
+class ServingStats {
+ public:
+  ServingStats();  // default options
+  explicit ServingStats(const ServingStatsOptions& options);
+
+  /// Accounts one finished request at `now_us` (obs::NowMicros() epoch,
+  /// the same clock the context's timestamps use).
+  void Record(const RequestContext& ctx, uint64_t now_us);
+
+  /// Force a gauge refresh + SLO re-evaluation (drivers call this once
+  /// after a sweep so final gauges cover the tail, tests use it to avoid
+  /// the every-N cadence).
+  void UpdateGauges(uint64_t now_us);
+
+  obs::SloMonitor& slo() { return slo_; }
+  const obs::SloMonitor& slo() const { return slo_; }
+  const obs::SlidingQuantile& stage_quantile(Stage stage) const {
+    return *stage_us_[static_cast<int>(stage)];
+  }
+  const obs::SlidingQuantile& latency_quantile() const { return latency_us_; }
+
+  /// Requests Record() has seen.
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// True when `code` is a server-side failure for SLO purposes.
+  static bool IsServerError(util::StatusCode code);
+
+ private:
+  const ServingStatsOptions options_;
+  std::unique_ptr<obs::SlidingQuantile> stage_us_[kNumStages];
+  obs::SlidingQuantile latency_us_;
+  obs::SloMonitor slo_;
+  std::atomic<uint64_t> recorded_{0};
+};
+
+}  // namespace layergcn::serve
+
+#endif  // LAYERGCN_SERVE_SERVING_STATS_H_

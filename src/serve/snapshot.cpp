@@ -128,6 +128,9 @@ util::Status SnapshotStore::Reload() {
       }
       std::lock_guard<std::mutex> lock(mu_);
       current_ = std::move(snap).value();
+      published_at_us_ = obs::NowMicros();
+      OBS_GAUGE("serve.snapshot_version",
+                static_cast<double>(current_->version()));
       return util::OkStatus();
     }
     LAYERGCN_LOG(kWarning) << "skipping corrupt snapshot " << it->second
@@ -152,6 +155,11 @@ util::Status SnapshotStore::Reload() {
 std::shared_ptr<const ModelSnapshot> SnapshotStore::current() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;
+}
+
+uint64_t SnapshotStore::published_at_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_at_us_;
 }
 
 }  // namespace layergcn::serve

@@ -120,10 +120,15 @@ class SnapshotStore {
   /// concurrent hot-swap.
   std::shared_ptr<const ModelSnapshot> current() const;
 
+  /// obs::NowMicros() timestamp of the last publication (0 before the
+  /// first). Health reporting derives snapshot age from this.
+  uint64_t published_at_us() const;
+
  private:
   std::string dir_;
   mutable std::mutex mu_;
   std::shared_ptr<const ModelSnapshot> current_;
+  uint64_t published_at_us_ = 0;
 };
 
 }  // namespace layergcn::serve

@@ -19,6 +19,14 @@
 # --metrics-out, --telemetry-out) and gates the outputs with
 # validate_jsonl: any malformed JSON/JSONL fails the check.
 #
+# The `obs-serve` stage covers the serving-tier observability surfaces:
+# a 1k-request sweep through layergcn_serve with every sink attached
+# (access log, Chrome trace, health status, Prometheus exposition,
+# metrics) must emit exactly one schema-valid access record per submitted
+# request — including a malformed-lines batch — and the bench_diff tool
+# must pass a self-compare, flag an injected 20% p99 regression (exit 2),
+# and refuse a cross-hardware comparison (exit 3).
+#
 # The `fault` stage re-runs the CLI under ASan/UBSan with each
 # LAYERGCN_FAULT injection point armed (torn checkpoint write, short read,
 # bit flip, NaN loss). Every injected fault must be handled gracefully —
@@ -78,6 +86,98 @@ run_obs_stage() {
     "${out}/trace.json" "${out}/metrics.json" "${out}/telemetry.jsonl"
 }
 run_obs_stage
+
+# Serving-tier observability: one instrumented sweep with every sink
+# attached, schema-gated end to end, then the bench_diff exit-code matrix
+# on synthetic fixtures with identical env stamps.
+run_obs_serve_stage() {
+  local dir="${build_root}/release"
+  local out="${build_root}/obs-serve-out"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  echo "=== [obs-serve] train 2 epochs + export serving snapshot ==="
+  "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=2 \
+    --model=LayerGCN --export-snapshot="${out}/snaps"
+
+  echo "=== [obs-serve] 1k requests with access/trace/health/prom sinks ==="
+  "${dir}/tools/layergcn_serve" --snapshot-dir="${out}/snaps" \
+    --random-requests=1000 --seed=13 \
+    --access-log="${out}/access.jsonl" \
+    --trace-out="${out}/trace.json" \
+    --health-out="${out}/health.json" \
+    --prom-out="${out}/metrics.prom" \
+    --metrics-out="${out}/metrics.json" \
+    > "${out}/responses.jsonl"
+  "${dir}/tools/validate_jsonl" "${out}/responses.jsonl" \
+    "${out}/access.jsonl" "${out}/trace.json" "${out}/health.json" \
+    "${out}/metrics.json"
+  local records
+  records="$(wc -l < "${out}/access.jsonl")"
+  if [[ "${records}" -ne 1000 ]]; then
+    echo "OBS-SERVE FAILED: access log has ${records} records, want 1000"
+    exit 1
+  fi
+  if ! grep -q '^layergcn_serve_requests' "${out}/metrics.prom"; then
+    echo "OBS-SERVE FAILED: no layergcn_serve_requests in ${out}/metrics.prom"
+    exit 1
+  fi
+
+  # Malformed lines must still produce one access record each, flagged and
+  # status-coded, in a stream validate_jsonl accepts.
+  echo "=== [obs-serve] malformed request lines hit the access log ==="
+  printf '%s\n' \
+    '{"user": 0, "k": 5}' \
+    'not json at all' \
+    '{"user": -3}' \
+    | "${dir}/tools/layergcn_serve" --snapshot-dir="${out}/snaps" \
+      --access-log="${out}/access-malformed.jsonl" \
+      > "${out}/responses-malformed.jsonl"
+  "${dir}/tools/validate_jsonl" "${out}/responses-malformed.jsonl" \
+    "${out}/access-malformed.jsonl"
+  records="$(wc -l < "${out}/access-malformed.jsonl")"
+  if [[ "${records}" -ne 3 ]]; then
+    echo "OBS-SERVE FAILED: malformed batch logged ${records} records, want 3"
+    exit 1
+  fi
+  if ! grep -q 'INVALID_ARGUMENT' "${out}/access-malformed.jsonl"; then
+    echo "OBS-SERVE FAILED: malformed request not status-coded in access log"
+    exit 1
+  fi
+
+  echo "=== [obs-serve] bench_diff exit-code matrix ==="
+  cat > "${out}/bench-base.json" <<'EOF'
+{
+  "env": {"hardware_concurrency": 8, "compute_pool_threads": 8,
+          "compiler": "gcc", "build": "Release", "obs_enabled": true,
+          "sanitizer": "none"},
+  "bench": "serve_latency",
+  "passes": [
+    {"pass": "clean", "requests": 1000, "p50_us": 100.0, "p99_us": 500.0,
+     "mean_us": 120.0}
+  ]
+}
+EOF
+  "${dir}/tools/bench_diff" "${out}/bench-base.json" "${out}/bench-base.json"
+  sed 's/"p99_us": 500.0/"p99_us": 600.0/' "${out}/bench-base.json" \
+    > "${out}/bench-regressed.json"
+  local rc=0
+  "${dir}/tools/bench_diff" "${out}/bench-base.json" \
+    "${out}/bench-regressed.json" || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "OBS-SERVE FAILED: bench_diff exit ${rc} on 20% regression, want 2"
+    exit 1
+  fi
+  sed 's/"hardware_concurrency": 8/"hardware_concurrency": 16/' \
+    "${out}/bench-base.json" > "${out}/bench-othermachine.json"
+  rc=0
+  "${dir}/tools/bench_diff" "${out}/bench-base.json" \
+    "${out}/bench-othermachine.json" || rc=$?
+  if [[ "${rc}" -ne 3 ]]; then
+    echo "OBS-SERVE FAILED: bench_diff exit ${rc} on env mismatch, want 3"
+    exit 1
+  fi
+}
+run_obs_serve_stage
 
 run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
 

@@ -35,7 +35,11 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
+#include "serve/access_log.h"
+#include "serve/health.h"
 #include "serve/recommend_service.h"
+#include "serve/request_context.h"
 #include "serve/snapshot.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -62,6 +66,15 @@ struct Flags {
   bool quiet = false;  // suppress per-request response lines
   uint64_t seed = 42;
   std::string metrics_out;
+  std::string access_log;  // per-request JSONL access log
+  std::string trace_out;   // Chrome trace (enables span recording)
+  std::string health_out;  // periodic health/readiness JSON
+  std::string prom_out;    // Prometheus text exposition
+  // SLO objective overrides (<0 / 0 = keep defaults; LAYERGCN_SLO_* env
+  // vars are applied on top by the service and win).
+  double slo_availability = -1.0;
+  int64_t slo_latency_target_us = 0;
+  double slo_latency_objective = -1.0;
 };
 
 void PrintUsage(const char* argv0) {
@@ -87,7 +100,16 @@ void PrintUsage(const char* argv0) {
       "                       overruns the admission queue on purpose\n"
       "  --quiet              print only the summary, not response lines\n"
       "  --seed=N             RNG seed for --random-requests (default 42)\n"
-      "  --metrics-out=PATH   write a metrics snapshot JSON on exit\n",
+      "observability:\n"
+      "  --metrics-out=PATH   write a metrics snapshot JSON on exit\n"
+      "  --access-log=PATH    JSONL access log, one record per request\n"
+      "  --trace-out=PATH     Chrome trace of request-keyed spans\n"
+      "  --health-out=PATH    health/readiness JSON, refreshed every second\n"
+      "  --prom-out=PATH      Prometheus text exposition of all metrics\n"
+      "  --slo-availability=F        availability objective (e.g. 0.999)\n"
+      "  --slo-latency-target-us=N   latency SLO target in microseconds\n"
+      "  --slo-latency-objective=F   fraction that must beat the target\n"
+      "  (LAYERGCN_SLO_* environment variables override the --slo-* flags)\n",
       argv0);
 }
 
@@ -138,6 +160,24 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       ok = as_int(&flags->seed);
     } else if (key == "--metrics-out") {
       flags->metrics_out = value;
+    } else if (key == "--access-log") {
+      flags->access_log = value;
+    } else if (key == "--trace-out") {
+      flags->trace_out = value;
+    } else if (key == "--health-out") {
+      flags->health_out = value;
+    } else if (key == "--prom-out") {
+      flags->prom_out = value;
+    } else if (key == "--slo-availability") {
+      ok = util::ParseDouble(value, &flags->slo_availability) &&
+           flags->slo_availability > 0.0 && flags->slo_availability < 1.0;
+    } else if (key == "--slo-latency-target-us") {
+      ok = as_int(&flags->slo_latency_target_us) &&
+           flags->slo_latency_target_us >= 1;
+    } else if (key == "--slo-latency-objective") {
+      ok = util::ParseDouble(value, &flags->slo_latency_objective) &&
+           flags->slo_latency_objective > 0.0 &&
+           flags->slo_latency_objective < 1.0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
       return false;
@@ -242,6 +282,7 @@ std::string ResponseLine(const serve::RecommendRequest& req,
 struct Tally {
   int64_t total = 0, ok = 0, partial = 0, degraded = 0;
   int64_t shed = 0, deadline = 0, invalid = 0, other_error = 0;
+  int64_t malformed = 0;  // subset of invalid: lines that never parsed
 };
 
 void Count(const util::StatusOr<serve::RecommendResponse>& r, Tally* tally) {
@@ -277,6 +318,13 @@ int main(int argc, char** argv) {
         std::make_unique<util::parallel::ScopedComputePool>(pool.get());
   }
   obs::SetEnabled(true);
+  if (!flags.trace_out.empty()) obs::SetTraceEnabled(true);
+
+  serve::AccessLog access_log;
+  if (!flags.access_log.empty() && !access_log.Open(flags.access_log)) {
+    std::fprintf(stderr, "cannot write %s\n", flags.access_log.c_str());
+    return 1;
+  }
 
   serve::SnapshotStore store(flags.snapshot_dir);
   const util::Status loaded = store.Reload();
@@ -301,10 +349,26 @@ int main(int argc, char** argv) {
   options.queue_capacity = flags.queue_capacity;
   options.score_cache_capacity = flags.score_cache;
   eval::ParseScoreEncoding(flags.encoding, &options.encoding);
+  if (flags.slo_availability > 0.0) {
+    options.stats.slo.availability_objective = flags.slo_availability;
+  }
+  if (flags.slo_latency_target_us > 0) {
+    options.stats.slo.latency_target_us =
+        static_cast<uint64_t>(flags.slo_latency_target_us);
+  }
+  if (flags.slo_latency_objective > 0.0) {
+    options.stats.slo.latency_objective = flags.slo_latency_objective;
+  }
   std::fprintf(stderr, "scoring encoding: %s, score cache: %lld\n",
                eval::ScoreEncodingName(options.encoding),
                static_cast<long long>(flags.score_cache));
   serve::RecommendService service(&store, options);
+
+  serve::HealthReporter::Options health_options;
+  health_options.status_path = flags.health_out;
+  health_options.prom_path = flags.prom_out;
+  serve::HealthReporter health(&store, &service, health_options);
+  if (!flags.health_out.empty() || !flags.prom_out.empty()) health.Start();
 
   // Build the request stream.
   std::vector<PendingRequest> requests;
@@ -342,18 +406,35 @@ int main(int argc, char** argv) {
   // Drive the admission-controlled async path, printing responses in
   // request order. Windowed mode keeps at most queue_capacity requests
   // outstanding; --burst submits everything up front so overload actually
-  // sheds.
+  // sheds. Each request carries a RequestContext (deterministic 1-based
+  // id) that the service fills with stage timings; the drain stamps
+  // serialize time and done_us, then records the finished context into
+  // the stats/SLO monitor and the access log — exactly one access record
+  // per request, malformed and shed included.
   Tally tally;
-  std::deque<std::pair<serve::RecommendRequest,
-                       std::future<util::StatusOr<serve::RecommendResponse>>>>
-      window;
+  struct InFlight {
+    serve::RecommendRequest req;
+    std::future<util::StatusOr<serve::RecommendResponse>> future;
+    std::unique_ptr<serve::RequestContext> ctx;
+  };
+  std::deque<InFlight> window;
+  uint64_t next_id = 0;
   auto drain_one = [&] {
-    auto& front = window.front();
-    const util::StatusOr<serve::RecommendResponse> r = front.second.get();
+    InFlight& front = window.front();
+    const util::StatusOr<serve::RecommendResponse> r = front.future.get();
     Count(r, &tally);
-    if (!flags.quiet) {
-      std::printf("%s\n", ResponseLine(front.first, r).c_str());
+    serve::RequestContext& ctx = *front.ctx;
+    {
+      obs::TraceRequestScope serialize_scope(ctx.id);
+      OBS_SPAN("serve.serialize");
+      const uint64_t serialize_t0 = obs::NowMicros();
+      const std::string line = ResponseLine(front.req, r);
+      if (!flags.quiet) std::printf("%s\n", line.c_str());
+      ctx.done_us = obs::NowMicros();
+      ctx.stage(serve::Stage::kSerialize) = ctx.done_us - serialize_t0;
     }
+    service.stats().Record(ctx, ctx.done_us);
+    access_log.Append(ctx);
     window.pop_front();
   };
   for (const PendingRequest& pending : requests) {
@@ -362,20 +443,38 @@ int main(int argc, char** argv) {
         drain_one();
       }
     }
+    auto ctx = std::make_unique<serve::RequestContext>();
+    ctx->id = ++next_id;
     if (!pending.parse_ok) {
-      // Pre-resolved future so parse failures stay in request order.
+      ++tally.malformed;
+      // Pre-resolved future so parse failures stay in request order. The
+      // context still gets an access record (malformed=true) but never
+      // reaches the service.
+      ctx->malformed = true;
+      ctx->user = pending.req.user_id;
+      ctx->k = pending.req.k;
+      ctx->budget_us = pending.req.budget_us;
+      ctx->code = util::StatusCode::kInvalidArgument;
+      ctx->error = pending.parse_error;
+      ctx->submit_us = obs::NowMicros();
+      ctx->finish_us = ctx->submit_us;
       std::promise<util::StatusOr<serve::RecommendResponse>> failed;
       failed.set_value(util::InvalidArgumentError(pending.parse_error));
-      window.emplace_back(pending.req, failed.get_future());
+      window.push_back(
+          InFlight{pending.req, failed.get_future(), std::move(ctx)});
       continue;
     }
-    window.emplace_back(pending.req, service.Submit(pending.req));
+    std::future<util::StatusOr<serve::RecommendResponse>> future =
+        service.Submit(pending.req, ctx.get());
+    window.push_back(InFlight{pending.req, std::move(future), std::move(ctx)});
   }
   while (!window.empty()) drain_one();
+  service.stats().UpdateGauges(obs::NowMicros());
 
   std::fprintf(stderr,
                "served %lld requests: %lld ok (%lld partial, %lld degraded), "
-               "%lld shed, %lld deadline, %lld invalid, %lld other\n",
+               "%lld shed, %lld deadline, %lld invalid (%lld malformed), "
+               "%lld other\n",
                static_cast<long long>(tally.total),
                static_cast<long long>(tally.ok),
                static_cast<long long>(tally.partial),
@@ -383,7 +482,34 @@ int main(int argc, char** argv) {
                static_cast<long long>(tally.shed),
                static_cast<long long>(tally.deadline),
                static_cast<long long>(tally.invalid),
+               static_cast<long long>(tally.malformed),
                static_cast<long long>(tally.other_error));
+
+  // Stop() flushes one final health/prom write covering the whole sweep.
+  health.Stop();
+  if ((!flags.health_out.empty() || !flags.prom_out.empty()) &&
+      health.writes() == 0) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 (!flags.health_out.empty() ? flags.health_out
+                                            : flags.prom_out)
+                     .c_str());
+    return 1;
+  }
+
+  if (!access_log.Close() && !flags.access_log.empty()) {
+    std::fprintf(stderr, "access log write to %s failed\n",
+                 flags.access_log.c_str());
+    return 1;
+  }
+
+  if (!flags.trace_out.empty()) {
+    if (!obs::TraceRecorder::Global().WriteChromeTrace(flags.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote chrome trace to %s\n",
+                 flags.trace_out.c_str());
+  }
 
   if (!flags.metrics_out.empty()) {
     if (!obs::MetricsRegistry::Global().WriteSnapshotJson(

@@ -4,12 +4,21 @@
 //
 // Files ending in .jsonl are validated line by line (every non-empty line
 // must be a complete JSON object); anything else must be one valid JSON
-// document. Telemetry records ("type":"epoch") are additionally checked
-// against the EpochTelemetry schema: required keys present, no unknown
-// keys. Used by tools/check.sh to gate the CLI's --trace-out,
-// --metrics-out, and --telemetry-out outputs. Exits non-zero if any file
-// is missing, empty, or malformed.
+// document. Typed records get schema checks on top:
+//   "type":"epoch"   trainer telemetry — required keys present, no
+//                    unknown keys (tracks obs::EpochTelemetryJson);
+//   "type":"access"  serving access log — required keys present, request
+//                    ids unique within the file and >= 1, status in the
+//                    util::StatusCode enum, encoding in {f32,int8,bf16},
+//                    flag/status consistency (malformed =>
+//                    INVALID_ARGUMENT, shed => RESOURCE_EXHAUSTED), and
+//                    per-stage micros summing to at most latency_us (the
+//                    stages time disjoint sub-intervals of the request).
+// Used by tools/check.sh to gate the CLI's --trace-out, --metrics-out,
+// --telemetry-out, and layergcn_serve's --access-log outputs. Exits
+// non-zero if any file is missing, empty, or malformed.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,10 +80,114 @@ bool ValidateEpochRecord(const layergcn::obs::JsonValue& value,
   return true;
 }
 
+// Keys AccessLog::RecordJson always writes ("error" is the only optional
+// one, present exactly when the status is not OK).
+const std::set<std::string>& AccessRequiredKeys() {
+  static const std::set<std::string> keys = {
+      "type",     "id",        "user",       "k",
+      "budget_us", "status",   "malformed",  "shed",
+      "cached",   "partial",   "degraded",   "encoding",
+      "snapshot_version",      "submit_us",  "done_us",
+      "latency_us", "admission_us", "snapshot_us", "cache_us",
+      "score_us", "serialize_us"};
+  return keys;
+}
+
+const std::set<std::string>& StatusNames() {
+  static const std::set<std::string> names = {
+      "OK",           "INVALID_ARGUMENT", "NOT_FOUND",
+      "DATA_LOSS",    "FAILED_PRECONDITION", "RESOURCE_EXHAUSTED",
+      "CANCELLED",    "INTERNAL",         "UNAVAILABLE",
+      "DEADLINE_EXCEEDED"};
+  return names;
+}
+
+// Schema + invariant check for one "type":"access" record. `seen_ids`
+// accumulates per file to enforce request-id uniqueness.
+bool ValidateAccessRecord(const layergcn::obs::JsonValue& value,
+                          const std::string& path, int64_t line_no,
+                          std::set<uint64_t>* seen_ids) {
+  const auto complain = [&](const std::string& what) {
+    std::fprintf(stderr, "%s:%lld: access record %s\n", path.c_str(),
+                 static_cast<long long>(line_no), what.c_str());
+    return false;
+  };
+  for (const std::string& key : AccessRequiredKeys()) {
+    if (value.Find(key) == nullptr) {
+      return complain("missing key \"" + key + "\"");
+    }
+  }
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    if (AccessRequiredKeys().count(key) == 0 && key != "error") {
+      return complain("has unknown key \"" + key + "\"");
+    }
+  }
+
+  const layergcn::obs::JsonValue* id = value.Find("id");
+  if (!id->is_number() || id->number < 1) {
+    return complain("id must be a number >= 1");
+  }
+  const uint64_t request_id = static_cast<uint64_t>(id->number);
+  if (!seen_ids->insert(request_id).second) {
+    return complain("duplicate request id " + std::to_string(request_id));
+  }
+
+  const layergcn::obs::JsonValue* status = value.Find("status");
+  if (!status->is_string() || StatusNames().count(status->string) == 0) {
+    return complain("status is not a known StatusCode name");
+  }
+  if (status->string == "OK" && value.Find("error") != nullptr) {
+    return complain("has \"error\" despite OK status");
+  }
+
+  const layergcn::obs::JsonValue* encoding = value.Find("encoding");
+  if (!encoding->is_string() ||
+      (encoding->string != "f32" && encoding->string != "int8" &&
+       encoding->string != "bf16")) {
+    return complain("encoding must be f32|int8|bf16");
+  }
+
+  // Flag/status consistency.
+  const auto flag = [&](const char* name) {
+    const layergcn::obs::JsonValue* v = value.Find(name);
+    return v->type == layergcn::obs::JsonValue::Type::kBool && v->boolean;
+  };
+  if (flag("malformed") && status->string != "INVALID_ARGUMENT") {
+    return complain("malformed but status is not INVALID_ARGUMENT");
+  }
+  if (flag("shed") && status->string != "RESOURCE_EXHAUSTED") {
+    return complain("shed but status is not RESOURCE_EXHAUSTED");
+  }
+
+  // Stage micros are disjoint sub-intervals of [submit_us, done_us], so
+  // they must sum to no more than the end-to-end latency.
+  static const char* const kStageKeys[] = {
+      "admission_us", "snapshot_us", "cache_us", "score_us", "serialize_us"};
+  double stage_sum = 0.0;
+  for (const char* key : kStageKeys) {
+    const layergcn::obs::JsonValue* v = value.Find(key);
+    if (!v->is_number() || v->number < 0) {
+      return complain(std::string(key) + " must be a non-negative number");
+    }
+    stage_sum += v->number;
+  }
+  const layergcn::obs::JsonValue* latency = value.Find("latency_us");
+  if (!latency->is_number() || latency->number < 0) {
+    return complain("latency_us must be a non-negative number");
+  }
+  if (stage_sum > latency->number) {
+    return complain("stage micros sum " + std::to_string(stage_sum) +
+                    " exceeds latency_us " + std::to_string(latency->number));
+  }
+  return true;
+}
+
 bool ValidateJsonl(const std::string& path, std::ifstream* in) {
   std::string line;
   int64_t line_no = 0;
   int64_t records = 0;
+  std::set<uint64_t> seen_access_ids;
   while (std::getline(*in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -93,6 +206,10 @@ bool ValidateJsonl(const std::string& path, std::ifstream* in) {
     const layergcn::obs::JsonValue* type = value.Find("type");
     if (type != nullptr && type->is_string() && type->string == "epoch" &&
         !ValidateEpochRecord(value, path, line_no)) {
+      return false;
+    }
+    if (type != nullptr && type->is_string() && type->string == "access" &&
+        !ValidateAccessRecord(value, path, line_no, &seen_access_ids)) {
       return false;
     }
     ++records;
