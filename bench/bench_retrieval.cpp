@@ -1,0 +1,418 @@
+// Benchmark: two-stage retrieval (IVF candidate generation + exact fused
+// re-rank) against the exact full-scan reference.
+//
+// Builds a clustered synthetic catalog — well-separated item clusters with
+// users anchored near them, so each user's true top-20 is concentrated in
+// one cluster and the coarse quantizer has real structure to recover —
+// publishes it as a snapshot with an ItemIndex, and drives one
+// RecommendService in ivf mode:
+//
+//   parity   requests carrying exact=true must be bit-identical (items AND
+//            score bits) to the offline eval::FusedScoreTopK ranking, at a
+//            1-thread and an 8-thread compute pool
+//   sweep    for each nprobe: Recall@20 of the ivf response against the
+//            exact response per user, mean candidates scored, and pinned
+//            single-core request throughput in both modes — the two-stage
+//            path must buy its speedup without losing the ranking
+//
+// Emits BENCH_retrieval.json. Acceptance: parity holds at both pool
+// widths, and some swept nprobe reaches Recall@20 >= 0.95 with >= 5x the
+// exact path's per-core request throughput (the throughput half is skipped
+// under LAYERGCN_BENCH_QUALITY_ONLY=1 — sanitizer builds distort relative
+// timings).
+//
+// Set LAYERGCN_BENCH_RETRIEVAL_COMPARE_OUT=prefix to additionally write
+// <prefix>-exact.json and <prefix>-ivf.json — two structurally identical
+// single-mode summaries bench_diff can pair, which tools/check.sh uses to
+// exercise the regression gate in both directions.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "eval/fused_rank.h"
+#include "experiments/env.h"
+#include "obs/obs.h"
+#include "serve/item_index.h"
+#include "serve/recommend_service.h"
+#include "serve/snapshot.h"
+#include "tensor/matrix.h"
+#include "train/checkpoint.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+using namespace layergcn;
+
+namespace {
+
+struct SweepResult {
+  int32_t nprobe = 0;
+  double recall20 = 0.0;          // mean top-20 overlap vs the exact ranking
+  double mean_candidates = 0.0;   // items the re-rank scored per request
+  double candidate_fraction = 0.0;
+  double req_per_sec = 0.0;       // pinned single-core ivf throughput
+  double speedup_vs_exact = 0.0;
+};
+
+// Clustered catalog: `clusters` centers scaled well apart, every item a
+// center plus small noise. Same-cluster inner products dominate
+// cross-cluster ones by an order of magnitude, so a user anchored near a
+// cluster finds its whole top-20 inside it.
+void BuildClusteredExport(train::ServingExport* ex, int32_t num_users,
+                          int32_t num_items, int64_t dim, int32_t clusters,
+                          uint64_t seed) {
+  tensor::Matrix centers(clusters, dim);
+  util::Rng rng(seed);
+  centers.UniformInit(&rng, -4.f, 4.f);
+  ex->item_emb = tensor::Matrix(num_items, dim);
+  for (int32_t j = 0; j < num_items; ++j) {
+    const float* center = centers.row(j % clusters);
+    float* row = ex->item_emb.row(j);
+    for (int64_t p = 0; p < dim; ++p) {
+      row[p] = center[p] + static_cast<float>(rng.NextUniform(-0.1, 0.1));
+    }
+  }
+  ex->user_emb = tensor::Matrix(num_users, dim);
+  ex->user_history.assign(static_cast<size_t>(num_users), {});
+  for (int32_t u = 0; u < num_users; ++u) {
+    const int32_t anchor = (u * 7919) % num_items;
+    const float* arow = ex->item_emb.row(anchor);
+    float* row = ex->user_emb.row(u);
+    for (int64_t p = 0; p < dim; ++p) {
+      row[p] = arow[p] + static_cast<float>(rng.NextUniform(-0.2, 0.2));
+    }
+    // A small sorted history inside the user's cluster keeps the
+    // exclusion-cursor path honest on both retrieval paths.
+    std::vector<int32_t>& hist = ex->user_history[static_cast<size_t>(u)];
+    hist.push_back(anchor);
+    if (anchor + clusters < num_items) hist.push_back(anchor + clusters);
+    std::sort(hist.begin(), hist.end());
+  }
+}
+
+double TopKOverlap(const std::vector<serve::ScoredItem>& a,
+                   const std::vector<serve::ScoredItem>& b) {
+  std::vector<int32_t> sa, sb;
+  for (const serve::ScoredItem& it : a) sa.push_back(it.item);
+  for (const serve::ScoredItem& it : b) sb.push_back(it.item);
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<int32_t> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  if (sb.empty()) return 1.0;
+  return static_cast<double>(inter.size()) / static_cast<double>(sb.size());
+}
+
+// Pinned single-core request throughput: min-of-`reps` wall time over one
+// Recommend() per sample user. The caller pins the compute pool.
+double MeasureThroughput(serve::RecommendService* service, int32_t sample,
+                        int k, bool exact, int reps, bool* all_ok) {
+  double best_us = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t t0 = obs::NowMicros();
+    for (int32_t u = 0; u < sample; ++u) {
+      serve::RecommendRequest req;
+      req.user_id = u;
+      req.k = k;
+      req.exact = exact;
+      const util::StatusOr<serve::RecommendResponse> r =
+          service->Recommend(req);
+      if (!r.ok()) *all_ok = false;
+    }
+    const double us = static_cast<double>(obs::NowMicros() - t0);
+    if (rep == 0 || us < best_us) best_us = us;
+  }
+  return best_us > 0.0 ? static_cast<double>(sample) / (best_us * 1e-6)
+                       : 0.0;
+}
+
+// Service exact path vs the offline fused kernel: same items, same score
+// bits — the contract that makes exact=true a usable reference.
+bool ExactParity(serve::RecommendService* service,
+                 const serve::ModelSnapshot& snap, int32_t sample, int k) {
+  std::vector<int32_t> user_ids(static_cast<size_t>(sample));
+  for (int32_t u = 0; u < sample; ++u) user_ids[static_cast<size_t>(u)] = u;
+  std::vector<std::vector<float>> scores;
+  const std::vector<std::vector<int32_t>> offline = eval::FusedScoreTopK(
+      snap.user_emb(), user_ids, snap.item_emb(), k, &snap.user_history(),
+      {}, nullptr, &scores);
+  for (int32_t u = 0; u < sample; ++u) {
+    serve::RecommendRequest req;
+    req.user_id = u;
+    req.k = k;
+    req.exact = true;
+    const util::StatusOr<serve::RecommendResponse> r = service->Recommend(req);
+    if (!r.ok()) return false;
+    const std::vector<serve::ScoredItem>& served = r.value().items;
+    const std::vector<int32_t>& want = offline[static_cast<size_t>(u)];
+    if (served.size() != want.size()) return false;
+    for (size_t i = 0; i < served.size(); ++i) {
+      if (served[i].item != want[i]) return false;
+      if (served[i].score != scores[static_cast<size_t>(u)][i]) return false;
+    }
+  }
+  return true;
+}
+
+void WriteModeSummary(const std::string& path, double req_per_sec,
+                      double recall20) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
+  std::fprintf(out,
+               "  \"bench\": \"retrieval_mode\",\n"
+               "  \"serve\": {\"req_per_sec\": %.1f, \"recall20\": %.6f}\n"
+               "}\n",
+               req_per_sec, recall20);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Two-stage retrieval vs exact scan", env);
+  obs::SetEnabled(true);
+
+  const int32_t num_items = 8000;
+  const int32_t num_users = 400;
+  const int64_t dim = 64;
+  const int32_t clusters = 50;
+  const int32_t cells = 64;
+  const int k = 20;
+  const int32_t sample = static_cast<int32_t>(env.Epochs(150, 400));
+  const int reps = 3;
+
+  train::ServingExport ex;
+  ex.version = 1;
+  BuildClusteredExport(&ex, num_users, num_items, dim, clusters, env.seed);
+
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "bench_retrieval";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const util::Status saved = train::SaveServingExport(
+      serve::SnapshotStore::SnapshotPath(dir, 1), ex);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot export failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  serve::SnapshotStore store(dir);
+  serve::ItemIndexOptions index_options;
+  index_options.cells = cells;
+  store.SetIndexOptions(index_options);
+  const util::Status loaded = store.Reload();
+  if (!loaded.ok() || store.current() == nullptr) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  const serve::ModelSnapshot& snap = *store.current();
+  if (!snap.has_index()) {
+    std::fprintf(stderr, "index build failed; nothing to benchmark\n");
+    return 1;
+  }
+  std::printf(
+      "catalog: %d users x %d items, dim %ld, %d clusters; index: %d "
+      "cells (%d empty), built in %lldus\n",
+      num_users, num_items, static_cast<long>(dim), clusters,
+      snap.item_index().cells(), snap.item_index().empty_cells(),
+      static_cast<long long>(snap.item_index().build_us()));
+
+  // Parity first: the exact override is only a reference if it reproduces
+  // the offline kernel bit-for-bit at any pool width.
+  bool parity_1 = false, parity_8 = false;
+  {
+    serve::RecommendServiceOptions opt;
+    opt.retrieval = serve::RetrievalMode::kIvf;
+    opt.score_cache_capacity = 0;
+    serve::RecommendService service(&store, opt);
+    {
+      util::ThreadPool pool(1);
+      util::parallel::ScopedComputePool pinned(&pool);
+      parity_1 = ExactParity(&service, snap, std::min(sample, 100), k);
+    }
+    {
+      util::ThreadPool pool(8);
+      util::parallel::ScopedComputePool pinned(&pool);
+      parity_8 = ExactParity(&service, snap, std::min(sample, 100), k);
+    }
+  }
+  std::printf("exact-override parity vs offline kernel: 1 thread %s, 8 "
+              "threads %s\n",
+              parity_1 ? "yes" : "NO", parity_8 ? "yes" : "NO");
+
+  // Exact baseline throughput, pinned to one core.
+  double exact_rps = 0.0;
+  bool all_ok = true;
+  {
+    serve::RecommendServiceOptions opt;
+    opt.score_cache_capacity = 0;
+    serve::RecommendService service(&store, opt);
+    util::ThreadPool pool(1);
+    util::parallel::ScopedComputePool pinned(&pool);
+    exact_rps =
+        MeasureThroughput(&service, sample, k, /*exact=*/false, reps, &all_ok);
+  }
+  std::printf("exact: %.0f req/s single-core\n", exact_rps);
+
+  std::vector<SweepResult> sweep;
+  for (const int32_t nprobe : {1, 2, 4, 8, 16}) {
+    serve::RecommendServiceOptions opt;
+    opt.retrieval = serve::RetrievalMode::kIvf;
+    opt.nprobe = nprobe;
+    opt.score_cache_capacity = 0;
+    serve::RecommendService service(&store, opt);
+
+    SweepResult r;
+    r.nprobe = nprobe;
+    int64_t candidate_sum = 0;
+    double overlap_sum = 0.0;
+    for (int32_t u = 0; u < sample; ++u) {
+      serve::RecommendRequest req;
+      req.user_id = u;
+      req.k = k;
+      const util::StatusOr<serve::RecommendResponse> ivf =
+          service.Recommend(req);
+      req.exact = true;
+      const util::StatusOr<serve::RecommendResponse> exact =
+          service.Recommend(req);
+      if (!ivf.ok() || !exact.ok()) {
+        all_ok = false;
+        continue;
+      }
+      candidate_sum += ivf.value().candidates;
+      overlap_sum += TopKOverlap(ivf.value().items, exact.value().items);
+    }
+    r.recall20 = sample > 0 ? overlap_sum / sample : 0.0;
+    r.mean_candidates =
+        sample > 0 ? static_cast<double>(candidate_sum) / sample : 0.0;
+    r.candidate_fraction = r.mean_candidates / num_items;
+    {
+      util::ThreadPool pool(1);
+      util::parallel::ScopedComputePool pinned(&pool);
+      r.req_per_sec = MeasureThroughput(&service, sample, k, /*exact=*/false,
+                                        reps, &all_ok);
+    }
+    r.speedup_vs_exact = exact_rps > 0.0 ? r.req_per_sec / exact_rps : 0.0;
+    std::printf(
+        "nprobe %2d  recall@20 %.4f  candidates %6.0f (%.3f of catalog)  "
+        "%.0f req/s  (%.2fx exact)\n",
+        r.nprobe, r.recall20, r.mean_candidates, r.candidate_fraction,
+        r.req_per_sec, r.speedup_vs_exact);
+    sweep.push_back(r);
+  }
+
+  // Best operating point: highest speedup among the recall-qualified.
+  const SweepResult* best = nullptr;
+  for (const SweepResult& r : sweep) {
+    if (r.recall20 >= 0.95 &&
+        (best == nullptr || r.speedup_vs_exact > best->speedup_vs_exact)) {
+      best = &r;
+    }
+  }
+
+  FILE* out = std::fopen("BENCH_retrieval.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_retrieval.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
+  std::fprintf(out,
+               "  \"bench\": \"retrieval\",\n"
+               "  \"num_users\": %d,\n"
+               "  \"num_items\": %d,\n"
+               "  \"embedding_dim\": %ld,\n"
+               "  \"clusters\": %d,\n"
+               "  \"topk\": %d,\n"
+               "  \"sample_users\": %d,\n"
+               "  \"index\": {\"cells\": %d, \"empty_cells\": %d, "
+               "\"build_us\": %lld},\n"
+               "  \"exact\": {\"req_per_sec\": %.1f},\n"
+               "  \"parity_1_thread\": %s,\n"
+               "  \"parity_8_threads\": %s,\n"
+               "  \"sweep\": [\n",
+               num_users, num_items, static_cast<long>(dim), clusters, k,
+               sample, snap.item_index().cells(),
+               snap.item_index().empty_cells(),
+               static_cast<long long>(snap.item_index().build_us()),
+               exact_rps, parity_1 ? "true" : "false",
+               parity_8 ? "true" : "false");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepResult& r = sweep[i];
+    std::fprintf(out,
+                 "    {\"nprobe\": %d, \"recall20\": %.6f, "
+                 "\"mean_candidates\": %.1f, \"candidate_fraction\": %.5f, "
+                 "\"req_per_sec\": %.1f, \"speedup_vs_exact\": %.3f}%s\n",
+                 r.nprobe, r.recall20, r.mean_candidates,
+                 r.candidate_fraction, r.req_per_sec, r.speedup_vs_exact,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]");
+  if (best != nullptr) {
+    std::fprintf(out,
+                 ",\n  \"best\": {\"nprobe\": %d, \"recall20\": %.6f, "
+                 "\"speedup_vs_exact\": %.3f}\n",
+                 best->nprobe, best->recall20, best->speedup_vs_exact);
+  } else {
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_retrieval.json\n");
+
+  // Optional paired single-mode summaries for bench_diff (tools/check.sh
+  // runs the diff in both directions to exercise the regression gate).
+  const char* compare_prefix =
+      std::getenv("LAYERGCN_BENCH_RETRIEVAL_COMPARE_OUT");
+  if (compare_prefix != nullptr && compare_prefix[0] != '\0' &&
+      best != nullptr) {
+    WriteModeSummary(std::string(compare_prefix) + "-exact.json", exact_rps,
+                     1.0);
+    WriteModeSummary(std::string(compare_prefix) + "-ivf.json",
+                     best->req_per_sec, best->recall20);
+  }
+
+  bool ok = true;
+  if (!all_ok) {
+    std::printf("acceptance: FAIL (some requests returned errors)\n");
+    ok = false;
+  }
+  if (!parity_1 || !parity_8) {
+    std::printf("acceptance: FAIL (exact override != offline kernel)\n");
+    ok = false;
+  }
+  if (best == nullptr) {
+    std::printf("acceptance: FAIL (no nprobe reached recall@20 >= 0.95)\n");
+    ok = false;
+  }
+  const char* quality_only = std::getenv("LAYERGCN_BENCH_QUALITY_ONLY");
+  if (quality_only != nullptr && quality_only[0] == '1') {
+    std::printf("throughput gate skipped (LAYERGCN_BENCH_QUALITY_ONLY)\n");
+  } else if (best != nullptr && best->speedup_vs_exact < 5.0) {
+    std::printf(
+        "acceptance: FAIL (best qualified speedup %.2fx < 5x exact at "
+        "nprobe %d)\n",
+        best->speedup_vs_exact, best->nprobe);
+    ok = false;
+  }
+  std::printf("acceptance: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

@@ -73,6 +73,11 @@ struct PassResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;
+  // Wall-clock throughput of the whole pass, and the same normalized by
+  // the compute-pool width — the number the rank-pool sweep watches (ideal
+  // scaling keeps per-thread throughput flat as rank_threads grows).
+  double req_per_sec = 0.0;
+  double per_thread_req_per_sec = 0.0;
   // The same latencies as the registry's serve.latency_us histogram saw
   // them, per-pass via HistogramData::Delta — coarser buckets than the
   // exact client-side sort above, but the series operators actually watch.
@@ -100,6 +105,7 @@ PassResult RunPass(serve::RecommendService* service, const std::string& name,
   out.rank_threads = util::parallel::ComputePool()->num_threads();
   const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
 
+  const uint64_t pass_t0 = obs::NowMicros();
   std::vector<std::vector<uint64_t>> latencies(
       static_cast<size_t>(client_threads));
   std::vector<PassResult> partials(static_cast<size_t>(client_threads));
@@ -140,6 +146,8 @@ PassResult RunPass(serve::RecommendService* service, const std::string& name,
     });
   }
   for (std::thread& t : clients) t.join();
+  const double pass_s =
+      static_cast<double>(obs::NowMicros() - pass_t0) * 1e-6;
   util::fault::DisarmAll();
 
   std::vector<uint64_t> all;
@@ -159,6 +167,10 @@ PassResult RunPass(serve::RecommendService* service, const std::string& name,
                   : static_cast<double>(sum) / static_cast<double>(all.size());
   out.p50_us = Percentile(&all, 0.50);
   out.p99_us = Percentile(&all, 0.99);
+  out.req_per_sec =
+      pass_s > 0.0 ? static_cast<double>(out.requests) / pass_s : 0.0;
+  out.per_thread_req_per_sec =
+      out.rank_threads > 0 ? out.req_per_sec / out.rank_threads : 0.0;
 
   const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
   const auto it = after.histograms.find("serve.latency_us");
@@ -178,12 +190,14 @@ void PrintPass(const PassResult& r) {
       "%-8s  %ld req x %d clients  p50 %7.0fus  p99 %7.0fus  mean %7.0fus\n"
       "          complete %ld, partial %ld, degraded %ld, deadline %ld, "
       "other %ld\n"
-      "          registry histogram p50 %7.0fus  p95 %7.0fus  p99 %7.0fus\n",
+      "          registry histogram p50 %7.0fus  p95 %7.0fus  p99 %7.0fus\n"
+      "          %.0f req/s at %d rank threads (%.0f req/s/thread)\n",
       r.name.c_str(), static_cast<long>(r.requests), r.client_threads,
       r.p50_us, r.p99_us, r.mean_us, static_cast<long>(r.ok_complete),
       static_cast<long>(r.partial), static_cast<long>(r.degraded),
       static_cast<long>(r.deadline_errors), static_cast<long>(r.other_errors),
-      r.hist_p50_us, r.hist_p95_us, r.hist_p99_us);
+      r.hist_p50_us, r.hist_p95_us, r.hist_p99_us, r.req_per_sec,
+      r.rank_threads, r.per_thread_req_per_sec);
 }
 
 void WritePassJson(FILE* out, const PassResult& r, bool last) {
@@ -193,12 +207,15 @@ void WritePassJson(FILE* out, const PassResult& r, bool last) {
                "\"p50_us\": %.1f, \"p99_us\": %.1f, "
                "\"mean_us\": %.1f, \"hist_p50_us\": %.1f, "
                "\"hist_p95_us\": %.1f, \"hist_p99_us\": %.1f, "
+               "\"req_per_sec\": %.1f, "
+               "\"per_thread_req_per_sec\": %.1f, "
                "\"complete\": %ld, \"partial\": %ld, "
                "\"degraded\": %ld, \"deadline_errors\": %ld, "
                "\"other_errors\": %ld}%s\n",
                r.name.c_str(), static_cast<long>(r.requests),
                r.client_threads, r.rank_threads, r.p50_us, r.p99_us,
                r.mean_us, r.hist_p50_us, r.hist_p95_us, r.hist_p99_us,
+               r.req_per_sec, r.per_thread_req_per_sec,
                static_cast<long>(r.ok_complete), static_cast<long>(r.partial),
                static_cast<long>(r.degraded),
                static_cast<long>(r.deadline_errors),
@@ -521,6 +538,27 @@ int main(int argc, char** argv) {
                            num_users, /*budget_us=*/1500, /*fault_every=*/1,
                            env.seed + 2));
   PrintPass(passes.back());
+  const size_t storm_idx = passes.size() - 1;
+
+  // Rank-pool width sweep: the same clean load with the shared compute
+  // pool pinned to 1, 2, and N workers. Per-thread throughput across the
+  // sweep shows how request throughput scales with scoring parallelism
+  // (rank_threads is recorded in each pass). A fresh service per width:
+  // the storm pass leaves the shared service's breaker open, and a sweep
+  // riding the popularity fallback would measure nothing.
+  std::vector<int> sweep_widths{1, 2};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 2) sweep_widths.push_back(hw);
+  for (const int width : sweep_widths) {
+    serve::RecommendService sweep_service(&store, opt);
+    util::ThreadPool sweep_pool(width);
+    util::parallel::ScopedComputePool pinned(&sweep_pool);
+    passes.push_back(RunPass(&sweep_service, "sweep_t" + std::to_string(width),
+                             clients, per_client / 2 + 1, num_users,
+                             /*budget_us=*/0, /*fault_every=*/0,
+                             env.seed + 10 + static_cast<uint64_t>(width)));
+    PrintPass(passes.back());
+  }
 
   // Quantized scoring: quality against planted truth, per-core throughput.
   bool f32_parity_ok = false;
@@ -593,7 +631,7 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
-  const PassResult& faulted = passes.back();
+  const PassResult& faulted = passes[storm_idx];
   const bool ladder_hit = faulted.partial + faulted.degraded +
                               faulted.deadline_errors >
                           0;

@@ -209,4 +209,43 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
   return out;
 }
 
+std::vector<std::vector<int32_t>> FusedScoreTopKSubset(
+    const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
+    const tensor::Matrix& item_emb, const std::vector<int32_t>& candidates,
+    int k, const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
+  LAYERGCN_CHECK_GT(k, 0);
+  LAYERGCN_CHECK_EQ(user_emb.cols(), item_emb.cols())
+      << "user/item embedding width mismatch";
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t depth = item_emb.cols();
+  std::vector<std::vector<int32_t>> out(user_ids.size());
+  if (scores_out != nullptr) scores_out->assign(user_ids.size(), {});
+  if (user_ids.empty() || n == 0) return out;
+  OBS_SPAN("eval.fused_rank.subset");
+  OBS_COUNT("fused_rank.subset_calls", 1);
+
+  const int64_t cap = std::min<int64_t>(k, n);
+  const int64_t item_tile = std::max<int64_t>(16, config.item_tile);
+  std::vector<HeapEntry> heap;
+  for (size_t r = 0; r < user_ids.size(); ++r) {
+    if (r > 0 && DeadlineExpired(deadline)) break;
+    const int32_t u = user_ids[r];
+    const float* urow = user_emb.row(u);
+    const std::vector<int32_t>* exc =
+        exclude != nullptr ? &(*exclude)[static_cast<size_t>(u)] : nullptr;
+    internal::RankCandidateSubset(
+        candidates.data(), n, cap, item_tile, exc, deadline, &heap, &out[r],
+        scores_out != nullptr ? &(*scores_out)[r] : nullptr,
+        [&](int32_t item) {
+          const float* irow = item_emb.row(item);
+          float acc = 0.f;
+          for (int64_t p = 0; p < depth; ++p) acc += urow[p] * irow[p];
+          return acc;
+        });
+  }
+  return out;
+}
+
 }  // namespace layergcn::eval

@@ -78,6 +78,24 @@ std::vector<std::vector<int32_t>> FusedScoreTopK(
     const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
     std::vector<std::vector<float>>* scores_out = nullptr);
 
+/// Exact top-K restricted to a candidate subset (the two-stage retrieval
+/// re-rank). `candidates` is a sorted-ascending, duplicate-free list of
+/// item ids; every other argument keeps FusedScoreTopK's contract. Each
+/// (user, candidate) score is the ascending-depth scalar inner product —
+/// bit-identical to what FusedScoreTopK computes for the same pair — so
+/// the result equals FusedScoreTopK's ranking filtered to the candidate
+/// set; with `candidates` = all items it is bit-identical outright.
+/// Deadline checks happen every config.item_tile candidates; candidate
+/// lists are small (~1-4k), so the call runs on the calling thread —
+/// serving parallelism comes from concurrent requests, not from splitting
+/// one subset.
+std::vector<std::vector<int32_t>> FusedScoreTopKSubset(
+    const tensor::Matrix& user_emb, const std::vector<int32_t>& user_ids,
+    const tensor::Matrix& item_emb, const std::vector<int32_t>& candidates,
+    int k, const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
+
 }  // namespace layergcn::eval
 
 #endif  // LAYERGCN_EVAL_FUSED_RANK_H_

@@ -227,4 +227,98 @@ std::vector<std::vector<int32_t>> QuantScoreTopKBf16(
       });
 }
 
+namespace {
+
+// Shared scaffolding for the quantized subset kernels: per-user serial
+// scan through internal::RankCandidateSubset with a per-pair score
+// callback (see rank_heap.h for the determinism/parity argument).
+template <typename ScorePair>
+std::vector<std::vector<int32_t>> SubsetTopK(
+    const std::vector<int32_t>& user_ids, const std::vector<int32_t>& candidates,
+    int64_t num_items, int k, const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out, const char* span_name,
+    ScorePair&& score) {
+  LAYERGCN_CHECK_GT(k, 0);
+  (void)num_items;
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  std::vector<std::vector<int32_t>> out(user_ids.size());
+  if (scores_out != nullptr) scores_out->assign(user_ids.size(), {});
+  if (user_ids.empty() || n == 0) return out;
+  OBS_SPAN(span_name);
+  OBS_COUNT("quant_rank.subset_calls", 1);
+
+  const int64_t cap = std::min<int64_t>(k, n);
+  const int64_t item_tile = std::max<int64_t>(16, config.item_tile);
+  std::vector<HeapEntry> heap;
+  for (size_t r = 0; r < user_ids.size(); ++r) {
+    if (r > 0 && DeadlineExpired(deadline)) break;
+    const int32_t u = user_ids[r];
+    const std::vector<int32_t>* exc =
+        exclude != nullptr ? &(*exclude)[static_cast<size_t>(u)] : nullptr;
+    internal::RankCandidateSubset(
+        candidates.data(), n, cap, item_tile, exc, deadline, &heap, &out[r],
+        scores_out != nullptr ? &(*scores_out)[r] : nullptr,
+        [&](int32_t item) { return score(u, item); });
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int32_t>> QuantScoreTopKInt8Subset(
+    const tensor::Int8Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Int8Panel& item_panel,
+    const std::vector<int32_t>& candidates, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
+  LAYERGCN_CHECK_EQ(user_q.cols, item_panel.depth)
+      << "int8 user/item depth mismatch";
+  const int64_t depth = item_panel.depth;
+  const int64_t count = item_panel.count;
+  return SubsetTopK(
+      user_ids, candidates, count, k, exclude, config, deadline, scores_out,
+      "eval.quant_rank.int8_subset", [&](int32_t user, int32_t item) {
+        // Exact int32 accumulation — the same integer sum the full kernel
+        // computes, just gathered column-wise from the depth-major panel.
+        const int8_t* urow = user_q.row(user);
+        const int8_t* col = item_panel.data.data() + item;
+        int32_t acc = 0;
+        for (int64_t p = 0; p < depth; ++p) {
+          acc += static_cast<int32_t>(urow[p]) *
+                 static_cast<int32_t>(col[p * count]);
+        }
+        return user_q.scales[static_cast<size_t>(user)] *
+               item_panel.scales[static_cast<size_t>(item)] *
+               static_cast<float>(acc);
+      });
+}
+
+std::vector<std::vector<int32_t>> QuantScoreTopKBf16Subset(
+    const tensor::Bf16Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Bf16Panel& item_panel,
+    const std::vector<int32_t>& candidates, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config, RankDeadline* deadline,
+    std::vector<std::vector<float>>* scores_out) {
+  LAYERGCN_CHECK_EQ(user_q.cols, item_panel.depth)
+      << "bf16 user/item depth mismatch";
+  const int64_t depth = item_panel.depth;
+  const int64_t count = item_panel.count;
+  return SubsetTopK(
+      user_ids, candidates, count, k, exclude, config, deadline, scores_out,
+      "eval.quant_rank.bf16_subset", [&](int32_t user, int32_t item) {
+        // Ascending-depth f32 accumulation of widened products — the exact
+        // per-element order of the full bf16 kernel.
+        const uint16_t* urow = user_q.row(user);
+        const uint16_t* col = item_panel.data.data() + item;
+        float acc = 0.f;
+        for (int64_t p = 0; p < depth; ++p) {
+          acc += tensor::Bf16ToF32(urow[p]) * tensor::Bf16ToF32(col[p * count]);
+        }
+        return acc;
+      });
+}
+
 }  // namespace layergcn::eval

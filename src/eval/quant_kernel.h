@@ -64,6 +64,30 @@ std::vector<std::vector<int32_t>> QuantScoreTopKBf16(
     const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
     std::vector<std::vector<float>>* scores_out = nullptr);
 
+/// Candidate-subset variants for the two-stage retrieval re-rank.
+/// `candidates` is a sorted-ascending, duplicate-free item id list; each
+/// (user, candidate) score is computed exactly as the full kernel computes
+/// it (int8: exact int32 accumulation, order-free; bf16: ascending-depth
+/// f32 accumulation), so the subset ranking is the full kernel's ranking
+/// filtered to the candidates. Deadline checks run every config.item_tile
+/// candidates; like eval::FusedScoreTopKSubset, the scan stays on the
+/// calling thread.
+std::vector<std::vector<int32_t>> QuantScoreTopKInt8Subset(
+    const tensor::Int8Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Int8Panel& item_panel,
+    const std::vector<int32_t>& candidates, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
+
+std::vector<std::vector<int32_t>> QuantScoreTopKBf16Subset(
+    const tensor::Bf16Rows& user_q, const std::vector<int32_t>& user_ids,
+    const tensor::Bf16Panel& item_panel,
+    const std::vector<int32_t>& candidates, int k,
+    const std::vector<std::vector<int32_t>>* exclude,
+    const FusedRankConfig& config = {}, RankDeadline* deadline = nullptr,
+    std::vector<std::vector<float>>* scores_out = nullptr);
+
 }  // namespace layergcn::eval
 
 #endif  // LAYERGCN_EVAL_QUANT_KERNEL_H_

@@ -8,9 +8,11 @@
 #ifndef LAYERGCN_EVAL_RANK_HEAP_H_
 #define LAYERGCN_EVAL_RANK_HEAP_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "eval/fused_rank.h"
 #include "obs/metrics.h"
@@ -79,6 +81,64 @@ inline void HeapPush(HeapEntry* h, int64_t* size, int64_t cap, HeapEntry e) {
     if (worst == i) break;
     std::swap(h[i], h[worst]);
     i = worst;
+  }
+}
+
+// Ranks one user over a sorted-ascending candidate subset — the shared
+// traversal behind the per-encoding *Subset kernels (two-stage retrieval
+// re-rank). `score(item)` returns the user-item score for a global item
+// id; it must compute exactly what the full kernel would for that pair,
+// which is what makes the subset ranking a strict restriction of the full
+// ranking. The walk mirrors the full kernels: candidates are consumed in
+// `item_tile`-sized runs with the deadline checked at each run boundary
+// (the first run always completes, like the full kernels' first item
+// tile), the sorted exclusion list advances with a monotone cursor, and
+// results come out of the same bounded heap, so (score desc, id asc)
+// tie-breaking and partial-on-deadline semantics are literally the same
+// code path.
+template <typename ScoreFn>
+inline void RankCandidateSubset(const int32_t* candidates, int64_t n,
+                                int64_t cap, int64_t item_tile,
+                                const std::vector<int32_t>* exclude,
+                                RankDeadline* deadline,
+                                std::vector<HeapEntry>* heap_buf,
+                                std::vector<int32_t>* ranked_out,
+                                std::vector<float>* scores_out,
+                                ScoreFn&& score) {
+  if (static_cast<int64_t>(heap_buf->size()) < cap) {
+    heap_buf->resize(static_cast<size_t>(cap));
+  }
+  HeapEntry* heap = heap_buf->data();
+  int64_t hs = 0;
+  size_t cur = 0;
+  for (int64_t j0 = 0; j0 < n; j0 += item_tile) {
+    MaybeSlowScore(deadline);
+    if (j0 > 0 && DeadlineExpired(deadline)) break;
+    const int64_t jn = std::min(item_tile, n - j0);
+    for (int64_t j = 0; j < jn; ++j) {
+      const int32_t item = candidates[j0 + j];
+      if (exclude != nullptr) {
+        while (cur < exclude->size() && (*exclude)[cur] < item) ++cur;
+        if (cur < exclude->size() && (*exclude)[cur] == item) {
+          ++cur;
+          continue;
+        }
+      }
+      HeapPush(heap, &hs, cap, HeapEntry{score(item), item});
+    }
+  }
+  std::sort(heap, heap + hs, [](const HeapEntry& a, const HeapEntry& b) {
+    return Worse(b, a);
+  });
+  ranked_out->resize(static_cast<size_t>(hs));
+  for (int64_t i = 0; i < hs; ++i) {
+    (*ranked_out)[static_cast<size_t>(i)] = heap[i].idx;
+  }
+  if (scores_out != nullptr) {
+    scores_out->resize(static_cast<size_t>(hs));
+    for (int64_t i = 0; i < hs; ++i) {
+      (*scores_out)[static_cast<size_t>(i)] = heap[i].score;
+    }
   }
 }
 

@@ -55,6 +55,8 @@ std::string AccessLog::RecordJson(const RequestContext& ctx) {
   w.Key("partial").Bool(ctx.partial);
   w.Key("degraded").Bool(ctx.degraded);
   w.Key("encoding").String(eval::ScoreEncodingName(ctx.encoding));
+  w.Key("retrieval").String(RetrievalModeName(ctx.retrieval));
+  w.Key("candidates").Int(ctx.candidates);
   w.Key("snapshot_version").Int(ctx.snapshot_version);
   w.Key("submit_us").Uint(ctx.submit_us);
   w.Key("done_us").Uint(ctx.done_us);

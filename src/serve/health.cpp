@@ -104,6 +104,16 @@ std::string HealthReporter::StatusJson(uint64_t now_us) {
     w.Key("age_us").Uint(now_us > published ? now_us - published : 0);
     w.Key("num_users").Int(snap->num_users());
     w.Key("num_items").Int(snap->num_items());
+    w.Key("index").BeginObject();
+    w.Key("built").Bool(snap->has_index());
+    if (snap->has_index()) {
+      const ItemIndex& index = snap->item_index();
+      w.Key("cells").Int(index.cells());
+      w.Key("empty_cells").Int(index.empty_cells());
+      w.Key("iterations").Int(index.iterations());
+      w.Key("build_us").Uint(index.build_us());
+    }
+    w.EndObject();
   }
   w.EndObject();
   w.Key("breaker").String(BreakerStateName(service_->breaker().state()));
@@ -123,6 +133,23 @@ std::string HealthReporter::StatusJson(uint64_t now_us) {
   w.Key("malformed_per_sec").Number(rate("serve.malformed_requests"));
   w.Key("encoding_fallbacks_per_sec").Number(rate("serve.encoding_fallbacks"));
   w.Key("cache_hit_rate").Number(hit_rate);
+  w.EndObject();
+  w.Key("retrieval").BeginObject();
+  w.Key("ivf_per_sec").Number(rate("serve.retrieval.requests"));
+  w.Key("exact_fallbacks_per_sec")
+      .Number(rate("serve.retrieval.exact_fallbacks"));
+  w.Key("cells_probed").Uint(
+      metrics.CounterDelta(obs::MetricsSnapshot{},
+                           "serve.retrieval.cells_probed"));
+  w.Key("candidates_scored").Uint(
+      metrics.CounterDelta(obs::MetricsSnapshot{},
+                           "serve.retrieval.candidates_scored"));
+  {
+    const auto gauge = metrics.gauges.find("serve.retrieval.recall_sample");
+    if (gauge != metrics.gauges.end()) {
+      w.Key("recall_sample").Number(gauge->second);
+    }
+  }
   w.EndObject();
   w.Key("requests_recorded").Uint(stats.recorded());
   w.EndObject();

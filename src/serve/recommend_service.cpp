@@ -1,6 +1,7 @@
 #include "serve/recommend_service.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <utility>
@@ -71,15 +72,19 @@ util::Status RecommendService::Validate(const ModelSnapshot& snap,
 
 bool RecommendService::CacheLookup(const ModelSnapshot& snap,
                                    eval::ScoreEncoding encoding,
+                                   RetrievalMode retrieval,
                                    const RecommendRequest& req,
                                    RecommendResponse* resp) {
   std::lock_guard<std::mutex> lock(cache_mu_);
   const auto it = cache_.find(req.user_id);
-  // Version + encoding keying is the invalidation: an entry computed
-  // against a hot-swapped-out snapshot (or another encoding) never serves.
-  // A cached top-k' answers any k <= k' exactly — serve the prefix.
+  // Version + encoding + retrieval-mode keying is the invalidation: an
+  // entry computed against a hot-swapped-out snapshot, another encoding,
+  // or the other retrieval path never serves. In particular an
+  // approximate (ivf) top-K is never handed out as an exact prefix. A
+  // cached top-k' answers any k <= k' within its mode — serve the prefix.
   if (it == cache_.end() || it->second.snapshot_version != snap.version() ||
-      it->second.encoding != encoding || it->second.k < req.k) {
+      it->second.encoding != encoding || it->second.retrieval != retrieval ||
+      it->second.k < req.k) {
     OBS_COUNT("serve.score_cache_misses", 1);
     return false;
   }
@@ -91,6 +96,7 @@ bool RecommendService::CacheLookup(const ModelSnapshot& snap,
                      entry.items.begin() + static_cast<ptrdiff_t>(n));
   resp->cached = true;
   resp->encoding = encoding;
+  resp->retrieval = retrieval;
   resp->snapshot_version = snap.version();
   OBS_COUNT("serve.score_cache_hits", 1);
   return true;
@@ -98,6 +104,7 @@ bool RecommendService::CacheLookup(const ModelSnapshot& snap,
 
 void RecommendService::CacheInsert(const ModelSnapshot& snap,
                                    eval::ScoreEncoding encoding,
+                                   RetrievalMode retrieval,
                                    const RecommendRequest& req,
                                    const RecommendResponse& resp) {
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -112,10 +119,11 @@ void RecommendService::CacheInsert(const ModelSnapshot& snap,
     it = cache_.emplace(req.user_id, CacheEntry{}).first;
     it->second.lru_it = cache_lru_.begin();
   } else {
-    // Keep a same-version same-encoding entry with a larger k: it already
-    // answers this request and more.
+    // Keep a same-version same-encoding same-mode entry with a larger k:
+    // it already answers this request and more.
     if (it->second.snapshot_version == snap.version() &&
-        it->second.encoding == encoding && it->second.k >= req.k) {
+        it->second.encoding == encoding &&
+        it->second.retrieval == retrieval && it->second.k >= req.k) {
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
       return;
     }
@@ -124,8 +132,69 @@ void RecommendService::CacheInsert(const ModelSnapshot& snap,
   CacheEntry& entry = it->second;
   entry.snapshot_version = snap.version();
   entry.encoding = encoding;
+  entry.retrieval = retrieval;
   entry.k = req.k;
   entry.items = resp.items;
+}
+
+std::vector<std::vector<int32_t>> RecommendService::ScoreTopK(
+    const ModelSnapshot& snap, const RecommendRequest& req,
+    eval::ScoreEncoding encoding, RetrievalMode retrieval,
+    eval::RankDeadline* deadline, std::vector<std::vector<float>>* scores,
+    int64_t* candidates_scored) {
+  const std::vector<int32_t> user_ids = {req.user_id};
+  if (retrieval == RetrievalMode::kIvf) {
+    // Stage one: probe. Centroids are scored against the f32 user row
+    // (always present, whatever encoding re-ranks) — the probe picks
+    // cells, it never contributes to item scores, so mixing precisions
+    // here cannot perturb the ranking.
+    const ItemIndex& index = snap.item_index();
+    // Per-worker scratch: requests run one per pool worker, so these
+    // never see concurrent use and the hot path stays allocation-free.
+    thread_local std::vector<int32_t> probe_cells;
+    thread_local std::vector<int32_t> candidates;
+    index.TopCells(snap.user_emb().row(req.user_id), options_.nprobe,
+                   &probe_cells);
+    index.GatherCandidates(probe_cells, &candidates);
+    OBS_COUNT("serve.retrieval.requests", 1);
+    OBS_COUNT("serve.retrieval.cells_probed",
+              static_cast<int64_t>(probe_cells.size()));
+    OBS_COUNT("serve.retrieval.candidates_scored",
+              static_cast<int64_t>(candidates.size()));
+    *candidates_scored = static_cast<int64_t>(candidates.size());
+    // Stage two: exact re-rank over the candidates only, same per-pair
+    // scores and (score desc, id asc) order as the full kernels.
+    switch (encoding) {
+      case eval::ScoreEncoding::kInt8:
+        return eval::QuantScoreTopKInt8Subset(
+            snap.user_int8(), user_ids, snap.item_int8_panel(), candidates,
+            req.k, &snap.user_history(), options_.rank, deadline, scores);
+      case eval::ScoreEncoding::kBf16:
+        return eval::QuantScoreTopKBf16Subset(
+            snap.user_bf16(), user_ids, snap.item_bf16_panel(), candidates,
+            req.k, &snap.user_history(), options_.rank, deadline, scores);
+      case eval::ScoreEncoding::kF32:
+        return eval::FusedScoreTopKSubset(
+            snap.user_emb(), user_ids, snap.item_emb(), candidates, req.k,
+            &snap.user_history(), options_.rank, deadline, scores);
+    }
+  }
+  *candidates_scored = snap.num_items();
+  switch (encoding) {
+    case eval::ScoreEncoding::kInt8:
+      return eval::QuantScoreTopKInt8(
+          snap.user_int8(), user_ids, snap.item_int8_panel(), req.k,
+          &snap.user_history(), options_.rank, deadline, scores);
+    case eval::ScoreEncoding::kBf16:
+      return eval::QuantScoreTopKBf16(
+          snap.user_bf16(), user_ids, snap.item_bf16_panel(), req.k,
+          &snap.user_history(), options_.rank, deadline, scores);
+    case eval::ScoreEncoding::kF32:
+      return eval::FusedScoreTopK(
+          snap.user_emb(), user_ids, snap.item_emb(), req.k,
+          &snap.user_history(), options_.rank, deadline, scores);
+  }
+  return {};
 }
 
 RecommendResponse RecommendService::ServeDegraded(
@@ -212,10 +281,20 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
       OBS_COUNT("serve.encoding_fallbacks", 1);
       encoding = eval::ScoreEncoding::kF32;
     }
+    // Resolve the retrieval path: a per-request exact override always
+    // wins, and an ivf default degrades to exact for this request when
+    // the snapshot carries no index (build failed or never requested).
+    RetrievalMode retrieval = options_.retrieval;
+    if (req.exact) {
+      retrieval = RetrievalMode::kExact;
+    } else if (retrieval == RetrievalMode::kIvf && !snap->has_index()) {
+      OBS_COUNT("serve.retrieval.exact_fallbacks", 1);
+      retrieval = RetrievalMode::kExact;
+    }
 
     if (options_.score_cache_capacity > 0) {
       const uint64_t cache_t0 = obs::NowMicros();
-      const bool hit = CacheLookup(*snap, encoding, req, &resp);
+      const bool hit = CacheLookup(*snap, encoding, retrieval, req, &resp);
       ctx->stage(Stage::kCache) = obs::NowMicros() - cache_t0;
       if (hit) {
         breaker_.RecordSuccess();
@@ -227,27 +306,11 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
       const uint64_t score_t0 = obs::NowMicros();
       eval::RankDeadline deadline;
       if (req.budget_us > 0) deadline.deadline_us = start_us + req.budget_us;
-      const std::vector<int32_t> user_ids = {req.user_id};
       std::vector<std::vector<float>> scores;
       eval::RankDeadline* dl = req.budget_us > 0 ? &deadline : nullptr;
-      std::vector<std::vector<int32_t>> ranked;
-      switch (encoding) {
-        case eval::ScoreEncoding::kInt8:
-          ranked = eval::QuantScoreTopKInt8(
-              snap->user_int8(), user_ids, snap->item_int8_panel(), req.k,
-              &snap->user_history(), options_.rank, dl, &scores);
-          break;
-        case eval::ScoreEncoding::kBf16:
-          ranked = eval::QuantScoreTopKBf16(
-              snap->user_bf16(), user_ids, snap->item_bf16_panel(), req.k,
-              &snap->user_history(), options_.rank, dl, &scores);
-          break;
-        case eval::ScoreEncoding::kF32:
-          ranked = eval::FusedScoreTopK(
-              snap->user_emb(), user_ids, snap->item_emb(), req.k,
-              &snap->user_history(), options_.rank, dl, &scores);
-          break;
-      }
+      int64_t candidates_scored = 0;
+      std::vector<std::vector<int32_t>> ranked = ScoreTopK(
+          *snap, req, encoding, retrieval, dl, &scores, &candidates_scored);
       ctx->stage(Stage::kScore) = obs::NowMicros() - score_t0;
 
       const bool expired =
@@ -268,13 +331,43 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
         resp.partial = true;
       }
       resp.encoding = encoding;
+      resp.retrieval = retrieval;
+      resp.candidates = candidates_scored;
       resp.snapshot_version = snap->version();
       resp.items.resize(ranked[0].size());
       for (size_t i = 0; i < ranked[0].size(); ++i) {
         resp.items[i] = ScoredItem{ranked[0][i], scores[0][i]};
       }
       if (options_.score_cache_capacity > 0 && !resp.partial) {
-        CacheInsert(*snap, encoding, req, resp);
+        CacheInsert(*snap, encoding, retrieval, req, resp);
+      }
+
+      // Live recall monitor: every Nth complete index-served response is
+      // re-ranked exactly (no deadline — the sample must be complete) and
+      // the top-K overlap published as a gauge. One extra full scan per N
+      // requests, on the request's own thread.
+      if (retrieval == RetrievalMode::kIvf && !resp.partial &&
+          options_.recall_sample_every > 0 &&
+          ivf_served_.fetch_add(1, std::memory_order_relaxed) %
+                  options_.recall_sample_every ==
+              0) {
+        std::vector<std::vector<float>> exact_scores;
+        int64_t exact_candidates = 0;
+        const std::vector<std::vector<int32_t>> exact_ranked =
+            ScoreTopK(*snap, req, encoding, RetrievalMode::kExact, nullptr,
+                      &exact_scores, &exact_candidates);
+        std::vector<int32_t> a = ranked[0], b = exact_ranked[0];
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        std::vector<int32_t> both;
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(both));
+        const double overlap =
+            b.empty() ? 1.0
+                      : static_cast<double>(both.size()) /
+                            static_cast<double>(b.size());
+        OBS_COUNT("serve.retrieval.recall_samples", 1);
+        OBS_GAUGE("serve.retrieval.recall_sample", overlap);
       }
     }
   }
@@ -283,6 +376,8 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
   ctx->partial = resp.partial;
   ctx->degraded = resp.degraded;
   ctx->encoding = resp.encoding;
+  ctx->retrieval = resp.retrieval;
+  ctx->candidates = resp.candidates;
   resp.latency_us = obs::NowMicros() - start_us;
   OBS_OBSERVE("serve.latency_us", LatencyBounds(), resp.latency_us);
   ctx->finish_us = obs::NowMicros();

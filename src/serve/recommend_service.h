@@ -31,13 +31,28 @@
 // (serve.encoding_fallbacks). Rankings are deterministic within an
 // encoding; across encodings they differ by bounded quantization error.
 //
+// Two-stage retrieval: options.retrieval selects the candidate set the
+// rank kernel scores. kExact scans every item (the reference path above);
+// kIvf probes the snapshot's ItemIndex — score the user against all cell
+// centroids (a tiny GEMV), take the top options.nprobe cells, gather
+// their members, and re-rank only those candidates with the same
+// per-encoding kernels (subset variants computing bit-identical per-pair
+// scores). The ivf ranking is the exact ranking filtered to the probed
+// cells — approximate only in which items were considered, never in how
+// they were scored or ordered. Requests carrying exact=true, and every
+// request against a snapshot without an index (build failed or never
+// requested — serve.retrieval.exact_fallbacks), take the exact path.
+// Counters: serve.retrieval.{requests,cells_probed,candidates_scored};
+// options.recall_sample_every adds a live recall gauge.
+//
 // Score cache: a bounded LRU of complete responses keyed by user id
 // (serve.score_cache_{hits,misses}). An entry is served only when its
-// snapshot version AND encoding match the current ones and it was computed
-// for a k >= the request's k (a top-K prefix of a larger top-K is exact).
-// Version keying makes hot-swap invalidation automatic: entries from a
-// replaced snapshot can never be served again. Partial and degraded
-// responses are never cached.
+// snapshot version AND encoding AND retrieval mode match the current ones
+// and it was computed for a k >= the request's k (a top-K prefix of a
+// larger top-K is exact within its mode; an ivf prefix is never an exact
+// answer, hence the mode key). Version keying makes hot-swap invalidation
+// automatic: entries from a replaced snapshot can never be served again.
+// Partial and degraded responses are never cached.
 //
 // Every request increments serve.requests, lands in the serve.latency_us
 // histogram, and runs under an OBS_SPAN("serve.request") trace span.
@@ -53,6 +68,7 @@
 #ifndef LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
 #define LAYERGCN_SERVE_RECOMMEND_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -77,6 +93,10 @@ struct RecommendRequest {
   int32_t k = 10;
   /// Wall-clock budget in microseconds; 0 = no deadline.
   uint64_t budget_us = 0;
+  /// Force the exact full-scan path for this request even when the service
+  /// defaults to ivf retrieval — the bit-exact reference used by parity
+  /// tests and recall sampling.
+  bool exact = false;
 };
 
 struct ScoredItem {
@@ -97,6 +117,13 @@ struct RecommendResponse {
   /// The encoding that actually scored this response (f32 when the
   /// requested quantized encoding was absent from the snapshot).
   eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+  /// The retrieval path that actually served this response: ivf when the
+  /// index was probed, exact for full scans — including per-request
+  /// fallbacks when the snapshot has no index (serve.retrieval.
+  /// exact_fallbacks) and req.exact overrides.
+  RetrievalMode retrieval = RetrievalMode::kExact;
+  /// Items the rank kernel scored (see RequestContext::candidates).
+  int64_t candidates = 0;
   int64_t snapshot_version = 0;
   uint64_t latency_us = 0;
 };
@@ -113,6 +140,18 @@ struct RecommendServiceOptions {
   /// Embedding encoding requests score against (per-request f32 fallback
   /// when the snapshot lacks it).
   eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+  /// Candidate-generation mode. kIvf requires the snapshot to carry an
+  /// ItemIndex (SnapshotStore::SetIndexOptions before Reload); requests
+  /// against an index-less snapshot fall back to exact per request
+  /// (serve.retrieval.exact_fallbacks).
+  RetrievalMode retrieval = RetrievalMode::kExact;
+  /// Cells probed per ivf request (clamped to [1, index cells]).
+  int32_t nprobe = 8;
+  /// When > 0 and serving ivf, every Nth complete index-served response is
+  /// re-ranked exactly and the top-K overlap published as the
+  /// serve.retrieval.recall_sample gauge — a live recall monitor costing
+  /// one exact scan per N requests.
+  int64_t recall_sample_every = 0;
   /// Bounded LRU score cache size in users; 0 disables caching.
   int64_t score_cache_capacity = 1024;
   /// SLO objectives + quantile windows. The service applies
@@ -172,11 +211,16 @@ class RecommendService {
   const RecommendServiceOptions& options() const { return options_; }
 
  private:
-  /// One cached complete response: valid only against the snapshot version
-  /// and encoding it was computed with, reusable for any request k <= k.
+  /// One cached complete response: valid only against the snapshot
+  /// version, encoding, and retrieval mode it was computed with, reusable
+  /// for any request k <= k. Keying by retrieval mode matters for
+  /// correctness, not just freshness: an ivf top-K is approximate, so its
+  /// prefix must never answer a request that asked for exact (and an
+  /// exact entry must not masquerade as the index's output either).
   struct CacheEntry {
     int64_t snapshot_version = 0;
     eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+    RetrievalMode retrieval = RetrievalMode::kExact;
     int32_t k = 0;
     std::vector<ScoredItem> items;
     std::list<int32_t>::iterator lru_it;
@@ -186,20 +230,33 @@ class RecommendService {
                         const RecommendRequest& req) const;
   RecommendResponse ServeDegraded(const ModelSnapshot& snap,
                                   const RecommendRequest& req) const;
-  /// Cache lookup for (user, k) against `snap` + `encoding`; fills `resp`
-  /// and returns true on a hit. Counts serve.score_cache_{hits,misses}.
+  /// Runs the rank kernel for `req` under `encoding` + `retrieval`:
+  /// full-scan kernels for exact, TopCells -> GatherCandidates -> subset
+  /// kernels for ivf. Returns the per-user rankings (single user) and
+  /// fills `scores` / `candidates_scored`.
+  std::vector<std::vector<int32_t>> ScoreTopK(
+      const ModelSnapshot& snap, const RecommendRequest& req,
+      eval::ScoreEncoding encoding, RetrievalMode retrieval,
+      eval::RankDeadline* deadline, std::vector<std::vector<float>>* scores,
+      int64_t* candidates_scored);
+  /// Cache lookup for (user, k) against `snap` + `encoding` + `retrieval`;
+  /// fills `resp` and returns true on a hit. Counts
+  /// serve.score_cache_{hits,misses}.
   bool CacheLookup(const ModelSnapshot& snap, eval::ScoreEncoding encoding,
-                   const RecommendRequest& req, RecommendResponse* resp);
+                   RetrievalMode retrieval, const RecommendRequest& req,
+                   RecommendResponse* resp);
   /// Inserts a complete (non-partial, non-degraded) response, evicting the
   /// least recently used entry past capacity.
   void CacheInsert(const ModelSnapshot& snap, eval::ScoreEncoding encoding,
-                   const RecommendRequest& req,
+                   RetrievalMode retrieval, const RecommendRequest& req,
                    const RecommendResponse& resp);
 
   SnapshotStore* const store_;
   const RecommendServiceOptions options_;
   CircuitBreaker breaker_;
   ServingStats stats_;
+  /// Index-served responses since startup, driving recall_sample_every.
+  std::atomic<int64_t> ivf_served_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "eval/quant_kernel.h"
+#include "serve/item_index.h"
 #include "util/status.h"
 
 namespace layergcn::serve {
@@ -66,6 +67,14 @@ struct RequestContext {
   bool partial = false;
   bool degraded = false;
   eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
+  /// Candidate-generation path that produced the ranking: ivf when the
+  /// index was probed, exact otherwise (full scan, cache hits, degraded
+  /// and failed requests included — anything that never probed).
+  RetrievalMode retrieval = RetrievalMode::kExact;
+  /// Items the rank kernel scored: the gathered candidate count under ivf,
+  /// the full item count under an exact scan, 0 when no kernel ran
+  /// (cached / degraded / shed / failed).
+  int64_t candidates = 0;
   int64_t snapshot_version = 0;
 
   util::StatusCode code = util::StatusCode::kOk;

@@ -16,7 +16,7 @@ namespace fs = std::filesystem;
 }  // namespace
 
 util::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
-    const std::string& path) {
+    const std::string& path, const ItemIndexOptions* index_options) {
   util::StatusOr<train::ServingExport> loaded =
       train::LoadServingExport(path);
   if (!loaded.ok()) return loaded.status();
@@ -73,6 +73,23 @@ util::StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
               return ca != cb ? ca > cb : a < b;
             });
 
+  // IVF retrieval index, when asked for. A failed build never rejects the
+  // snapshot — the service serves exact per request until a later reload
+  // succeeds — but it is logged and counted so operators see two-stage
+  // retrieval silently running in fallback.
+  if (index_options != nullptr) {
+    util::StatusOr<std::shared_ptr<const ItemIndex>> index =
+        ItemIndex::Build(snap->item_emb_, *index_options);
+    if (index.ok()) {
+      snap->index_ = std::move(index).value();
+    } else {
+      OBS_COUNT("serve.retrieval.index_build_failures", 1);
+      LAYERGCN_LOG(kWarning)
+          << path << ": item index build failed ("
+          << index.status().ToString() << "); serving exact retrieval";
+    }
+  }
+
   OBS_COUNT("serve.snapshot_loads", 1);
   return std::shared_ptr<const ModelSnapshot>(std::move(snap));
 }
@@ -100,8 +117,21 @@ std::vector<std::pair<int64_t, std::string>> SnapshotStore::ListSnapshots(
   return out;
 }
 
+void SnapshotStore::SetIndexOptions(const ItemIndexOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  build_index_ = true;
+  index_options_ = options;
+}
+
 util::Status SnapshotStore::Reload() {
   OBS_COUNT("serve.reloads", 1);
+  bool build_index;
+  ItemIndexOptions index_options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    build_index = build_index_;
+    index_options = index_options_;
+  }
   const std::vector<std::pair<int64_t, std::string>> files =
       ListSnapshots(dir_);
   if (files.empty()) {
@@ -119,7 +149,8 @@ util::Status SnapshotStore::Reload() {
     }
 
     util::StatusOr<std::shared_ptr<const ModelSnapshot>> snap =
-        ModelSnapshot::Load(it->second);
+        ModelSnapshot::Load(it->second,
+                            build_index ? &index_options : nullptr);
     if (snap.ok()) {
       if (it != files.rbegin()) {
         LAYERGCN_LOG(kWarning)

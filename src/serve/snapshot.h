@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/item_index.h"
 #include "tensor/matrix.h"
 #include "tensor/quant.h"
 #include "util/status.h"
@@ -39,8 +40,17 @@ class ModelSnapshot {
   /// Reads a serving export and precomputes the popularity ranking.
   /// Corruption and shape problems surface as the underlying
   /// LoadServingExport status (DataLoss / NotFound / ...).
+  ///
+  /// When `index_options` is non-null, an ItemIndex (IVF coarse quantizer
+  /// for two-stage retrieval) is built over the item embeddings as part of
+  /// the load. An index build failure does NOT fail the load: the snapshot
+  /// publishes without an index (has_index() == false, counted as
+  /// serve.retrieval.index_build_failures) and the service falls back to
+  /// exact retrieval per request — degraded throughput beats refusing a
+  /// valid model.
   static util::StatusOr<std::shared_ptr<const ModelSnapshot>> Load(
-      const std::string& path);
+      const std::string& path,
+      const ItemIndexOptions* index_options = nullptr);
 
   int64_t version() const { return version_; }
   int64_t num_users() const { return user_emb_.rows(); }
@@ -75,6 +85,11 @@ class ModelSnapshot {
   /// Training interaction count per item id (the popularity "score").
   const std::vector<int64_t>& item_counts() const { return item_counts_; }
 
+  /// The IVF candidate-generation index, when the load was asked to build
+  /// one and the build succeeded.
+  bool has_index() const { return index_ != nullptr; }
+  const ItemIndex& item_index() const { return *index_; }
+
  private:
   ModelSnapshot() = default;
 
@@ -91,6 +106,7 @@ class ModelSnapshot {
   tensor::Int8Panel item_int8_panel_;
   tensor::Bf16Rows user_bf16_;
   tensor::Bf16Panel item_bf16_panel_;
+  std::shared_ptr<const ItemIndex> index_;
 };
 
 /// Directory of versioned snapshot files with newest-valid loading and
@@ -107,6 +123,11 @@ class SnapshotStore {
   /// (version, path) of every well-named snapshot file, ascending version.
   static std::vector<std::pair<int64_t, std::string>> ListSnapshots(
       const std::string& dir);
+
+  /// Asks future Reload()s to build an ItemIndex with these options as
+  /// part of every snapshot load (call before Reload; does not rebuild the
+  /// currently published snapshot's index).
+  void SetIndexOptions(const ItemIndexOptions& options);
 
   /// Loads the newest snapshot that validates end-to-end, skipping corrupt
   /// files newest-first (each skip increments serve.snapshot_fallbacks),
@@ -129,6 +150,8 @@ class SnapshotStore {
   mutable std::mutex mu_;
   std::shared_ptr<const ModelSnapshot> current_;
   uint64_t published_at_us_ = 0;
+  bool build_index_ = false;
+  ItemIndexOptions index_options_;
 };
 
 }  // namespace layergcn::serve

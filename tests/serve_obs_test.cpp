@@ -138,15 +138,18 @@ TEST_F(ServeObsTest, AccessRecordJsonSchemaOnSuccess) {
   ASSERT_EQ(value.type, obs::JsonValue::Type::kObject);
   for (const char* key :
        {"type", "id", "user", "k", "budget_us", "status", "malformed", "shed",
-        "cached", "partial", "degraded", "encoding", "snapshot_version",
-        "submit_us", "done_us", "latency_us", "admission_us", "snapshot_us",
-        "cache_us", "score_us", "serialize_us"}) {
+        "cached", "partial", "degraded", "encoding", "retrieval", "candidates",
+        "snapshot_version", "submit_us", "done_us", "latency_us",
+        "admission_us", "snapshot_us", "cache_us", "score_us",
+        "serialize_us"}) {
     EXPECT_NE(value.Find(key), nullptr) << "missing " << key;
   }
   EXPECT_EQ(value.Find("type")->string, "access");
   EXPECT_EQ(value.Find("id")->number, 42.0);
   EXPECT_EQ(value.Find("status")->string, "OK");
   EXPECT_EQ(value.Find("encoding")->string, "f32");
+  EXPECT_EQ(value.Find("retrieval")->string, "exact");
+  EXPECT_EQ(value.Find("candidates")->number, 0.0);
   EXPECT_EQ(value.Find("latency_us")->number, 1000.0);
   EXPECT_EQ(value.Find("score_us")->number, 700.0);
   // OK records carry no error message.

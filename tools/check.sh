@@ -27,6 +27,12 @@
 # must pass a self-compare, flag an injected 20% p99 regression (exit 2),
 # and refuse a cross-hardware comparison (exit 3).
 #
+# The `retrieval` stage serves one trained snapshot in exact and ivf
+# retrieval modes (schema-gated access logs with the retrieval/candidates
+# fields), runs the bench_retrieval recall + throughput gates on the
+# release build, and drives bench_diff across the two mode summaries in
+# both directions (improvement one way, regression exit the other).
+#
 # The `fault` stage re-runs the CLI under ASan/UBSan with each
 # LAYERGCN_FAULT injection point armed (torn checkpoint write, short read,
 # bit flip, NaN loss). Every injected fault must be handled gracefully —
@@ -178,6 +184,52 @@ EOF
   fi
 }
 run_obs_serve_stage
+
+# Two-stage retrieval: serve the same trained snapshot in exact and ivf
+# modes (access logs schema-gated — every record must carry the retrieval
+# mode and candidate count), run the bench_retrieval recall + per-core
+# throughput gates on the release build, and push the exact-vs-ivf mode
+# summaries through bench_diff in both directions: exact -> ivf must pass
+# (throughput improves, recall within threshold), ivf -> exact must trip
+# the regression exit (the throughput it would give up).
+run_retrieval_stage() {
+  local dir="${build_root}/release"
+  local out="${build_root}/retrieval-out"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  echo "=== [retrieval] train 2 epochs + export serving snapshot ==="
+  "${dir}/tools/layergcn_cli" --dataset=mooc --scale=0.2 --epochs=2 \
+    --model=LayerGCN --export-snapshot="${out}/snaps"
+  for mode in exact ivf; do
+    echo "=== [retrieval] 1k requests --retrieval=${mode} ==="
+    "${dir}/tools/layergcn_serve" --snapshot-dir="${out}/snaps" \
+      --random-requests=1000 --seed=17 --retrieval="${mode}" \
+      --cells=32 --nprobe=4 --recall-sample=100 \
+      --access-log="${out}/access-${mode}.jsonl" \
+      --metrics-out="${out}/metrics-${mode}.json" \
+      > "${out}/responses-${mode}.jsonl"
+    "${dir}/tools/validate_jsonl" "${out}/responses-${mode}.jsonl" \
+      "${out}/access-${mode}.jsonl" "${out}/metrics-${mode}.json"
+    if ! grep -q "\"retrieval\":\"${mode}\"" "${out}/access-${mode}.jsonl"; then
+      echo "RETRIEVAL STAGE FAILED: no ${mode} records in access log"
+      exit 1
+    fi
+  done
+  echo "=== [retrieval] bench_retrieval recall + throughput gates ==="
+  ( cd "${out}" && LAYERGCN_BENCH_RETRIEVAL_COMPARE_OUT="${out}/mode" \
+      "${dir}/bench/bench_retrieval" )
+  echo "=== [retrieval] bench_diff across retrieval modes ==="
+  "${dir}/tools/bench_diff" "${out}/mode-exact.json" "${out}/mode-ivf.json"
+  local rc=0
+  "${dir}/tools/bench_diff" "${out}/mode-ivf.json" "${out}/mode-exact.json" \
+    || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "RETRIEVAL STAGE FAILED: bench_diff exit ${rc} on ivf -> exact," \
+         "want 2 (throughput regression)"
+    exit 1
+  fi
+}
+run_retrieval_stage
 
 run_config asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=ON
 

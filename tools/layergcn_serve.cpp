@@ -61,6 +61,10 @@ struct Flags {
   int64_t queue_capacity = 64;
   int threads = 0;
   std::string encoding = "f32";       // f32|int8|bf16 scoring encoding
+  std::string retrieval = "exact";    // exact|ivf candidate generation
+  int32_t cells = 64;                 // IVF index cell count
+  int32_t nprobe = 8;                 // cells probed per ivf request
+  int64_t recall_sample = 0;          // exact recall check every N ivf reqs
   int64_t score_cache = 1024;         // LRU score cache capacity; 0 = off
   bool burst = false;  // submit everything before draining (sheds load)
   bool quiet = false;  // suppress per-request response lines
@@ -94,6 +98,14 @@ void PrintUsage(const char* argv0) {
       "  --encoding=f32|int8|bf16  embedding encoding scored against\n"
       "                       (default f32; falls back to f32 per request\n"
       "                       when the snapshot lacks the quantized copy)\n"
+      "  --retrieval=exact|ivf  candidate generation: exact full scan\n"
+      "                       (default) or IVF two-stage retrieval (build\n"
+      "                       a k-means item index at load, probe top\n"
+      "                       cells, re-rank candidates exactly)\n"
+      "  --cells=N            IVF index cell count (default 64)\n"
+      "  --nprobe=N           cells probed per ivf request (default 8)\n"
+      "  --recall-sample=N    re-rank every Nth ivf request exactly and\n"
+      "                       publish the top-K overlap gauge (0 = off)\n"
       "  --score-cache=N      LRU score cache capacity in users\n"
       "                       (default 1024; 0 disables)\n"
       "  --burst              submit all requests before draining any —\n"
@@ -150,6 +162,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       eval::ScoreEncoding parsed;
       ok = eval::ParseScoreEncoding(value, &parsed);
       flags->encoding = value;
+    } else if (key == "--retrieval") {
+      serve::RetrievalMode parsed;
+      ok = serve::ParseRetrievalMode(value, &parsed);
+      flags->retrieval = value;
+    } else if (key == "--cells") {
+      ok = as_int(&flags->cells) && flags->cells >= 1;
+    } else if (key == "--nprobe") {
+      ok = as_int(&flags->nprobe) && flags->nprobe >= 1;
+    } else if (key == "--recall-sample") {
+      ok = as_int(&flags->recall_sample) && flags->recall_sample >= 0;
     } else if (key == "--score-cache") {
       ok = as_int(&flags->score_cache) && flags->score_cache >= 0;
     } else if (key == "--burst") {
@@ -248,6 +270,14 @@ PendingRequest ParseRequestLine(const std::string& line, const Flags& flags) {
     }
     pending.req.budget_us = static_cast<uint64_t>(b->number);
   }
+  if (const obs::JsonValue* e = value.Find("exact"); e != nullptr) {
+    if (e->type != obs::JsonValue::Type::kBool) {
+      pending.parse_ok = false;
+      pending.parse_error = "\"exact\" must be a boolean";
+      return pending;
+    }
+    pending.req.exact = e->boolean;
+  }
   return pending;
 }
 
@@ -273,6 +303,8 @@ std::string ResponseLine(const serve::RecommendRequest& req,
   w.Key("degraded").Bool(resp.degraded);
   w.Key("cached").Bool(resp.cached);
   w.Key("encoding").String(eval::ScoreEncodingName(resp.encoding));
+  w.Key("retrieval").String(serve::RetrievalModeName(resp.retrieval));
+  w.Key("candidates").Int(resp.candidates);
   w.Key("snapshot_version").Int(resp.snapshot_version);
   w.Key("latency_us").Uint(resp.latency_us);
   w.EndObject();
@@ -327,6 +359,13 @@ int main(int argc, char** argv) {
   }
 
   serve::SnapshotStore store(flags.snapshot_dir);
+  serve::RetrievalMode retrieval = serve::RetrievalMode::kExact;
+  serve::ParseRetrievalMode(flags.retrieval, &retrieval);
+  if (retrieval == serve::RetrievalMode::kIvf) {
+    serve::ItemIndexOptions index_options;
+    index_options.cells = flags.cells;
+    store.SetIndexOptions(index_options);
+  }
   const util::Status loaded = store.Reload();
   if (!loaded.ok()) {
     std::fprintf(stderr, "cannot load a snapshot from %s: %s\n",
@@ -349,6 +388,9 @@ int main(int argc, char** argv) {
   options.queue_capacity = flags.queue_capacity;
   options.score_cache_capacity = flags.score_cache;
   eval::ParseScoreEncoding(flags.encoding, &options.encoding);
+  options.retrieval = retrieval;
+  options.nprobe = flags.nprobe;
+  options.recall_sample_every = flags.recall_sample;
   if (flags.slo_availability > 0.0) {
     options.stats.slo.availability_objective = flags.slo_availability;
   }
@@ -362,6 +404,20 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "scoring encoding: %s, score cache: %lld\n",
                eval::ScoreEncodingName(options.encoding),
                static_cast<long long>(flags.score_cache));
+  if (retrieval == serve::RetrievalMode::kIvf) {
+    if (snap->has_index()) {
+      std::fprintf(
+          stderr,
+          "retrieval: ivf (%d cells, %d empty, built in %lldus), nprobe %d\n",
+          snap->item_index().cells(), snap->item_index().empty_cells(),
+          static_cast<long long>(snap->item_index().build_us()),
+          flags.nprobe);
+    } else {
+      std::fprintf(stderr,
+                   "retrieval: ivf requested but index build failed; "
+                   "serving exact\n");
+    }
+  }
   serve::RecommendService service(&store, options);
 
   serve::HealthReporter::Options health_options;

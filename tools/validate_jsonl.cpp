@@ -10,7 +10,8 @@
 //   "type":"access"  serving access log — required keys present, request
 //                    ids unique within the file and >= 1, status in the
 //                    util::StatusCode enum, encoding in {f32,int8,bf16},
-//                    flag/status consistency (malformed =>
+//                    retrieval in {exact,ivf} with a non-negative
+//                    candidates count, flag/status consistency (malformed =>
 //                    INVALID_ARGUMENT, shed => RESOURCE_EXHAUSTED), and
 //                    per-stage micros summing to at most latency_us (the
 //                    stages time disjoint sub-intervals of the request).
@@ -87,6 +88,7 @@ const std::set<std::string>& AccessRequiredKeys() {
       "type",     "id",        "user",       "k",
       "budget_us", "status",   "malformed",  "shed",
       "cached",   "partial",   "degraded",   "encoding",
+      "retrieval", "candidates",
       "snapshot_version",      "submit_us",  "done_us",
       "latency_us", "admission_us", "snapshot_us", "cache_us",
       "score_us", "serialize_us"};
@@ -146,6 +148,16 @@ bool ValidateAccessRecord(const layergcn::obs::JsonValue& value,
       (encoding->string != "f32" && encoding->string != "int8" &&
        encoding->string != "bf16")) {
     return complain("encoding must be f32|int8|bf16");
+  }
+
+  const layergcn::obs::JsonValue* retrieval = value.Find("retrieval");
+  if (!retrieval->is_string() ||
+      (retrieval->string != "exact" && retrieval->string != "ivf")) {
+    return complain("retrieval must be exact|ivf");
+  }
+  const layergcn::obs::JsonValue* candidates = value.Find("candidates");
+  if (!candidates->is_number() || candidates->number < 0) {
+    return complain("candidates must be a non-negative number");
   }
 
   // Flag/status consistency.
