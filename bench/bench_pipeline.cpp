@@ -1,0 +1,268 @@
+// Benchmark: the continuous ingest → train → publish → serve pipeline.
+//
+// Three passes over temp-dir pipelines (DESIGN.md §16):
+//
+//   ingest     durable WAL throughput: events/sec through
+//              PipelineSupervisor::Ingest (frame + CRC + fsync batch +
+//              delta merge), with training disabled by a high cadence
+//   publish    SnapshotPublisher latency distribution: stage, validate,
+//              rotate, reload — the time a trained model takes to become
+//              the serving snapshot
+//   freshness  event → served end to end: per cycle, the wall-clock from
+//              the Ingest() of the batch that crosses the training
+//              cadence to the moment a Recommend response is stamped with
+//              the newly published version (fine-tune included — this is
+//              the number EXPERIMENTS.md's freshness-vs-quality table
+//              tracks)
+//
+// Emits BENCH_pipeline.json. Acceptance: every publish lands, every
+// freshness cycle publishes a new version, and the post-publish probe
+// request serves it.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_env.h"
+#include "experiments/env.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "pipeline/supervisor.h"
+#include "pipeline/wal.h"
+#include "serve/recommend_service.h"
+#include "serve/snapshot.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+using namespace layergcn;
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+pipeline::WalRecord EventAt(uint64_t seed, int64_t i) {
+  const uint64_t h = Mix64(seed ^ static_cast<uint64_t>(i));
+  pipeline::WalRecord r;
+  r.user = static_cast<int32_t>(h % static_cast<uint64_t>(64 + i / 16));
+  r.item =
+      static_cast<int32_t>((h >> 32) % static_cast<uint64_t>(96 + i / 10));
+  r.timestamp = i;
+  return r;
+}
+
+std::vector<pipeline::WalRecord> Batch(uint64_t seed, int64_t begin,
+                                       int64_t end) {
+  std::vector<pipeline::WalRecord> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) out.push_back(EventAt(seed, i));
+  return out;
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+double Percentile(std::vector<uint64_t>* v, double q) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = std::min(
+      v->size() - 1, static_cast<size_t>(q * static_cast<double>(v->size())));
+  return static_cast<double>((*v)[idx]);
+}
+
+pipeline::SupervisorOptions PipelineOptions(const std::string& root,
+                                            uint64_t seed) {
+  pipeline::SupervisorOptions options;
+  options.root_dir = root;
+  options.snapshot_dir = root + "/snapshots";
+  options.train_config.embedding_dim = 16;
+  options.train_config.num_layers = 2;
+  options.train_config.batch_size = 1024;
+  options.train_config.seed = seed;
+  options.warm.bootstrap_epochs = 2;
+  options.warm.fine_tune_epochs = 1;
+  options.warm.quality_k = 10;
+  options.warm.max_quality_drop = 1.0;  // measure plumbing, not ranking
+  options.publish.backoff_base_us = 1'000;
+  options.publish.backoff_max_us = 50'000;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const experiments::Env env = experiments::ParseEnv(argc, argv);
+  experiments::PrintBanner("Continuous pipeline throughput & freshness", env);
+  obs::SetEnabled(true);
+
+  const double s = env.Scale(0.25, 1.0);
+  bool ok = true;
+
+  // --- Pass 1: durable ingest throughput --------------------------------
+  const int64_t ingest_batches = 20;
+  const int64_t ingest_batch_events = static_cast<int64_t>(4000 * s);
+  double ingest_events_per_sec = 0.0;
+  int64_t ingest_wal_bytes = 0;
+  {
+    const std::string root = FreshDir("bench_pipeline_ingest");
+    serve::SnapshotStore store(root + "/snapshots");
+    pipeline::SupervisorOptions options = PipelineOptions(root, env.seed);
+    options.min_train_events = ingest_batches * ingest_batch_events + 1;
+    pipeline::PipelineSupervisor supervisor(options, &store);
+    if (!supervisor.Start().ok()) return 1;
+
+    const uint64_t t0 = obs::NowMicros();
+    for (int64_t b = 0; b < ingest_batches; ++b) {
+      const util::Status st = supervisor.Ingest(Batch(
+          env.seed, b * ingest_batch_events, (b + 1) * ingest_batch_events));
+      if (!st.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    const uint64_t us = obs::NowMicros() - t0;
+    const int64_t total = ingest_batches * ingest_batch_events;
+    ingest_events_per_sec =
+        us > 0 ? 1e6 * static_cast<double>(total) / static_cast<double>(us)
+               : 0.0;
+    pipeline::WalRecoveryStats stats;
+    (void)pipeline::InteractionWal::ReadAll(root + "/wal", &stats).status();
+    ingest_wal_bytes = stats.bytes;
+    std::printf("ingest: %lld events in %.1f ms (%.0f events/sec, "
+                "%lld WAL bytes)\n",
+                static_cast<long long>(total),
+                static_cast<double>(us) / 1e3, ingest_events_per_sec,
+                static_cast<long long>(ingest_wal_bytes));
+  }
+
+  // --- Pass 2: publish latency ------------------------------------------
+  const int publish_count = 8;
+  std::vector<uint64_t> publish_us;
+  {
+    const std::string dir = FreshDir("bench_pipeline_publish");
+    serve::SnapshotStore store(dir);
+    pipeline::PublisherOptions options;
+    options.backoff_base_us = 1'000;
+    pipeline::SnapshotPublisher publisher(&store, options);
+
+    const int32_t num_users = static_cast<int32_t>(2000 * s);
+    const int32_t num_items = static_cast<int32_t>(4000 * s);
+    tensor::Matrix user_emb(num_users, 64), item_emb(num_items, 64);
+    util::Rng rng(env.seed);
+    user_emb.UniformInit(&rng, -0.5f, 0.5f);
+    item_emb.UniformInit(&rng, -0.5f, 0.5f);
+    std::vector<std::vector<int32_t>> history(
+        static_cast<size_t>(num_users));
+    for (int32_t u = 0; u < num_users; ++u) {
+      for (int32_t i = u % 53; i < num_items; i += 53) {
+        history[static_cast<size_t>(u)].push_back(i);
+      }
+    }
+    for (int64_t v = 1; v <= publish_count; ++v) {
+      const uint64_t t0 = obs::NowMicros();
+      const util::Status st =
+          publisher.Publish({&user_emb, &item_emb}, history, v);
+      if (!st.ok()) {
+        std::fprintf(stderr, "publish %lld failed: %s\n",
+                     static_cast<long long>(v), st.ToString().c_str());
+        ok = false;
+        break;
+      }
+      publish_us.push_back(obs::NowMicros() - t0);
+    }
+    std::printf("publish: %zu publishes (%d users x %d items), p50 %.0f us, "
+                "p99 %.0f us\n",
+                publish_us.size(), num_users, num_items,
+                Percentile(&publish_us, 0.5), Percentile(&publish_us, 0.99));
+  }
+
+  // --- Pass 3: event -> served freshness --------------------------------
+  const int freshness_cycles = 4;
+  const int64_t fresh_batch = static_cast<int64_t>(1200 * s);
+  std::vector<uint64_t> freshness_us;
+  {
+    const std::string root = FreshDir("bench_pipeline_fresh");
+    serve::SnapshotStore store(root + "/snapshots");
+    pipeline::SupervisorOptions options = PipelineOptions(root, env.seed);
+    // Events dedup in the ingestor, so the per-cycle accepted count is below
+    // the raw batch size; half the batch keeps every cycle above cadence.
+    options.min_train_events = fresh_batch / 2;
+    pipeline::PipelineSupervisor supervisor(options, &store);
+    if (!supervisor.Start().ok()) return 1;
+    serve::RecommendService service(&store);
+
+    for (int cycle = 0; cycle < freshness_cycles; ++cycle) {
+      const int64_t base = supervisor.events_committed();
+      const int64_t version_before = supervisor.manifest().version;
+      const uint64_t t0 = obs::NowMicros();
+      if (!supervisor.Ingest(Batch(env.seed, base, base + fresh_batch)).ok() ||
+          !supervisor.RunCycle().ok()) {
+        ok = false;
+        break;
+      }
+      if (supervisor.manifest().version <= version_before) {
+        std::fprintf(stderr, "freshness cycle %d did not publish\n", cycle);
+        ok = false;
+        break;
+      }
+      // The event is "served" once a live request carries the new version.
+      const auto r = service.Recommend({0, 10, 0});
+      if (!r.ok() ||
+          r.value().snapshot_version != supervisor.manifest().version) {
+        std::fprintf(stderr, "freshness cycle %d not serving v%lld\n", cycle,
+                     static_cast<long long>(supervisor.manifest().version));
+        ok = false;
+        break;
+      }
+      freshness_us.push_back(obs::NowMicros() - t0);
+    }
+    std::printf("freshness: %zu cycles of %lld events, p50 %.0f us, "
+                "max %.0f us (ingest + fine-tune + publish + serve)\n",
+                freshness_us.size(), static_cast<long long>(fresh_batch),
+                Percentile(&freshness_us, 0.5),
+                Percentile(&freshness_us, 1.0));
+  }
+
+  FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::WriteBenchEnvJson(out);
+  std::fprintf(out,
+               "  \"bench\": \"pipeline\",\n"
+               "  \"ingest\": {\"batches\": %lld, \"batch_events\": %lld, "
+               "\"events_per_sec\": %.0f, \"wal_bytes\": %lld},\n"
+               "  \"publish\": {\"count\": %zu, \"p50_us\": %.0f, "
+               "\"p99_us\": %.0f},\n"
+               "  \"freshness\": {\"cycles\": %zu, \"batch_events\": %lld, "
+               "\"p50_us\": %.0f, \"max_us\": %.0f},\n"
+               "  \"acceptance\": %s\n"
+               "}\n",
+               static_cast<long long>(ingest_batches),
+               static_cast<long long>(ingest_batch_events),
+               ingest_events_per_sec,
+               static_cast<long long>(ingest_wal_bytes), publish_us.size(),
+               Percentile(&publish_us, 0.5), Percentile(&publish_us, 0.99),
+               freshness_us.size(), static_cast<long long>(fresh_batch),
+               Percentile(&freshness_us, 0.5), Percentile(&freshness_us, 1.0),
+               ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote BENCH_pipeline.json\n");
+  std::printf("acceptance: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

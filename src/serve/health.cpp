@@ -47,6 +47,17 @@ HealthReporter::HealthReporter(const SnapshotStore* store,
 
 HealthReporter::~HealthReporter() { Stop(); }
 
+bool HealthReporter::SnapshotStale(uint64_t now_us) const {
+  bool stale = false;
+  if (options_.max_snapshot_age_us > 0 && store_->current() != nullptr) {
+    const uint64_t published = store_->published_at_us();
+    stale = now_us > published &&
+            now_us - published > options_.max_snapshot_age_us;
+  }
+  OBS_GAUGE("serve.snapshot_stale", stale ? 1 : 0);
+  return stale;
+}
+
 std::string HealthReporter::StatusString(uint64_t now_us) const {
   const std::shared_ptr<const ModelSnapshot> snap = store_->current();
   if (snap == nullptr) return "unready";
@@ -54,8 +65,7 @@ std::string HealthReporter::StatusString(uint64_t now_us) const {
       service_->breaker().state() == CircuitBreaker::State::kOpen;
   const bool slo_breach =
       service_->stats().slo().state() == obs::SloMonitor::State::kBreach;
-  if (breaker_open || slo_breach) return "degraded";
-  (void)now_us;
+  if (breaker_open || slo_breach || SnapshotStale(now_us)) return "degraded";
   return "ok";
 }
 
@@ -102,6 +112,10 @@ std::string HealthReporter::StatusJson(uint64_t now_us) {
     w.Key("version").Int(snap->version());
     w.Key("published_at_us").Uint(published);
     w.Key("age_us").Uint(now_us > published ? now_us - published : 0);
+    if (options_.max_snapshot_age_us > 0) {
+      w.Key("max_age_us").Uint(options_.max_snapshot_age_us);
+      w.Key("stale").Bool(SnapshotStale(now_us));
+    }
     w.Key("num_users").Int(snap->num_users());
     w.Key("num_items").Int(snap->num_items());
     w.Key("index").BeginObject();

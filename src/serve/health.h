@@ -47,6 +47,11 @@ class HealthReporter {
     std::string prom_path;
     /// Background write period.
     uint64_t period_us = 1'000'000;
+    /// Snapshot-staleness alarm: when the served snapshot is older than
+    /// this, the ladder degrades and the serve.snapshot_stale gauge flips
+    /// to 1 — the "publisher wedged" signal of the continuous pipeline.
+    /// 0 disables the check.
+    uint64_t max_snapshot_age_us = 0;
   };
 
   /// `store` and `service` must outlive the reporter.
@@ -71,7 +76,13 @@ class HealthReporter {
   bool WriteNow(uint64_t now_us);
 
   /// Overall status string at `now_us`: "unready" / "degraded" / "ok".
+  /// Degraded covers an open breaker, an SLO breach, or a stale snapshot.
   std::string StatusString(uint64_t now_us) const;
+
+  /// True when staleness checking is on, a snapshot is published, and its
+  /// age at `now_us` exceeds Options::max_snapshot_age_us. Updates the
+  /// serve.snapshot_stale gauge as a side effect.
+  bool SnapshotStale(uint64_t now_us) const;
 
   /// Status writes that completed (tests / liveness checks).
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }

@@ -97,6 +97,13 @@ TrainResult FitRecommender(Recommender* model, const data::Dataset& dataset,
   ClearStopRequest();
   util::Rng rng(config.seed);
   model->Init(dataset, config, &rng);
+  if (options.warm_start) {
+    if (util::Status warmed = options.warm_start(model); !warmed.ok()) {
+      TrainResult aborted;
+      aborted.status = std::move(warmed);
+      return aborted;
+    }
+  }
 
   eval::Evaluator valid_eval(&dataset, {options.validation_k});
   eval::Evaluator test_eval(&dataset, options.report_ks);

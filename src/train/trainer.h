@@ -94,6 +94,14 @@ struct TrainOptions {
   /// is a FailedPrecondition error.
   bool resume = false;
 
+  /// Warm-start hook, invoked once right after model->Init() (parameters
+  /// freshly initialized) and before resume/training: the callback may
+  /// overwrite parameter values and optimizer state in place — e.g. carry
+  /// rows from a previous run's checkpoint into a grown embedding table
+  /// (src/pipeline/warm_start.h). A non-OK status aborts the run with that
+  /// status in TrainResult::status.
+  std::function<util::Status(Recommender*)> warm_start;
+
   /// Divergence watchdog: per-epoch NaN/Inf checks on loss, gradient norm
   /// and parameter norm, with rollback to the last good checkpoint.
   bool watchdog = true;

@@ -28,6 +28,17 @@
 //                            request deadline (only fires when a request
 //                            carries a budget) -> partial result or
 //                            DeadlineExceeded, breaker food
+//
+// Pipeline points (src/pipeline/):
+//   wal.torn_write           a WAL commit persists only a mid-frame prefix
+//                            of the batch and poisons the writer (recovery
+//                            re-opens, truncates the torn tail)
+//   wal.short_read           WAL recovery sees a truncated segment image
+//   wal.bit_flip             WAL recovery sees one flipped payload bit
+//                            (CRC mismatch -> record skipped + counted)
+//   publish.torn_rename      the publisher's rotate step leaves a torn
+//                            file under the final snap- name (store falls
+//                            back; the bounded retry renames over it)
 
 #ifndef LAYERGCN_UTIL_FAULT_INJECTION_H_
 #define LAYERGCN_UTIL_FAULT_INJECTION_H_

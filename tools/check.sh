@@ -39,6 +39,19 @@
 # exit 0 (recovered) or exit 1 (structured error) — never a crash, abort,
 # or sanitizer report.
 #
+# The `pipeline` stage is the chaos drill for the continuous
+# ingest→train→publish→serve loop (DESIGN.md §16). Under ASan/UBSan it
+# runs layergcn_pipeline with each pipeline fault point armed (torn WAL
+# commit, torn snapshot rename, NaN loss) — every run must exit 0, answer
+# every serve probe (serve.failed == 0), land at least one publish, and
+# converge to the clean run's ingest digest. Then it SIGKILLs a
+# long-running pipeline mid-flight, clones the surviving directory, and
+# restarts both replicas: recovery must replay the WAL (recovered > 0,
+# committed = recovered + new) and both replicas must reach bit-identical
+# digests. Finally the release-build bench_pipeline summary must
+# self-compare clean through bench_diff and trip exit 2 on an injected
+# freshness regression.
+#
 # The `serve` stage builds a UBSan-only config (LAYERGCN_SANITIZE=undefined)
 # and smokes the serving subsystem: train 2 synthetic epochs, export a
 # snapshot, then serve 1k JSONL requests through layergcn_serve under each
@@ -273,6 +286,149 @@ run_fault_stage() {
     --checkpoint-dir="${out}/ckpt-checkpoint-torn_write" --resume
 }
 run_fault_stage
+
+# Continuous-pipeline chaos drill: crash at every boundary of the
+# ingest→train→publish→serve loop under ASan/UBSan; serving must never
+# degrade below "every well-formed request answered" and the durable state
+# must replay bit-identically.
+run_pipeline_stage() {
+  local dir="${build_root}/asan-ubsan"
+  local out="${build_root}/pipeline-out"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+
+  # Pulls a top-level or nested integer field out of a one-line summary.
+  summary_field() {
+    grep -o "\"$2\":[0-9][0-9]*" "$1" | head -1 | cut -d: -f2
+  }
+  # Asserts the invariants every pipeline run must hold: graceful exit
+  # (checked by the caller), all serve probes answered, >= 1 publish.
+  check_summary() {
+    local summary="$1" label="$2"
+    local failed publishes
+    failed="$(summary_field "${summary}" failed)"
+    publishes="$(summary_field "${summary}" publishes)"
+    if [[ "${failed}" -ne 0 ]]; then
+      echo "PIPELINE STAGE FAILED: ${label}: ${failed} serve requests failed"
+      exit 1
+    fi
+    if [[ "${publishes}" -lt 1 ]]; then
+      echo "PIPELINE STAGE FAILED: ${label}: no snapshot published"
+      exit 1
+    fi
+  }
+
+  echo "=== [pipeline] clean reference run ==="
+  "${dir}/tools/layergcn_pipeline" --dir="${out}/clean" \
+    --cycles=4 --events-per-cycle=200 --min-train-events=300 \
+    --summary-out="${out}/summary-clean.json" --quiet
+  check_summary "${out}/summary-clean.json" "clean"
+  local ref_digest
+  ref_digest="$(summary_field "${out}/summary-clean.json" digest)"
+
+  # Fault sweep: same workload with each pipeline fault point armed. The
+  # injected crash must be absorbed (exit 0, no serve failure, a publish
+  # still lands) and the committed event stream must converge to the
+  # clean run's digest — recovery is lossless, not merely survivable.
+  local pipeline_faults=(
+    "wal.torn_write"
+    "wal.torn_write:2"
+    "publish.torn_rename"
+    "trainer.nan_loss:2"
+    "wal.torn_write,publish.torn_rename"
+  )
+  for fault in "${pipeline_faults[@]}"; do
+    local tag="${fault//[^a-z0-9_]/-}"
+    echo "=== [pipeline] LAYERGCN_FAULT=${fault} ==="
+    local rc=0
+    LAYERGCN_FAULT="${fault}" "${dir}/tools/layergcn_pipeline" \
+      --dir="${out}/fault-${tag}" \
+      --cycles=4 --events-per-cycle=200 --min-train-events=300 \
+      --summary-out="${out}/summary-${tag}.json" --quiet || rc=$?
+    if [[ "${rc}" -ne 0 ]]; then
+      echo "PIPELINE STAGE FAILED: LAYERGCN_FAULT=${fault} exited ${rc}"
+      exit 1
+    fi
+    check_summary "${out}/summary-${tag}.json" "LAYERGCN_FAULT=${fault}"
+    local digest
+    digest="$(summary_field "${out}/summary-${tag}.json" digest)"
+    if [[ "${digest}" != "${ref_digest}" ]]; then
+      echo "PIPELINE STAGE FAILED: LAYERGCN_FAULT=${fault} digest" \
+           "${digest} != clean ${ref_digest} (recovery lost events)"
+      exit 1
+    fi
+  done
+
+  # Crash-restart drill: SIGKILL a long-running pipeline mid-flight, clone
+  # the surviving directory, and restart both replicas. Start() must
+  # replay the WAL (truncating any torn tail) and both replicas — being
+  # pure functions of the same durable state — must finish bit-identical.
+  echo "=== [pipeline] SIGKILL mid-run + twin restart ==="
+  "${dir}/tools/layergcn_pipeline" --dir="${out}/kill" \
+    --cycles=100000 --events-per-cycle=100 --min-train-events=300 \
+    --cycle-sleep-ms=10 --quiet > /dev/null 2>&1 &
+  local pid=$!
+  sleep 6
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  cp -r "${out}/kill" "${out}/kill-twin"
+  for replica in kill kill-twin; do
+    local rc=0
+    "${dir}/tools/layergcn_pipeline" --dir="${out}/${replica}" \
+      --cycles=3 --events-per-cycle=100 --min-train-events=300 \
+      --summary-out="${out}/summary-${replica}.json" --quiet || rc=$?
+    if [[ "${rc}" -ne 0 ]]; then
+      echo "PIPELINE STAGE FAILED: restart of ${replica} exited ${rc}"
+      exit 1
+    fi
+    if [[ "$(summary_field "${out}/summary-${replica}.json" failed)" -ne 0 ]]
+    then
+      echo "PIPELINE STAGE FAILED: ${replica} restart dropped serve requests"
+      exit 1
+    fi
+    local recovered committed
+    recovered="$(summary_field "${out}/summary-${replica}.json" \
+                 recovered_records)"
+    committed="$(summary_field "${out}/summary-${replica}.json" \
+                 events_committed)"
+    if [[ "${recovered}" -lt 1 ]]; then
+      echo "PIPELINE STAGE FAILED: ${replica} restart recovered nothing"
+      exit 1
+    fi
+    if [[ "${committed}" -ne $((recovered + 300)) ]]; then
+      echo "PIPELINE STAGE FAILED: ${replica} committed ${committed}," \
+           "want recovered ${recovered} + 300"
+      exit 1
+    fi
+  done
+  local twin_a twin_b
+  twin_a="$(summary_field "${out}/summary-kill.json" digest)"
+  twin_b="$(summary_field "${out}/summary-kill-twin.json" digest)"
+  if [[ "${twin_a}" != "${twin_b}" ]]; then
+    echo "PIPELINE STAGE FAILED: twin restarts diverged" \
+         "(${twin_a} vs ${twin_b})"
+    exit 1
+  fi
+
+  # Freshness bench (release build — latencies under ASan are noise):
+  # self-compare must pass, an injected 25% freshness regression must trip
+  # bench_diff's regression exit.
+  echo "=== [pipeline] bench_pipeline + bench_diff gates ==="
+  ( cd "${out}" && "${build_root}/release/bench/bench_pipeline" )
+  "${build_root}/release/tools/bench_diff" \
+    "${out}/BENCH_pipeline.json" "${out}/BENCH_pipeline.json"
+  sed 's/"freshness": {"cycles": \([0-9]*\), "batch_events": \([0-9]*\), "p50_us": \([0-9]*\)/"freshness": {"cycles": \1, "batch_events": \2, "p50_us": \3000/' \
+    "${out}/BENCH_pipeline.json" > "${out}/BENCH_pipeline_regressed.json"
+  local rc=0
+  "${build_root}/release/tools/bench_diff" "${out}/BENCH_pipeline.json" \
+    "${out}/BENCH_pipeline_regressed.json" || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "PIPELINE STAGE FAILED: bench_diff exit ${rc} on injected" \
+         "freshness regression, want 2"
+    exit 1
+  fi
+}
+run_pipeline_stage
 
 # Quantized-serving sweep: export a snapshot carrying every encoding, serve
 # the same 1k-request stream with each scoring kernel (responses must stay

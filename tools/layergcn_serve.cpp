@@ -41,6 +41,7 @@
 #include "serve/recommend_service.h"
 #include "serve/request_context.h"
 #include "serve/snapshot.h"
+#include "train/stop_token.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -74,6 +75,7 @@ struct Flags {
   std::string trace_out;   // Chrome trace (enables span recording)
   std::string health_out;  // periodic health/readiness JSON
   std::string prom_out;    // Prometheus text exposition
+  int64_t max_snapshot_age_s = 0;  // staleness alarm; 0 = off
   // SLO objective overrides (<0 / 0 = keep defaults; LAYERGCN_SLO_* env
   // vars are applied on top by the service and win).
   double slo_availability = -1.0;
@@ -118,6 +120,8 @@ void PrintUsage(const char* argv0) {
       "  --trace-out=PATH     Chrome trace of request-keyed spans\n"
       "  --health-out=PATH    health/readiness JSON, refreshed every second\n"
       "  --prom-out=PATH      Prometheus text exposition of all metrics\n"
+      "  --max-snapshot-age=S degrade health when the served snapshot is\n"
+      "                       older than S seconds (0 = off)\n"
       "  --slo-availability=F        availability objective (e.g. 0.999)\n"
       "  --slo-latency-target-us=N   latency SLO target in microseconds\n"
       "  --slo-latency-objective=F   fraction that must beat the target\n"
@@ -190,6 +194,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->health_out = value;
     } else if (key == "--prom-out") {
       flags->prom_out = value;
+    } else if (key == "--max-snapshot-age") {
+      ok = as_int(&flags->max_snapshot_age_s) &&
+           flags->max_snapshot_age_s >= 0;
     } else if (key == "--slo-availability") {
       ok = util::ParseDouble(value, &flags->slo_availability) &&
            flags->slo_availability > 0.0 && flags->slo_availability < 1.0;
@@ -342,6 +349,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // SIGINT/SIGTERM request a graceful drain: stop submitting, finish the
+  // in-flight window, flush the access log and final health/metrics
+  // snapshots, exit 0. A second signal kills the process the usual way.
+  train::ClearStopRequest();
+  train::InstallStopSignalHandlers();
+
   std::unique_ptr<util::ThreadPool> pool;
   std::unique_ptr<util::parallel::ScopedComputePool> pool_scope;
   if (flags.threads > 0) {
@@ -423,6 +436,8 @@ int main(int argc, char** argv) {
   serve::HealthReporter::Options health_options;
   health_options.status_path = flags.health_out;
   health_options.prom_path = flags.prom_out;
+  health_options.max_snapshot_age_us =
+      static_cast<uint64_t>(flags.max_snapshot_age_s) * 1'000'000;
   serve::HealthReporter health(&store, &service, health_options);
   if (!flags.health_out.empty() || !flags.prom_out.empty()) health.Start();
 
@@ -493,7 +508,12 @@ int main(int argc, char** argv) {
     access_log.Append(ctx);
     window.pop_front();
   };
+  bool interrupted = false;
   for (const PendingRequest& pending : requests) {
+    if (train::StopRequested()) {
+      interrupted = true;
+      break;
+    }
     if (!flags.burst) {
       while (static_cast<int64_t>(window.size()) >= flags.queue_capacity) {
         drain_one();
@@ -527,6 +547,14 @@ int main(int argc, char** argv) {
   while (!window.empty()) drain_one();
   service.stats().UpdateGauges(obs::NowMicros());
 
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "graceful stop: drained %lld in-flight requests, "
+                 "skipped %lld unsubmitted\n",
+                 static_cast<long long>(tally.total),
+                 static_cast<long long>(
+                     static_cast<int64_t>(requests.size()) - tally.total));
+  }
   std::fprintf(stderr,
                "served %lld requests: %lld ok (%lld partial, %lld degraded), "
                "%lld shed, %lld deadline, %lld invalid (%lld malformed), "
