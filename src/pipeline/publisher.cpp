@@ -125,16 +125,11 @@ util::Status SnapshotPublisher::Publish(
 }
 
 void SnapshotPublisher::Prune() const {
-  const auto snapshots = serve::SnapshotStore::ListSnapshots(store_->dir());
-  const auto current = store_->current();
-  const int64_t serving = current != nullptr ? current->version() : -1;
-  const int keep = std::max(1, options_.keep_snapshots);
-  const int64_t excess = static_cast<int64_t>(snapshots.size()) - keep;
-  for (int64_t i = 0; i < excess; ++i) {
-    if (snapshots[i].first == serving) continue;
-    std::remove(snapshots[i].second.c_str());
-    OBS_COUNT("pipeline.publish.pruned", 1);
-  }
+  // Retention lives in the store (it owns the "never prune the serving
+  // version" invariant and the valid-only quota); the publisher just
+  // mirrors the count into its own namespace for pipeline dashboards.
+  const int64_t pruned = store_->Retain(options_.keep_snapshots);
+  if (pruned > 0) OBS_COUNT("pipeline.publish.pruned", pruned);
 }
 
 }  // namespace layergcn::pipeline

@@ -158,6 +158,7 @@ util::Status PipelineSupervisor::Ingest(const std::vector<WalRecord>& events) {
   if (!started_) {
     return util::FailedPreconditionError("Ingest() before Start()");
   }
+  if (halted_) return last_error_;
   if (events.empty()) return util::OkStatus();
 
   const int64_t before = wal_->committed_records();
@@ -169,10 +170,18 @@ util::Status PipelineSupervisor::Ingest(const std::vector<WalRecord>& events) {
   if (st.ok()) st = wal_->Commit();
 
   if (!st.ok()) {
+    if (st.code() == util::StatusCode::kResourceExhausted) {
+      // Full disk: the recovery drill cannot help — re-appending the
+      // batch needs exactly the space the disk does not have. Degrade to
+      // serving-only instead of retrying into the same wall.
+      return HaltIngestion(st);
+    }
     // Torn commit: the in-process recovery drill. Re-open (recovery
     // truncates the torn tail), compute exactly which suffix of the batch
     // was lost, and re-append it in order — the committed sequence ends up
-    // identical to an unfaulted run's.
+    // identical to an unfaulted run's. A drill that cannot restore
+    // durability (disk still unwritable) halts ingestion instead of
+    // crashing: the published snapshot keeps serving.
     LAYERGCN_LOG(kWarning) << "WAL commit failed (" << st.ToString()
                            << "); re-opening for recovery";
     ++counters_.wal_reopens;
@@ -181,7 +190,7 @@ util::Status PipelineSupervisor::Ingest(const std::vector<WalRecord>& events) {
     wal_options.dir = options_.root_dir + "/wal";
     wal_options.segment_bytes = options_.wal_segment_bytes;
     auto reopened = InteractionWal::Open(wal_options);
-    LAYERGCN_RETURN_IF_ERROR(reopened.status());
+    if (!reopened.ok()) return HaltIngestion(reopened.status());
     wal_ = std::move(reopened).value();
     const int64_t survived = wal_->committed_records() - before;
     if (survived < 0 ||
@@ -189,15 +198,29 @@ util::Status PipelineSupervisor::Ingest(const std::vector<WalRecord>& events) {
       return util::InternalError("WAL recovery position out of range");
     }
     for (size_t i = static_cast<size_t>(survived); i < events.size(); ++i) {
-      LAYERGCN_RETURN_IF_ERROR(wal_->Append(events[i]));
+      const util::Status append = wal_->Append(events[i]);
+      if (!append.ok()) return HaltIngestion(append);
     }
-    LAYERGCN_RETURN_IF_ERROR(wal_->Commit());
+    const util::Status recommit = wal_->Commit();
+    if (!recommit.ok()) return HaltIngestion(recommit);
   }
 
   ingestor_.Apply(events);
   ++counters_.ingest_batches;
   OBS_GAUGE("pipeline.events_pending_train", events_pending_train());
   return util::OkStatus();
+}
+
+util::Status PipelineSupervisor::HaltIngestion(util::Status cause) {
+  halted_ = true;
+  last_error_ = util::ResourceExhaustedError(
+      "pipeline halted: WAL durability lost and unrecoverable in place; "
+      "serving continues read-only; last error: " + cause.ToString());
+  OBS_GAUGE("pipeline.supervisor.halted", 1);
+  OBS_COUNT("pipeline.wal.ingest_halts", 1);
+  LAYERGCN_LOG(kError)
+      << "ingestion halted (serving-only degraded mode): " << cause.ToString();
+  return last_error_;
 }
 
 util::Status PipelineSupervisor::StageResult(const char* stage,
@@ -312,6 +335,12 @@ util::Status PipelineSupervisor::TrainAndMaybePublish() {
   manifest_.version = version;
   LAYERGCN_RETURN_IF_ERROR(manifest_.Save(manifest_path_));
   ++counters_.publishes;
+  if (options_.gc_covered_wal_segments) {
+    // The manifest now durably records that trained_events are baked into
+    // the published snapshot; sealed segments below that position are
+    // recovery dead weight.
+    wal_->GcCoveredSegments(manifest_.trained_events);
+  }
   LAYERGCN_LOG(kInfo) << "published snapshot version " << version << " ("
                       << dataset.num_users << " users, " << dataset.num_items
                       << " items, R@" << options_.warm.quality_k << " "

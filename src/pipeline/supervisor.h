@@ -67,6 +67,12 @@ struct SupervisorOptions {
   uint64_t stage_deadline_us = 0;
   /// Consecutive failures per stage before the supervisor halts.
   int max_stage_failures = 3;
+  /// Delete WAL segments fully covered by a successful publish (the
+  /// events are baked into the served snapshot and the manifest records
+  /// the consumed count). Off by default: replay-everything is the
+  /// simplest recovery story; long-running deployments turn this on to
+  /// bound disk growth.
+  bool gc_covered_wal_segments = false;
 
   train::TrainConfig train_config;
   /// Budget/gate knobs; checkpoint_root, run_id and prev_* are managed by
@@ -91,7 +97,11 @@ class PipelineSupervisor {
   /// merges them. A torn commit triggers the in-process recovery drill —
   /// re-open, truncate, re-append the lost suffix — so the committed
   /// sequence (and therefore the merged state) is exactly what an
-  /// unfaulted run would have produced.
+  /// unfaulted run would have produced. When the drill itself cannot
+  /// restore durability (e.g. the disk is full — wal.enospc), the
+  /// supervisor halts state mutation and degrades to serving-only: the
+  /// published snapshot keeps answering, further Ingest()/RunCycle()
+  /// calls return the halt reason, and nothing crashes.
   util::Status Ingest(const std::vector<WalRecord>& events);
 
   /// One supervision cycle: fine-tune when enough events are pending,
@@ -132,6 +142,8 @@ class PipelineSupervisor {
   /// Records a stage outcome against the restart budget; returns `st`.
   util::Status StageResult(const char* stage, int* consecutive,
                            util::Status st);
+  /// Irrecoverable WAL failure: stop mutating state, keep serving.
+  util::Status HaltIngestion(util::Status cause);
 
   SupervisorOptions options_;
   serve::SnapshotStore* const store_;

@@ -47,13 +47,17 @@ std::string AccessLog::RecordJson(const RequestContext& ctx) {
   w.Key("user").Int(ctx.user);
   w.Key("k").Int(ctx.k);
   w.Key("budget_us").Uint(ctx.budget_us);
+  w.Key("priority").String(PriorityName(ctx.priority));
   w.Key("status").String(util::StatusCodeName(ctx.code));
   if (!ctx.error.empty()) w.Key("error").String(ctx.error);
   w.Key("malformed").Bool(ctx.malformed);
   w.Key("shed").Bool(ctx.shed);
+  w.Key("expired").Bool(ctx.expired);
   w.Key("cached").Bool(ctx.cached);
   w.Key("partial").Bool(ctx.partial);
   w.Key("degraded").Bool(ctx.degraded);
+  w.Key("brownout_level").Int(static_cast<int>(ctx.brownout));
+  w.Key("retry_after_ms").Uint(ctx.retry_after_ms);
   w.Key("encoding").String(eval::ScoreEncodingName(ctx.encoding));
   w.Key("retrieval").String(RetrievalModeName(ctx.retrieval));
   w.Key("candidates").Int(ctx.candidates);

@@ -65,7 +65,14 @@ std::string HealthReporter::StatusString(uint64_t now_us) const {
       service_->breaker().state() == CircuitBreaker::State::kOpen;
   const bool slo_breach =
       service_->stats().slo().state() == obs::SloMonitor::State::kBreach;
-  if (breaker_open || slo_breach || SnapshotStale(now_us)) return "degraded";
+  // A browned-out service is answering, but below its configured quality —
+  // that is "degraded" even after the burn subsides, until the ladder has
+  // stepped all the way back up.
+  const bool browned_out =
+      service_->brownout().level() != BrownoutLevel::kNone;
+  if (breaker_open || slo_breach || browned_out || SnapshotStale(now_us)) {
+    return "degraded";
+  }
   return "ok";
 }
 
@@ -133,6 +140,24 @@ std::string HealthReporter::StatusJson(uint64_t now_us) {
   w.Key("breaker").String(BreakerStateName(service_->breaker().state()));
   w.Key("queue_depth").Int(service_->in_flight());
   w.Key("queue_capacity").Int(service_->options().queue_capacity);
+  {
+    const OverloadState overload = service_->overload_state();
+    w.Key("overload").BeginObject();
+    w.Key("adaptive").Bool(overload.adaptive);
+    w.Key("limit").Int(overload.limit);
+    w.Key("executing").Int(overload.executing);
+    w.Key("queued").BeginObject();
+    for (int cls = 0; cls < kNumPriorities; ++cls) {
+      w.Key(PriorityName(static_cast<Priority>(cls)))
+          .Int(overload.queued[cls]);
+    }
+    w.EndObject();
+    w.Key("brownout").String(BrownoutLevelName(overload.brownout));
+    w.Key("brownout_transitions").Int(overload.brownout_transitions);
+    w.Key("smoothed_latency_us").Uint(overload.smoothed_latency_us);
+    w.Key("expired_per_sec").Number(rate("serve.expired_in_queue"));
+    w.EndObject();
+  }
   w.Key("slo").BeginObject();
   w.Key("state").String(obs::SloMonitor::StateName(stats.slo().state()));
   w.Key("transitions").Int(stats.slo().transitions());

@@ -76,7 +76,8 @@ class HealthReporter {
   bool WriteNow(uint64_t now_us);
 
   /// Overall status string at `now_us`: "unready" / "degraded" / "ok".
-  /// Degraded covers an open breaker, an SLO breach, or a stale snapshot.
+  /// Degraded covers an open breaker, an SLO breach, an active brownout
+  /// rung, or a stale snapshot.
   std::string StatusString(uint64_t now_us) const;
 
   /// True when staleness checking is on, a snapshot is published, and its

@@ -1,0 +1,176 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace layergcn::serve {
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+    case Priority::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+bool ParsePriority(const std::string& name, Priority* out) {
+  if (name == "interactive") {
+    *out = Priority::kInteractive;
+  } else if (name == "batch") {
+    *out = Priority::kBatch;
+  } else if (name == "background") {
+    *out = Priority::kBackground;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// --- AdaptiveLimiter ----------------------------------------------------
+
+namespace {
+
+AdaptiveLimiter::Options SanitizeLimiter(AdaptiveLimiter::Options o) {
+  o.min_limit = std::max<int64_t>(o.min_limit, 1);
+  o.max_limit = std::max(o.max_limit, o.min_limit);
+  o.initial_limit = std::clamp(o.initial_limit, o.min_limit, o.max_limit);
+  o.decrease_factor = std::clamp(o.decrease_factor, 0.05, 0.99);
+  o.increase_every = std::max<int64_t>(o.increase_every, 1);
+  return o;
+}
+
+}  // namespace
+
+AdaptiveLimiter::AdaptiveLimiter() : AdaptiveLimiter(Options()) {}
+
+AdaptiveLimiter::AdaptiveLimiter(const Options& options)
+    : options_(SanitizeLimiter(options)), limit_(options_.initial_limit) {
+  OBS_GAUGE("serve.overload.limit", static_cast<double>(limit_.load()));
+}
+
+void AdaptiveLimiter::CongestionLocked(uint64_t now_us) {
+  if (now_us < last_decrease_us_ + options_.decrease_cooldown_us) return;
+  last_decrease_us_ = now_us;
+  good_streak_ = 0;
+  const int64_t cur = limit_.load(std::memory_order_relaxed);
+  const int64_t next = std::max(
+      options_.min_limit,
+      static_cast<int64_t>(static_cast<double>(cur) *
+                           options_.decrease_factor));
+  if (next != cur) {
+    limit_.store(next, std::memory_order_relaxed);
+    decreases_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNT("serve.overload.limit_decreases", 1);
+    OBS_GAUGE("serve.overload.limit", static_cast<double>(next));
+  }
+}
+
+void AdaptiveLimiter::OnComplete(uint64_t now_us, uint64_t latency_us,
+                                 bool congested) {
+  // EWMA with alpha 1/8 — smooth enough for retry hints, fast enough to
+  // track a mode change within a few tens of requests.
+  uint64_t prev = ewma_us_.load(std::memory_order_relaxed);
+  ewma_us_.store(prev == 0 ? latency_us : prev - prev / 8 + latency_us / 8,
+                 std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (congested || latency_us > options_.latency_target_us) {
+    CongestionLocked(now_us);
+    return;
+  }
+  if (++good_streak_ < options_.increase_every) return;
+  good_streak_ = 0;
+  const int64_t cur = limit_.load(std::memory_order_relaxed);
+  if (cur >= options_.max_limit) return;
+  limit_.store(cur + 1, std::memory_order_relaxed);
+  increases_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNT("serve.overload.limit_increases", 1);
+  OBS_GAUGE("serve.overload.limit", static_cast<double>(cur + 1));
+}
+
+void AdaptiveLimiter::OnExpired(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CongestionLocked(now_us);
+}
+
+// --- BrownoutController -------------------------------------------------
+
+const char* BrownoutLevelName(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kNone: return "none";
+    case BrownoutLevel::kIvf: return "ivf";
+    case BrownoutLevel::kQuantized: return "quantized";
+    case BrownoutLevel::kCacheOnly: return "cache_only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+BrownoutController::Options SanitizeBrownout(BrownoutController::Options o) {
+  o.max_level = std::clamp(o.max_level, 0, kNumBrownoutLevels - 1);
+  return o;
+}
+
+}  // namespace
+
+BrownoutController::BrownoutController()
+    : BrownoutController(Options()) {}
+
+BrownoutController::BrownoutController(const Options& options)
+    : options_(SanitizeBrownout(options)) {
+  OBS_GAUGE("serve.overload.brownout_level", 0.0);
+}
+
+void BrownoutController::SetLevelLocked(int level, uint64_t now_us) {
+  const int prev = level_.load(std::memory_order_relaxed);
+  if (level == prev) return;
+  level_.store(level, std::memory_order_relaxed);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  last_step_us_ = now_us;
+  OBS_COUNT("serve.overload.brownout_transitions", 1);
+  OBS_GAUGE("serve.overload.brownout_level", static_cast<double>(level));
+  LAYERGCN_LOG(kWarning) << "brownout "
+                         << BrownoutLevelName(
+                                static_cast<BrownoutLevel>(prev))
+                         << " -> "
+                         << BrownoutLevelName(
+                                static_cast<BrownoutLevel>(level));
+}
+
+BrownoutLevel BrownoutController::OnSloState(obs::SloMonitor::State state,
+                                             uint64_t now_us) {
+  if (!options_.enabled) return BrownoutLevel::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int cur = level_.load(std::memory_order_relaxed);
+  switch (state) {
+    case obs::SloMonitor::State::kBreach:
+      ok_since_us_ = 0;
+      if (cur < options_.max_level &&
+          now_us >= last_step_us_ + options_.step_down_hold_us) {
+        SetLevelLocked(cur + 1, now_us);
+      }
+      break;
+    case obs::SloMonitor::State::kWarn:
+      // Hold: neither direction moves while the burn is elevated but not
+      // breaching — this is the hysteresis band.
+      ok_since_us_ = 0;
+      break;
+    case obs::SloMonitor::State::kOk:
+      if (cur == 0) break;
+      if (ok_since_us_ == 0) {
+        ok_since_us_ = now_us;
+      } else if (now_us >= ok_since_us_ + options_.step_up_hold_us) {
+        SetLevelLocked(cur - 1, now_us);
+        ok_since_us_ = now_us;  // prove recovery again per rung
+      }
+      break;
+  }
+  return static_cast<BrownoutLevel>(level_.load(std::memory_order_relaxed));
+}
+
+}  // namespace layergcn::serve

@@ -42,16 +42,35 @@ RecommendService::RecommendService(SnapshotStore* store,
     : store_(store),
       options_(options),
       breaker_(options.breaker),
-      stats_(WithEnvSlo(options.stats)) {
+      stats_(WithEnvSlo(options.stats)),
+      limiter_(options.overload.limiter),
+      brownout_(options.overload.brownout) {
   LAYERGCN_CHECK(store_ != nullptr);
   LAYERGCN_CHECK_GE(options_.max_k, 1);
   LAYERGCN_CHECK_GE(options_.queue_capacity, 1);
 }
 
 RecommendService::~RecommendService() {
+  // Refuse new arrivals, fail what is still waiting, drain what is
+  // executing. Queued promises are resolved outside the lock.
+  std::vector<Pending> abandoned;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    for (auto& queue : queues_) {
+      while (!queue.empty()) {
+        abandoned.push_back(std::move(queue.front()));
+        queue.pop_front();
+        --queued_;
+      }
+    }
+  }
+  const uint64_t now_us = obs::NowMicros();
+  for (Pending& p : abandoned) {
+    ResolveShed(std::move(p), "service shutting down", 0, now_us);
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  shutting_down_ = true;
-  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  drained_cv_.wait(lock, [this] { return workers_ == 0 && executing_ == 0; });
 }
 
 util::Status RecommendService::Validate(const ModelSnapshot& snap,
@@ -263,30 +282,54 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
     return fail(valid);
   }
 
+  // Brownout rung for this request: the SLO burn state steps the ladder
+  // (with hysteresis inside the controller); the rung then forces cheaper
+  // serving modes below. Explicit exact requests are exempt — they are
+  // the bit-exact reference parity tests and recall sampling rely on.
+  const BrownoutLevel brownout =
+      options_.overload.brownout.enabled
+          ? brownout_.OnSloState(stats_.slo().state(), start_us)
+          : BrownoutLevel::kNone;
+  ctx->brownout = brownout;
+  const bool brownout_applies = !req.exact;
+
   RecommendResponse resp;
+  resp.brownout = brownout;
   bool served = false;
   if (!breaker_.Allow(start_us)) {
     // Breaker open: skip model scoring, serve the popularity ranking.
     const uint64_t score_t0 = obs::NowMicros();
     resp = ServeDegraded(*snap, req);
+    resp.brownout = brownout;
     ctx->stage(Stage::kScore) = obs::NowMicros() - score_t0;
     served = true;
   } else {
     // Resolve the encoding this request actually scores with: a requested
     // quantized copy the snapshot does not carry degrades to the f32
-    // reference for this request only.
+    // reference for this request only. A brownout rung at or past
+    // kQuantized forces the cheapest quantized copy the snapshot carries.
     eval::ScoreEncoding encoding = options_.encoding;
+    if (brownout_applies && brownout >= BrownoutLevel::kQuantized) {
+      if (snap->has_int8()) {
+        encoding = eval::ScoreEncoding::kInt8;
+      } else if (snap->has_bf16()) {
+        encoding = eval::ScoreEncoding::kBf16;
+      }
+    }
     if ((encoding == eval::ScoreEncoding::kInt8 && !snap->has_int8()) ||
         (encoding == eval::ScoreEncoding::kBf16 && !snap->has_bf16())) {
       OBS_COUNT("serve.encoding_fallbacks", 1);
       encoding = eval::ScoreEncoding::kF32;
     }
     // Resolve the retrieval path: a per-request exact override always
-    // wins, and an ivf default degrades to exact for this request when
+    // wins, a brownout rung at or past kIvf forces the index when one
+    // exists, and an ivf default degrades to exact for this request when
     // the snapshot carries no index (build failed or never requested).
     RetrievalMode retrieval = options_.retrieval;
     if (req.exact) {
       retrieval = RetrievalMode::kExact;
+    } else if (brownout >= BrownoutLevel::kIvf && snap->has_index()) {
+      retrieval = RetrievalMode::kIvf;
     } else if (retrieval == RetrievalMode::kIvf && !snap->has_index()) {
       OBS_COUNT("serve.retrieval.exact_fallbacks", 1);
       retrieval = RetrievalMode::kExact;
@@ -297,9 +340,23 @@ util::StatusOr<RecommendResponse> RecommendService::Recommend(
       const bool hit = CacheLookup(*snap, encoding, retrieval, req, &resp);
       ctx->stage(Stage::kCache) = obs::NowMicros() - cache_t0;
       if (hit) {
+        resp.brownout = brownout;
         breaker_.RecordSuccess();
         served = true;
       }
+    }
+
+    // Deepest rung: no kernel at all. A cache miss serves the popularity
+    // ranking — still an answer, at the cost of personalization, never of
+    // availability.
+    if (!served && brownout_applies &&
+        brownout >= BrownoutLevel::kCacheOnly) {
+      OBS_COUNT("serve.overload.cache_only_served", 1);
+      const uint64_t score_t0 = obs::NowMicros();
+      resp = ServeDegraded(*snap, req);
+      resp.brownout = brownout;
+      ctx->stage(Stage::kScore) = obs::NowMicros() - score_t0;
+      served = true;
     }
 
     if (!served) {
@@ -389,6 +446,181 @@ std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
   return Submit(req, nullptr);
 }
 
+namespace {
+
+// Per-class shed counters use fixed literals so the OBS_COUNT static
+// caching applies (the shed path is exactly where the service is melting).
+void CountShed(Priority priority) {
+  OBS_COUNT("serve.shed", 1);
+  switch (priority) {
+    case Priority::kInteractive:
+      OBS_COUNT("serve.shed.interactive", 1);
+      break;
+    case Priority::kBatch:
+      OBS_COUNT("serve.shed.batch", 1);
+      break;
+    case Priority::kBackground:
+      OBS_COUNT("serve.shed.background", 1);
+      break;
+  }
+}
+
+}  // namespace
+
+int64_t RecommendService::concurrency_limit() const {
+  if (options_.overload.adaptive) return limiter_.limit();
+  if (options_.overload.fixed_limit > 0) return options_.overload.fixed_limit;
+  return options_.queue_capacity;
+}
+
+uint64_t RecommendService::RetryAfterMsLocked() const {
+  // Rough drain-time estimate: backlog ahead of a retry, each costing the
+  // smoothed completion latency, spread over the concurrency limit.
+  const uint64_t ewma_us =
+      std::max<uint64_t>(ewma_latency_us_.load(std::memory_order_relaxed),
+                         1000);
+  const int64_t backlog = queued_ + executing_;
+  const int64_t limit = std::max<int64_t>(concurrency_limit(), 1);
+  const uint64_t estimate_ms =
+      (static_cast<uint64_t>(backlog) * ewma_us) /
+      (static_cast<uint64_t>(limit) * 1000);
+  return std::clamp<uint64_t>(estimate_ms, 1, 5000);
+}
+
+void RecommendService::ResolveShed(Pending&& p, const std::string& reason,
+                                   uint64_t retry_after_ms,
+                                   uint64_t now_us) {
+  // Every shed response carries a backoff hint, even shutdown sheds.
+  retry_after_ms = std::max<uint64_t>(retry_after_ms, 1);
+  CountShed(p.req.priority);
+  util::Status status = util::ResourceExhaustedError(
+      reason + " (retry_after_ms=" + std::to_string(retry_after_ms) + ")");
+  if (p.ctx != nullptr) {
+    // Caller records when the future resolves.
+    p.ctx->shed = true;
+    p.ctx->retry_after_ms = retry_after_ms;
+    p.ctx->code = status.code();
+    p.ctx->error = status.message();
+    p.ctx->finish_us = now_us;
+  } else {
+    RequestContext shed_ctx;
+    shed_ctx.user = p.req.user_id;
+    shed_ctx.k = p.req.k;
+    shed_ctx.budget_us = p.req.budget_us;
+    shed_ctx.priority = p.req.priority;
+    shed_ctx.shed = true;
+    shed_ctx.retry_after_ms = retry_after_ms;
+    shed_ctx.code = status.code();
+    shed_ctx.error = status.message();
+    shed_ctx.submit_us = p.submit_us;
+    shed_ctx.finish_us = now_us;
+    shed_ctx.done_us = now_us;
+    stats_.Record(shed_ctx, now_us);
+  }
+  p.promise->set_value(std::move(status));
+}
+
+void RecommendService::ResolveExpired(Pending&& p, uint64_t now_us) {
+  OBS_COUNT("serve.expired_in_queue", 1);
+  if (options_.overload.adaptive) limiter_.OnExpired(now_us);
+  util::Status status = util::DeadlineExceededError(
+      "budget " + std::to_string(p.req.budget_us) +
+      "us expired while queued; never scored");
+  if (p.ctx != nullptr) {
+    p.ctx->expired = true;
+    p.ctx->code = status.code();
+    p.ctx->error = status.message();
+    if (now_us > p.submit_us) {
+      p.ctx->stage(Stage::kAdmission) = now_us - p.submit_us;
+    }
+    p.ctx->finish_us = now_us;
+  } else {
+    RequestContext exp_ctx;
+    exp_ctx.user = p.req.user_id;
+    exp_ctx.k = p.req.k;
+    exp_ctx.budget_us = p.req.budget_us;
+    exp_ctx.priority = p.req.priority;
+    exp_ctx.expired = true;
+    exp_ctx.code = status.code();
+    exp_ctx.error = status.message();
+    exp_ctx.submit_us = p.submit_us;
+    if (now_us > p.submit_us) {
+      exp_ctx.stage(Stage::kAdmission) = now_us - p.submit_us;
+    }
+    exp_ctx.finish_us = now_us;
+    exp_ctx.done_us = now_us;
+    stats_.Record(exp_ctx, now_us);
+  }
+  p.promise->set_value(std::move(status));
+}
+
+bool RecommendService::PopNextLocked(Pending* out) {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    *out = std::move(queue.front());
+    queue.pop_front();
+    --queued_;
+    ++executing_;
+    return true;
+  }
+  return false;
+}
+
+void RecommendService::DispatchLocked() {
+  // One worker can cover one request at a time, so spawn until either the
+  // limit is reached or there are as many workers as backlog. A worker
+  // that races to an empty queue just exits — overspawn is harmless,
+  // underspawn would strand queued requests.
+  const int64_t limit = concurrency_limit();
+  while (workers_ < limit && workers_ < queued_ + executing_) {
+    ++workers_;
+    util::parallel::ComputePool()->Submit([this] { WorkerLoop(); });
+  }
+}
+
+void RecommendService::WorkerLoop() {
+  for (;;) {
+    Pending p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // The limit may have shrunk while this worker was scoring: workers
+      // beyond it retire instead of picking up more work.
+      if (workers_ > concurrency_limit() || !PopNextLocked(&p)) {
+        --workers_;
+        drained_cv_.notify_all();
+        return;
+      }
+    }
+    const uint64_t dequeue_us = obs::NowMicros();
+    if (p.req.budget_us > 0 && dequeue_us >= p.submit_us + p.req.budget_us) {
+      // Expired while queued: shed at dequeue, never scored — under
+      // overload, CPU goes to requests someone is still waiting for.
+      ResolveExpired(std::move(p), dequeue_us);
+    } else {
+      util::StatusOr<RecommendResponse> result =
+          p.ctx != nullptr ? Recommend(p.req, p.ctx) : Recommend(p.req);
+      const uint64_t end_us = obs::NowMicros();
+      const uint64_t latency = end_us > p.submit_us ? end_us - p.submit_us : 0;
+      uint64_t prev = ewma_latency_us_.load(std::memory_order_relaxed);
+      ewma_latency_us_.store(
+          prev == 0 ? latency : prev - prev / 8 + latency / 8,
+          std::memory_order_relaxed);
+      if (options_.overload.adaptive) {
+        const bool congested =
+            result.ok()
+                ? result.value().partial
+                : result.status().code() ==
+                      util::StatusCode::kDeadlineExceeded;
+        limiter_.OnComplete(end_us, latency, congested);
+      }
+      p.promise->set_value(std::move(result));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    --executing_;
+    drained_cv_.notify_all();
+  }
+}
+
 std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
     const RecommendRequest& req, RequestContext* ctx) {
   const uint64_t submit_us = obs::NowMicros();
@@ -397,70 +629,93 @@ std::future<util::StatusOr<RecommendResponse>> RecommendService::Submit(
     ctx->user = req.user_id;
     ctx->k = req.k;
     ctx->budget_us = req.budget_us;
+    ctx->priority = req.priority;
   }
-  auto promise =
+  Pending incoming;
+  incoming.req = req;
+  incoming.ctx = ctx;
+  incoming.promise =
       std::make_shared<std::promise<util::StatusOr<RecommendResponse>>>();
+  incoming.submit_us = submit_us;
   std::future<util::StatusOr<RecommendResponse>> future =
-      promise->get_future();
-  bool shed = false;
+      incoming.promise->get_future();
+
+  bool shed_incoming = false;
   std::string shed_reason;
+  uint64_t retry_after_ms = 0;
+  Pending victim;
+  bool have_victim = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ || in_flight_ >= options_.queue_capacity) {
-      shed = true;
-      shed_reason = shutting_down_
-                        ? "service shutting down"
-                        : "admission queue full (" +
-                              std::to_string(options_.queue_capacity) +
-                              " in flight)";
+    if (shutting_down_) {
+      shed_incoming = true;
+      shed_reason = "service shutting down";
+    } else if (queued_ + executing_ >= options_.queue_capacity) {
+      retry_after_ms = RetryAfterMsLocked();
+      // Strict priority at the bound: evict the newest queued request of
+      // the lowest class strictly below the arrival; when nothing queued
+      // is lower, the arrival itself is shed.
+      int victim_class = -1;
+      for (int cls = kNumPriorities - 1;
+           cls > static_cast<int>(req.priority); --cls) {
+        if (!queues_[cls].empty()) {
+          victim_class = cls;
+          break;
+        }
+      }
+      if (victim_class >= 0) {
+        victim = std::move(queues_[victim_class].back());
+        queues_[victim_class].pop_back();
+        --queued_;
+        have_victim = true;
+        queues_[static_cast<int>(req.priority)].push_back(
+            std::move(incoming));
+        ++queued_;
+        DispatchLocked();
+      } else {
+        shed_incoming = true;
+        shed_reason = "admission queue full (" +
+                      std::to_string(options_.queue_capacity) +
+                      " in flight)";
+      }
     } else {
-      ++in_flight_;
+      queues_[static_cast<int>(req.priority)].push_back(std::move(incoming));
+      ++queued_;
+      DispatchLocked();
     }
   }
-  if (shed) {
-    OBS_COUNT("serve.shed", 1);
-    util::Status status = util::ResourceExhaustedError(shed_reason);
-    const uint64_t now_us = obs::NowMicros();
-    if (ctx != nullptr) {
-      // Caller records when the future resolves.
-      ctx->shed = true;
-      ctx->code = status.code();
-      ctx->error = status.message();
-      ctx->finish_us = now_us;
-    } else {
-      RequestContext shed_ctx;
-      shed_ctx.user = req.user_id;
-      shed_ctx.k = req.k;
-      shed_ctx.budget_us = req.budget_us;
-      shed_ctx.shed = true;
-      shed_ctx.code = status.code();
-      shed_ctx.error = status.message();
-      shed_ctx.submit_us = submit_us;
-      shed_ctx.finish_us = now_us;
-      shed_ctx.done_us = now_us;
-      stats_.Record(shed_ctx, now_us);
-    }
-    promise->set_value(std::move(status));
-    return future;
+  const uint64_t now_us = obs::NowMicros();
+  if (shed_incoming) {
+    ResolveShed(std::move(incoming), shed_reason, retry_after_ms, now_us);
   }
-  util::parallel::ComputePool()->Submit([this, promise, req, ctx] {
-    if (ctx != nullptr) {
-      promise->set_value(Recommend(req, ctx));
-    } else {
-      promise->set_value(Recommend(req));
-    }
-    // Decrement after the future is satisfied; the destructor holds `this`
-    // alive until in_flight_ reaches zero.
-    std::lock_guard<std::mutex> lock(mu_);
-    --in_flight_;
-    drained_cv_.notify_all();
-  });
+  if (have_victim) {
+    ResolveShed(std::move(victim),
+                "evicted by " + std::string(PriorityName(req.priority)) +
+                    "-class arrival at capacity",
+                retry_after_ms, now_us);
+  }
   return future;
 }
 
 int64_t RecommendService::in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return in_flight_;
+  return queued_ + executing_;
+}
+
+OverloadState RecommendService::overload_state() const {
+  OverloadState state;
+  state.adaptive = options_.overload.adaptive;
+  state.brownout = brownout_.level();
+  state.brownout_transitions = brownout_.transitions();
+  state.smoothed_latency_us =
+      ewma_latency_us_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  state.limit = concurrency_limit();
+  state.executing = executing_;
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    state.queued[cls] = static_cast<int64_t>(queues_[cls].size());
+  }
+  return state;
 }
 
 }  // namespace layergcn::serve

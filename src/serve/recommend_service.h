@@ -10,14 +10,35 @@
 // Robustness ladder, in order:
 //   validation   every request field is checked up front; anything
 //                unusable is a structured InvalidArgument, never UB
-//   admission    Submit() bounds the number of queued + in-flight async
-//                requests; past `queue_capacity` requests are shed
-//                immediately with ResourceExhausted (serve.shed)
+//   admission    Submit() queues requests in strict-priority classes
+//                (interactive > batch > background) and bounds total
+//                backlog by `queue_capacity`; at the bound the newest
+//                lowest-priority queued request is evicted to admit a
+//                higher-priority one, otherwise the arrival itself is
+//                shed — always a structured ResourceExhausted
+//                (serve.shed, serve.shed.<class>) carrying a
+//                retry_after_ms hint sized from the smoothed service
+//                latency and current backlog
+//   concurrency  queued requests are scored by at most `limit` workers:
+//                the static cap (queue_capacity, or overload.fixed_limit)
+//                or, with overload.adaptive, an AIMD AdaptiveLimiter that
+//                squeezes the limit down when completions run past the
+//                latency target and re-opens it on a good streak
+//                (serve.overload.limit gauge — see serve/overload.h)
+//   dequeue      a request whose budget expired while it waited is shed
+//                at dequeue with DeadlineExceeded and never scored
+//                (serve.expired_in_queue) — overload must not burn CPU
+//                computing answers nobody is waiting for
 //   deadline     a per-request budget becomes an absolute RankDeadline
 //                enforced at item-tile boundaries inside the kernel; on
 //                expiry a truncated prefix ranking is returned flagged
 //                `partial` (serve.deadline_partial), or DeadlineExceeded
 //                when nothing was scored (serve.deadline_errors)
+//   brownout     with overload.brownout.enabled, sustained SLO breach
+//                (serving_stats' SloMonitor) steps the serving mode down
+//                exact -> ivf -> quantized -> cache/popularity-only and
+//                back up with hysteresis (serve.overload.brownout_level;
+//                per-request in RequestContext::brownout)
 //   degradation  deadline failures feed a CircuitBreaker; while it is
 //                open, requests skip model scoring and serve the
 //                snapshot's popularity ranking flagged `degraded`
@@ -71,8 +92,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +103,7 @@
 #include "eval/fused_rank.h"
 #include "eval/quant_kernel.h"
 #include "serve/circuit_breaker.h"
+#include "serve/overload.h"
 #include "serve/request_context.h"
 #include "serve/serving_stats.h"
 #include "serve/snapshot.h"
@@ -95,8 +119,10 @@ struct RecommendRequest {
   uint64_t budget_us = 0;
   /// Force the exact full-scan path for this request even when the service
   /// defaults to ivf retrieval — the bit-exact reference used by parity
-  /// tests and recall sampling.
+  /// tests and recall sampling. Also exempt from brownout mode forcing.
   bool exact = false;
+  /// Admission class; under overload lower classes are shed first.
+  Priority priority = Priority::kInteractive;
 };
 
 struct ScoredItem {
@@ -124,6 +150,8 @@ struct RecommendResponse {
   RetrievalMode retrieval = RetrievalMode::kExact;
   /// Items the rank kernel scored (see RequestContext::candidates).
   int64_t candidates = 0;
+  /// Brownout rung this response was served under (kNone = full quality).
+  BrownoutLevel brownout = BrownoutLevel::kNone;
   int64_t snapshot_version = 0;
   uint64_t latency_us = 0;
 };
@@ -131,9 +159,13 @@ struct RecommendResponse {
 struct RecommendServiceOptions {
   /// Largest admissible request k.
   int32_t max_k = 1000;
-  /// Async admission bound: queued + in-flight Submit() requests past this
-  /// are shed. >= 1.
+  /// Async admission bound: queued + executing Submit() requests past this
+  /// are shed (or displace a lower-priority queued request). >= 1.
   int64_t queue_capacity = 64;
+  /// Adaptive concurrency limiter, priority shedding hints, and the
+  /// brownout ladder (see serve/overload.h). Defaults preserve the static
+  /// behavior: limit = queue_capacity, brownout off.
+  OverloadOptions overload;
   CircuitBreaker::Options breaker;
   /// Kernel tuning; num_threads = 0 uses the shared compute pool.
   eval::FusedRankConfig rank;
@@ -187,24 +219,39 @@ class RecommendService {
   util::StatusOr<RecommendResponse> Recommend(const RecommendRequest& req,
                                               RequestContext* ctx);
 
-  /// Admission-controlled async path: runs Recommend() on the shared
-  /// compute pool. When the bound is hit the future resolves immediately
-  /// to ResourceExhausted — load is shed at the door, not queued forever.
+  /// Admission-controlled async path: queues the request in its priority
+  /// class and scores it on the shared compute pool under the concurrency
+  /// limit. At the backlog bound the future resolves immediately to
+  /// ResourceExhausted (possibly after evicting a lower-priority queued
+  /// request, whose own future resolves shed) — load is shed at the door,
+  /// not queued forever. A request whose budget expires while queued
+  /// resolves to DeadlineExceeded without ever being scored.
   std::future<util::StatusOr<RecommendResponse>> Submit(
       const RecommendRequest& req);
 
   /// Observable async path: stamps ctx->submit_us now (admission time =
-  /// submit -> worker pickup) and, when shed, ctx's shed flag + status.
-  /// `ctx` may be null (self-recording, as Submit(req)); when non-null it
-  /// must outlive the returned future and recording is the caller's.
+  /// submit -> worker pickup) and, when shed/expired, ctx's flags +
+  /// status + retry_after_ms. `ctx` may be null (self-recording, as
+  /// Submit(req)); when non-null it must outlive the returned future and
+  /// recording is the caller's.
   std::future<util::StatusOr<RecommendResponse>> Submit(
       const RecommendRequest& req, RequestContext* ctx);
 
-  /// Async requests currently queued or running.
+  /// Async requests currently queued or executing.
   int64_t in_flight() const;
+
+  /// Concurrency limit admission currently dispatches under: the live
+  /// limiter value when adaptive, else the static cap.
+  int64_t concurrency_limit() const;
+
+  /// Point-in-time overload snapshot (limit, per-class queue depths,
+  /// brownout rung) for HealthReporter and tests.
+  OverloadState overload_state() const;
 
   CircuitBreaker& breaker() { return breaker_; }
   const CircuitBreaker& breaker() const { return breaker_; }
+  const AdaptiveLimiter& limiter() const { return limiter_; }
+  const BrownoutController& brownout() const { return brownout_; }
   /// Live per-stage quantiles + SLO burn state fed by finished requests.
   ServingStats& stats() { return stats_; }
   const ServingStats& stats() const { return stats_; }
@@ -224,6 +271,14 @@ class RecommendService {
     int32_t k = 0;
     std::vector<ScoredItem> items;
     std::list<int32_t>::iterator lru_it;
+  };
+
+  /// One admitted-but-not-finished async request.
+  struct Pending {
+    RecommendRequest req;
+    RequestContext* ctx = nullptr;  // caller-owned; null = self-recording
+    std::shared_ptr<std::promise<util::StatusOr<RecommendResponse>>> promise;
+    uint64_t submit_us = 0;
   };
 
   util::Status Validate(const ModelSnapshot& snap,
@@ -251,16 +306,43 @@ class RecommendService {
                    RetrievalMode retrieval, const RecommendRequest& req,
                    const RecommendResponse& resp);
 
+  /// Pops the oldest request of the highest non-empty priority class.
+  /// False when every queue is empty. mu_ held.
+  bool PopNextLocked(Pending* out);
+  /// Spawns pool workers until either the concurrency limit or the
+  /// backlog is covered. mu_ held.
+  void DispatchLocked();
+  /// Worker body: drain queued requests one at a time until the backlog
+  /// is empty or the limit shrank below this worker.
+  void WorkerLoop();
+  /// Resolves a shed request (at admission or via priority eviction) with
+  /// ResourceExhausted + retry hint; records when self-recording.
+  void ResolveShed(Pending&& p, const std::string& reason,
+                   uint64_t retry_after_ms, uint64_t now_us);
+  /// Resolves a request whose budget expired while queued with
+  /// DeadlineExceeded (serve.expired_in_queue); never scores it.
+  void ResolveExpired(Pending&& p, uint64_t now_us);
+  /// retry_after_ms hint from smoothed latency and backlog. mu_ held.
+  uint64_t RetryAfterMsLocked() const;
+
   SnapshotStore* const store_;
   const RecommendServiceOptions options_;
   CircuitBreaker breaker_;
   ServingStats stats_;
+  AdaptiveLimiter limiter_;
+  BrownoutController brownout_;
   /// Index-served responses since startup, driving recall_sample_every.
   std::atomic<int64_t> ivf_served_{0};
+  /// EWMA of async completion latency (retry hints; kept even when the
+  /// limiter is off).
+  std::atomic<uint64_t> ewma_latency_us_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
-  int64_t in_flight_ = 0;
+  std::deque<Pending> queues_[kNumPriorities];  // waiting, per class
+  int64_t queued_ = 0;     // total across queues_
+  int64_t executing_ = 0;  // popped by a worker, not yet finished
+  int64_t workers_ = 0;    // pool worker tasks alive
   bool shutting_down_ = false;
 
   // Score cache state (own lock: cache traffic must not contend with the

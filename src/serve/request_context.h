@@ -5,7 +5,9 @@
 // the response line is written. The service fills stage timings and
 // outcome flags as the request moves through the pipeline:
 //
-//   admission   Submit() call -> Recommend() entry (queueing on the pool)
+//   admission   Submit() call -> Recommend() entry (priority-class queue
+//               wait + worker pickup; the whole latency for requests shed
+//               at admission or expired while queued)
 //   snapshot    snapshot fetch + request validation
 //   cache       score-cache lookup (hits end the request here)
 //   score       rank-kernel execution (FusedScoreTopK / quant kernels),
@@ -27,6 +29,7 @@
 
 #include "eval/quant_kernel.h"
 #include "serve/item_index.h"
+#include "serve/overload.h"
 #include "util/status.h"
 
 namespace layergcn::serve {
@@ -59,13 +62,20 @@ struct RequestContext {
   int32_t user = -1;
   int32_t k = 0;
   uint64_t budget_us = 0;
+  Priority priority = Priority::kInteractive;
 
   // Outcome flags.
   bool malformed = false;  // request line never parsed into a request
   bool shed = false;       // rejected at the admission door
+  bool expired = false;    // budget elapsed while queued; never scored
   bool cached = false;
   bool partial = false;
   bool degraded = false;
+  /// Brownout rung the request was served under (kNone when brownout is
+  /// off or the ladder sat at full quality).
+  BrownoutLevel brownout = BrownoutLevel::kNone;
+  /// Backoff hint attached to shed responses (0 otherwise).
+  uint64_t retry_after_ms = 0;
   eval::ScoreEncoding encoding = eval::ScoreEncoding::kF32;
   /// Candidate-generation path that produced the ranking: ivf when the
   /// index was probed, exact otherwise (full scan, cache hits, degraded

@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "obs/metrics.h"
@@ -181,6 +182,39 @@ util::Status SnapshotStore::Reload() {
   return util::NotFoundError("no valid snapshot in " + dir_ + " (" +
                              std::to_string(files.size()) +
                              " corrupt files skipped)");
+}
+
+int64_t SnapshotStore::Retain(int keep) {
+  keep = std::max(1, keep);
+  const std::vector<std::pair<int64_t, std::string>> files =
+      ListSnapshots(dir_);
+  const std::shared_ptr<const ModelSnapshot> serving = current();
+  const int64_t serving_version =
+      serving != nullptr ? serving->version() : -1;
+
+  // Walk newest-first, CRC-validating each file; the first `keep` that
+  // validate are the retention set. Corrupt files do not count toward the
+  // quota (they are dead weight the fallback walk would skip anyway), so
+  // a run of torn publishes can never evict the good history behind them.
+  int valid_kept = 0;
+  int64_t pruned = 0;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (valid_kept < keep) {
+      if (train::ValidateCheckpoint(it->second).ok()) ++valid_kept;
+      continue;
+    }
+    if (it->first == serving_version) continue;
+    if (std::remove(it->second.c_str()) == 0) {
+      ++pruned;
+      OBS_COUNT("serve.snapshots_pruned", 1);
+    }
+  }
+  if (pruned > 0) {
+    LAYERGCN_LOG(kInfo) << "snapshot retention pruned " << pruned
+                        << " files from " << dir_ << " (keep " << keep
+                        << " valid)";
+  }
+  return pruned;
 }
 
 std::shared_ptr<const ModelSnapshot> SnapshotStore::current() const {

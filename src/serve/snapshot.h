@@ -145,6 +145,14 @@ class SnapshotStore {
   /// first). Health reporting derives snapshot age from this.
   uint64_t published_at_us() const;
 
+  /// Retention: deletes snapshot files beyond the newest `keep` *valid*
+  /// ones (each candidate is CRC-validated before it counts toward the
+  /// quota, so corrupt files never shield good history from the fallback
+  /// walk). The currently serving version is never deleted regardless of
+  /// age. Returns the number of files removed (also counted as
+  /// serve.snapshots_pruned).
+  int64_t Retain(int keep);
+
  private:
   std::string dir_;
   mutable std::mutex mu_;

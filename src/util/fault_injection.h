@@ -36,6 +36,10 @@
 //   wal.short_read           WAL recovery sees a truncated segment image
 //   wal.bit_flip             WAL recovery sees one flipped payload bit
 //                            (CRC mismatch -> record skipped + counted)
+//   wal.enospc               a WAL commit fails as ResourceExhausted with
+//                            nothing written (full disk); the writer is
+//                            poisoned and owners that cannot restore
+//                            durability degrade to serving-only
 //   publish.torn_rename      the publisher's rotate step leaves a torn
 //                            file under the final snap- name (store falls
 //                            back; the bounded retry renames over it)

@@ -251,6 +251,67 @@ TEST_F(PipelineTest, WalShortReadFaultPointTruncatesImage) {
   EXPECT_LT(static_cast<int64_t>(read.value().size()), 8);
 }
 
+TEST_F(PipelineTest, WalGcRemovesOnlyCoveredSealedSegments) {
+  const std::string dir = TempDirFor("wal_gc");
+  WalOptions options{.dir = dir, .segment_bytes = 128};  // ~5 frames/segment
+  auto wal = InteractionWal::Open(options);
+  ASSERT_TRUE(wal.ok());
+  for (const WalRecord& e : Events(0, 40)) {
+    ASSERT_TRUE(wal.value()->Append(e).ok());
+    ASSERT_TRUE(wal.value()->Commit().ok());
+  }
+  const size_t segments_before = InteractionWal::ListSegments(dir).size();
+  ASSERT_GT(segments_before, 3u);
+
+  // Covering seq 10 may only remove segments whose records all precede
+  // it; every record >= 10 must survive the GC.
+  const int64_t removed = wal.value()->GcCoveredSegments(10);
+  EXPECT_GE(removed, 1);
+  EXPECT_EQ(InteractionWal::ListSegments(dir).size(),
+            segments_before - static_cast<size_t>(removed));
+  auto read = InteractionWal::ReadAll(dir);
+  ASSERT_TRUE(read.ok());
+  ASSERT_GE(read.value().size(), 30u);
+  const std::vector<WalRecord> tail(read.value().end() - 30,
+                                    read.value().end());
+  EXPECT_EQ(tail, Events(10, 40));
+
+  // Covering everything still never deletes the active segment, and the
+  // writer keeps appending to it across a reopen.
+  wal.value()->GcCoveredSegments(40);
+  ASSERT_GE(InteractionWal::ListSegments(dir).size(), 1u);
+  auto reopened = InteractionWal::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened.value()->Append(EventAt(40)).ok());
+  ASSERT_TRUE(reopened.value()->Commit().ok());
+  read = InteractionWal::ReadAll(dir);
+  ASSERT_TRUE(read.ok());
+  ASSERT_FALSE(read.value().empty());
+  EXPECT_EQ(read.value().back(), EventAt(40));
+}
+
+TEST_F(PipelineTest, WalEnospcFaultFailsCommitCleanlyAndPoisons) {
+  const std::string dir = TempDirFor("wal_enospc");
+  auto wal = InteractionWal::Open({.dir = dir});
+  ASSERT_TRUE(wal.ok());
+  for (const WalRecord& e : Events(0, 5)) {
+    ASSERT_TRUE(wal.value()->Append(e).ok());
+  }
+  ASSERT_TRUE(wal.value()->Commit().ok());
+
+  util::fault::Arm("wal.enospc");
+  ASSERT_TRUE(wal.value()->Append(EventAt(5)).ok());
+  const util::Status st = wal.value()->Commit();
+  EXPECT_EQ(st.code(), util::StatusCode::kResourceExhausted);
+  // Unlike a torn write nothing partial landed, and the handle is
+  // poisoned like any I/O failure.
+  EXPECT_EQ(wal.value()->Commit().code(),
+            util::StatusCode::kFailedPrecondition);
+  const auto read = InteractionWal::ReadAll(dir);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), Events(0, 5));
+}
+
 TEST_F(PipelineTest, TornCommitRecoveryDrillIsLossless) {
   // The supervisor's drill, exercised at every batch position: a commit
   // tears mid-frame, the writer is poisoned, a re-Open truncates the torn
@@ -494,6 +555,46 @@ TEST_F(PipelineTest, PublisherExhaustedRetriesKeepPreviousServing) {
   EXPECT_EQ(after.CounterDelta(before, "pipeline.publish.failures"), 1u);
 }
 
+TEST_F(PipelineTest, SnapshotRetentionKeepsNewestValidAndServingVersion) {
+  const std::string dir = TempDirFor("retention");
+  serve::SnapshotStore store(dir);
+  PublisherOptions options = FastPublisher();
+  options.keep_snapshots = 100;  // publisher never prunes in this test
+  SnapshotPublisher publisher(&store, options);
+  const FakeModel model(9);
+  for (int64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(publisher.Publish(model.view(), model.history, v).ok());
+  }
+  ASSERT_EQ(serve::SnapshotStore::ListSnapshots(dir).size(), 5u);
+
+  // Corrupt v4: it must not count toward the keep quota (a corrupt file
+  // shields nobody — the fallback walk would skip it).
+  fs::resize_file(serve::SnapshotStore::SnapshotPath(dir, 4), 64);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(store.Retain(2), 2);  // v1, v2 go; v3 is the 2nd *valid* keeper
+  std::vector<int64_t> versions;
+  for (const auto& [v, path] : serve::SnapshotStore::ListSnapshots(dir)) {
+    versions.push_back(v);
+  }
+  EXPECT_EQ(versions, (std::vector<int64_t>{3, 4, 5}));
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.CounterDelta(before, "serve.snapshots_pruned"), 2u);
+
+  // The serving version survives retention even when it falls out of the
+  // newest-K window: fake two newer files, keep 1, and v5 (serving) must
+  // still be on disk.
+  fs::copy_file(serve::SnapshotStore::SnapshotPath(dir, 5),
+                serve::SnapshotStore::SnapshotPath(dir, 6));
+  fs::copy_file(serve::SnapshotStore::SnapshotPath(dir, 5),
+                serve::SnapshotStore::SnapshotPath(dir, 7));
+  ASSERT_EQ(store.current()->version(), 5);
+  store.Retain(1);
+  EXPECT_TRUE(fs::exists(serve::SnapshotStore::SnapshotPath(dir, 5)));
+  EXPECT_TRUE(fs::exists(serve::SnapshotStore::SnapshotPath(dir, 7)));
+  EXPECT_FALSE(fs::exists(serve::SnapshotStore::SnapshotPath(dir, 6)));
+}
+
 // ---------------------------------------------------------------------------
 // Warm start
 
@@ -704,6 +805,68 @@ TEST_F(PipelineTest, SupervisorHaltsAfterPublishBudgetButKeepsServing) {
             util::StatusCode::kResourceExhausted);
   ASSERT_NE(store.current(), nullptr);
   EXPECT_EQ(store.current()->version(), 1);
+}
+
+TEST_F(PipelineTest, SupervisorGcsCoveredWalSegmentsAfterPublish) {
+  const std::string root = TempDirFor("sup_gc");
+  const std::string snapshots = root + "/snapshots";
+  serve::SnapshotStore store(snapshots);
+  SupervisorOptions options = SmallSupervisor(root, snapshots);
+  options.wal_segment_bytes = 256;  // force many segments from 150 events
+  options.gc_covered_wal_segments = true;
+  PipelineSupervisor supervisor(options, &store);
+  ASSERT_TRUE(supervisor.Start().ok());
+  // Rotation happens per commit, so batch the ingest to seal segments.
+  for (int64_t b = 0; b < 150; b += 10) {
+    ASSERT_TRUE(supervisor.Ingest(Events(b, b + 10)).ok());
+  }
+  const size_t segments_before =
+      InteractionWal::ListSegments(root + "/wal").size();
+  ASSERT_GT(segments_before, 3u);
+
+  ASSERT_TRUE(supervisor.RunCycle().ok());
+  ASSERT_EQ(supervisor.counters().publishes, 1);
+  const size_t segments_after =
+      InteractionWal::ListSegments(root + "/wal").size();
+  EXPECT_LT(segments_after, segments_before);
+
+  // A restart replays only the surviving suffix and keeps running — the
+  // GC'd prefix is durable inside the published snapshot + manifest.
+  PipelineSupervisor restarted(options, &store);
+  ASSERT_TRUE(restarted.Start().ok());
+  EXPECT_EQ(restarted.manifest().version, 1);
+  EXPECT_LT(restarted.events_committed(), 150);
+  EXPECT_EQ(restarted.events_pending_train(), 0);
+}
+
+TEST_F(PipelineTest, SupervisorFullDiskDegradesToServingOnly) {
+  const std::string root = TempDirFor("sup_enospc");
+  const std::string snapshots = root + "/snapshots";
+  serve::SnapshotStore store(snapshots);
+  PipelineSupervisor supervisor(SmallSupervisor(root, snapshots), &store);
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.Ingest(Events(0, 150)).ok());
+  ASSERT_TRUE(supervisor.RunCycle().ok());
+  ASSERT_NE(store.current(), nullptr);
+  ASSERT_EQ(store.current()->version(), 1);
+
+  // The disk fills: the commit fails as ResourceExhausted and the
+  // supervisor halts state mutation instead of crashing or retrying into
+  // the same wall.
+  util::fault::Arm("wal.enospc");
+  const util::Status st = supervisor.Ingest(Events(150, 200));
+  EXPECT_EQ(st.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(supervisor.halted());
+
+  // Serving-only degraded mode: further mutation is refused with the halt
+  // reason, but the published snapshot still answers.
+  EXPECT_EQ(supervisor.Ingest(Events(200, 210)).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(supervisor.RunCycle().code(),
+            util::StatusCode::kResourceExhausted);
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version(), 1);
+  EXPECT_GT(store.current()->num_users(), 0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // RecommendService ranking and the offline fused-kernel ranking.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -212,8 +213,12 @@ TEST_F(ServeTest, DeadlineExpiryMidBlockReturnsPartialPrefix) {
   opt.rank.num_threads = 1;
   RecommendService service(&store, opt);
 
+  // The stall fires after the first tile and spins until deadline + 1ms,
+  // so any budget produces the same partial prefix — size it generously
+  // enough that sanitizer-slowed pre-kernel setup cannot eat the whole
+  // budget before the first tile is scored.
   util::fault::Arm("serve.slow_score");
-  const auto r = service.Recommend({0, 16, /*budget_us=*/3000});
+  const auto r = service.Recommend({0, 16, /*budget_us=*/100'000});
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r.value().partial);
   ASSERT_FALSE(r.value().items.empty());
@@ -282,6 +287,59 @@ TEST_F(ServeTest, QueueOverflowShedsWithResourceExhausted) {
     EXPECT_TRUE(r1.ok()) << r1.status().ToString();
     EXPECT_TRUE(r2.ok()) << r2.status().ToString();
   }  // dtor drains with the pool alive
+}
+
+TEST_F(ServeTest, BudgetExpiredWhileQueuedShedsAtDequeueNeverScored) {
+  const std::string dir = TempDirFor("serve_expired_in_queue");
+  SaveSmall(dir, 1);
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.Reload().ok());
+
+  // Same deterministic-admission trick as the overflow test: one blocked
+  // compute-pool worker, so the submitted request can only sit queued
+  // while its budget burns down.
+  util::ThreadPool pool(1);
+  util::parallel::ScopedComputePool scope(&pool);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  RecommendServiceOptions opt;
+  opt.rank.num_threads = 1;
+  {
+    RecommendService service(&store, opt);
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+
+    RecommendRequest req;
+    req.user_id = 0;
+    req.k = 3;
+    req.budget_us = 2'000;
+    auto f = service.Submit(req);
+    // Burn well past the budget while the request is stuck in the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+
+    const auto r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global().Snapshot();
+    EXPECT_EQ(after.CounterDelta(before, "serve.expired_in_queue"), 1u);
+    // Never scored: the request must not have entered the Recommend
+    // pipeline at all — shedding expired work is the point.
+    EXPECT_EQ(after.CounterDelta(before, "serve.requests"), 0u);
+  }
 }
 
 TEST_F(ServeTest, CircuitBreakerTransitions) {

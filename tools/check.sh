@@ -68,6 +68,20 @@
 # reference ranking, or if the score cache fails to hit or to invalidate
 # on hot-swap.
 #
+# The `overload` stage is the chaos drill for the overload controls
+# (DESIGN.md §17): three consecutive sustained-overload storms — a burst
+# of 3000 deadline-carrying, priority-mixed requests against a default
+# queue of 64, far past what the service can score before the deadlines
+# land — through layergcn_serve with --max-inflight=auto and --brownout,
+# under both ASan/UBSan and TSan. Every storm must exit gracefully with
+# zero unstructured outcomes (every request answered or a structured
+# shed/expiry), shed the interactive class no harder than batch, and
+# emit exactly one schema-valid access record per request carrying the
+# priority and brownout_level fields. The release-build bench_overload
+# then gates goodput (adaptive limiter + brownout >= 1.5x the static
+# baseline at 3x capacity) and its BENCH_overload.json must self-compare
+# clean through bench_diff and trip exit 2 on an injected p99 regression.
+#
 # Usage: tools/check.sh [build-root]     (default: build-check/)
 # Exits non-zero on the first failing build or test.
 
@@ -460,6 +474,113 @@ run_quant_stage() {
 }
 run_quant_stage asan-ubsan
 
+# Overload chaos drill: sustained storms far past capacity through a
+# sanitized layergcn_serve. The serving tier is what is under test, so
+# the snapshot is trained once with the release CLI and shared across
+# the sanitized invocations.
+run_overload_stage() {
+  local name="$1"
+  local dir="${build_root}/${name}"
+  local out="${build_root}/overload-out-${name}"
+  local snaps="${build_root}/overload-snaps"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  if [[ ! -d "${snaps}" ]]; then
+    echo "=== [overload] train 2 epochs + export serving snapshot ==="
+    "${build_root}/release/tools/layergcn_cli" --dataset=mooc --scale=0.2 \
+      --epochs=2 --model=LayerGCN --export-snapshot="${snaps}"
+  fi
+  local storm
+  for storm in 1 2 3; do
+    echo "=== [overload/${name}] sustained overload storm ${storm}/3 ==="
+    local rc=0
+    "${dir}/tools/layergcn_serve" --snapshot-dir="${snaps}" \
+      --random-requests=3000 --burst --seed=$((22 + storm)) \
+      --max-inflight=auto --brownout --priority-mix --deadline-us=5000 \
+      --access-log="${out}/access-${storm}.jsonl" \
+      --metrics-out="${out}/metrics-${storm}.json" \
+      --health-out="${out}/health-${storm}.json" \
+      --quiet 2> "${out}/summary-${storm}.txt" || rc=$?
+    cat "${out}/summary-${storm}.txt"
+    if [[ "${rc}" -gt 1 ]]; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} exited ${rc}" \
+           "(expected graceful 0 or 1)"
+      exit 1
+    fi
+    # 100% answered-or-structured-shed: every offered request tallied,
+    # nothing invalid or unstructured.
+    if ! grep -q "^served 3000 requests:" "${out}/summary-${storm}.txt"; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} did not tally all 3000"
+      exit 1
+    fi
+    if ! grep -Fq " 0 invalid (0 malformed), 0 other" \
+         "${out}/summary-${storm}.txt"; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} had unstructured outcomes"
+      exit 1
+    fi
+    # The storm must actually overload (something shed), and strict
+    # priority must protect the interactive class: with equal per-class
+    # offered counts, interactive sheds must not exceed batch sheds.
+    local interactive_shed batch_shed
+    interactive_shed="$(sed -n 's/.*interactive \([0-9]*\)\/.*/\1/p' \
+                        "${out}/summary-${storm}.txt")"
+    batch_shed="$(sed -n 's/.*batch \([0-9]*\)\/.*/\1/p' \
+                  "${out}/summary-${storm}.txt")"
+    if [[ -z "${interactive_shed}" || -z "${batch_shed}" ]]; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} shed nothing at 3x load"
+      exit 1
+    fi
+    if [[ "${interactive_shed}" -gt "${batch_shed}" ]]; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} shed interactive" \
+           "${interactive_shed} > batch ${batch_shed}"
+      exit 1
+    fi
+    # One schema-valid access record per request, with the overload
+    # fields present (validate_jsonl enforces their domains).
+    "${dir}/tools/validate_jsonl" "${out}/access-${storm}.jsonl" \
+      "${out}/metrics-${storm}.json" "${out}/health-${storm}.json"
+    local records
+    records="$(wc -l < "${out}/access-${storm}.jsonl")"
+    if [[ "${records}" -ne 3000 ]]; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} access log has" \
+           "${records} records, want 3000"
+      exit 1
+    fi
+    if ! grep -q '"priority":' "${out}/access-${storm}.jsonl" || \
+       ! grep -q '"brownout_level":' "${out}/access-${storm}.jsonl"; then
+      echo "OVERLOAD STAGE FAILED: storm ${storm} access records missing" \
+           "priority/brownout_level"
+      exit 1
+    fi
+  done
+}
+run_overload_stage asan-ubsan
+
+# Goodput gates on the release build (sanitizer timing would be noise),
+# then the bench_diff matrix over BENCH_overload.json: self-compare must
+# pass, an injected p99 regression must trip the regression exit.
+run_overload_bench_gate() {
+  local out="${build_root}/overload-out-bench"
+  rm -rf "${out}"
+  mkdir -p "${out}"
+  echo "=== [overload] bench_overload goodput gates ==="
+  ( cd "${out}" && "${build_root}/release/bench/bench_overload" )
+  echo "=== [overload] bench_diff over BENCH_overload.json ==="
+  "${build_root}/release/tools/bench_diff" \
+    "${out}/BENCH_overload.json" "${out}/BENCH_overload.json"
+  sed 's/"p99_us": \([0-9]*\)/"p99_us": \1000/' \
+    "${out}/BENCH_overload.json" > "${out}/BENCH_overload_regressed.json"
+  local rc=0
+  "${build_root}/release/tools/bench_diff" "${out}/BENCH_overload.json" \
+    "${out}/BENCH_overload_regressed.json" || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "OVERLOAD STAGE FAILED: bench_diff exit ${rc} on injected p99" \
+         "regression, want 2"
+    exit 1
+  fi
+}
+run_overload_bench_gate
+
 # UBSan-only build (LAYERGCN_SANITIZE=undefined): cheap enough to drive the
 # serving subsystem end to end. The serve smoke trains a small synthetic
 # run, exports a serving snapshot, plants an older copy as the fallback
@@ -529,5 +650,7 @@ run_quant_stage ubsan
 # pool wide enough to interleave even on small CI machines.
 LAYERGCN_NUM_THREADS=4 \
   run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLAYERGCN_SANITIZE=thread
+
+run_overload_stage tsan
 
 echo "=== all checks passed ==="

@@ -3,8 +3,9 @@
 // by `layergcn_cli --export-snapshot=DIR`.
 //
 // One request per line:
-//   {"user": 17, "k": 10, "budget_us": 5000}
-// "k" and "budget_us" are optional (defaults --topk / --deadline-us).
+//   {"user": 17, "k": 10, "budget_us": 5000, "priority": "batch"}
+// "k", "budget_us", and "priority" are optional (defaults --topk /
+// --deadline-us / --priority-default).
 // One response line per request, in request order:
 //   {"user":17,"status":"OK","items":[...],"scores":[...],"partial":false,
 //    "degraded":false,"snapshot_version":3,"latency_us":412}
@@ -38,6 +39,7 @@
 #include "obs/trace.h"
 #include "serve/access_log.h"
 #include "serve/health.h"
+#include "serve/overload.h"
 #include "serve/recommend_service.h"
 #include "serve/request_context.h"
 #include "serve/snapshot.h"
@@ -60,6 +62,12 @@ struct Flags {
   int32_t topk = 10;
   int32_t max_k = 1000;
   int64_t queue_capacity = 64;
+  // Concurrency limit: "" = queue_capacity (legacy static behavior),
+  // "auto" = adaptive AIMD limiter, a number = static cap.
+  std::string max_inflight;
+  bool brownout = false;          // enable the SLO-driven brownout ladder
+  std::string priority_default = "interactive";
+  bool priority_mix = false;      // --random-requests cycles the classes
   int threads = 0;
   std::string encoding = "f32";       // f32|int8|bf16 scoring encoding
   std::string retrieval = "exact";    // exact|ivf candidate generation
@@ -96,6 +104,15 @@ void PrintUsage(const char* argv0) {
       "service tuning:\n"
       "  --max-k=N            largest admissible k (default 1000)\n"
       "  --queue-capacity=N   async admission bound (default 64)\n"
+      "  --max-inflight=auto|N  concurrent scoring limit: a number pins a\n"
+      "                       static cap, 'auto' enables the adaptive AIMD\n"
+      "                       limiter (default: queue capacity)\n"
+      "  --brownout           enable the SLO-driven brownout ladder\n"
+      "                       (exact -> ivf -> quantized -> cache-only)\n"
+      "  --priority-default=interactive|batch|background\n"
+      "                       class for requests that omit \"priority\"\n"
+      "  --priority-mix       --random-requests only: cycle the generated\n"
+      "                       requests through all three classes\n"
       "  --threads=N          compute threads (0 = default pool)\n"
       "  --encoding=f32|int8|bf16  embedding encoding scored against\n"
       "                       (default f32; falls back to f32 per request\n"
@@ -160,6 +177,22 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       ok = as_int(&flags->max_k) && flags->max_k >= 1;
     } else if (key == "--queue-capacity") {
       ok = as_int(&flags->queue_capacity) && flags->queue_capacity >= 1;
+    } else if (key == "--max-inflight") {
+      if (value == "auto") {
+        flags->max_inflight = value;
+      } else {
+        int64_t v = 0;
+        ok = util::ParseInt64(value, &v) && v >= 1;
+        flags->max_inflight = value;
+      }
+    } else if (key == "--brownout") {
+      flags->brownout = true;
+    } else if (key == "--priority-default") {
+      serve::Priority parsed;
+      ok = serve::ParsePriority(value, &parsed);
+      flags->priority_default = value;
+    } else if (key == "--priority-mix") {
+      flags->priority_mix = true;
     } else if (key == "--threads") {
       ok = as_int(&flags->threads) && flags->threads >= 0;
     } else if (key == "--encoding") {
@@ -242,6 +275,7 @@ PendingRequest ParseRequestLine(const std::string& line, const Flags& flags) {
   PendingRequest pending;
   pending.req.k = flags.topk;
   pending.req.budget_us = flags.deadline_us;
+  serve::ParsePriority(flags.priority_default, &pending.req.priority);
   obs::JsonValue value;
   std::string error;
   if (!obs::ParseJson(line, &value, &error)) {
@@ -285,16 +319,29 @@ PendingRequest ParseRequestLine(const std::string& line, const Flags& flags) {
     }
     pending.req.exact = e->boolean;
   }
+  if (const obs::JsonValue* p = value.Find("priority"); p != nullptr) {
+    if (!p->is_string() ||
+        !serve::ParsePriority(p->string, &pending.req.priority)) {
+      pending.parse_ok = false;
+      pending.parse_error =
+          "\"priority\" must be interactive|batch|background";
+      return pending;
+    }
+  }
   return pending;
 }
 
 std::string ResponseLine(const serve::RecommendRequest& req,
-                         const util::StatusOr<serve::RecommendResponse>& r) {
+                         const util::StatusOr<serve::RecommendResponse>& r,
+                         const serve::RequestContext& ctx) {
   obs::JsonWriter w;
   w.BeginObject().Key("user").Int(req.user_id);
+  w.Key("priority").String(serve::PriorityName(req.priority));
   if (!r.ok()) {
     w.Key("status").String(util::StatusCodeName(r.status().code()));
     w.Key("error").String(r.status().message());
+    if (ctx.shed) w.Key("retry_after_ms").Uint(ctx.retry_after_ms);
+    if (ctx.expired) w.Key("expired").Bool(true);
     w.EndObject();
     return w.str();
   }
@@ -312,6 +359,7 @@ std::string ResponseLine(const serve::RecommendRequest& req,
   w.Key("encoding").String(eval::ScoreEncodingName(resp.encoding));
   w.Key("retrieval").String(serve::RetrievalModeName(resp.retrieval));
   w.Key("candidates").Int(resp.candidates);
+  w.Key("brownout_level").Int(static_cast<int>(resp.brownout));
   w.Key("snapshot_version").Int(resp.snapshot_version);
   w.Key("latency_us").Uint(resp.latency_us);
   w.EndObject();
@@ -320,21 +368,30 @@ std::string ResponseLine(const serve::RecommendRequest& req,
 
 struct Tally {
   int64_t total = 0, ok = 0, partial = 0, degraded = 0;
-  int64_t shed = 0, deadline = 0, invalid = 0, other_error = 0;
+  int64_t shed = 0, expired = 0, deadline = 0, invalid = 0, other_error = 0;
   int64_t malformed = 0;  // subset of invalid: lines that never parsed
+  // Per-class offered/shed, for the strict-priority summary.
+  int64_t offered_by_class[serve::kNumPriorities] = {0, 0, 0};
+  int64_t shed_by_class[serve::kNumPriorities] = {0, 0, 0};
 };
 
-void Count(const util::StatusOr<serve::RecommendResponse>& r, Tally* tally) {
+void Count(const util::StatusOr<serve::RecommendResponse>& r,
+           const serve::RequestContext& ctx, Tally* tally) {
   ++tally->total;
+  ++tally->offered_by_class[static_cast<int>(ctx.priority)];
   if (r.ok()) {
     ++tally->ok;
     if (r.value().partial) ++tally->partial;
     if (r.value().degraded) ++tally->degraded;
     return;
   }
+  if (ctx.shed) ++tally->shed_by_class[static_cast<int>(ctx.priority)];
+  if (ctx.expired) ++tally->expired;
   switch (r.status().code()) {
     case util::StatusCode::kResourceExhausted: ++tally->shed; break;
-    case util::StatusCode::kDeadlineExceeded: ++tally->deadline; break;
+    case util::StatusCode::kDeadlineExceeded:
+      if (!ctx.expired) ++tally->deadline;
+      break;
     case util::StatusCode::kInvalidArgument: ++tally->invalid; break;
     default: ++tally->other_error; break;
   }
@@ -399,6 +456,21 @@ int main(int argc, char** argv) {
   serve::RecommendServiceOptions options;
   options.max_k = flags.max_k;
   options.queue_capacity = flags.queue_capacity;
+  if (flags.max_inflight == "auto") {
+    options.overload.adaptive = true;
+    // The request deadline is the natural congestion threshold: a
+    // completion that ran past what callers wait for should squeeze the
+    // limit even before requests start failing outright.
+    if (flags.deadline_us > 0) {
+      options.overload.limiter.latency_target_us = flags.deadline_us;
+    }
+    options.overload.limiter.max_limit = flags.queue_capacity;
+  } else if (!flags.max_inflight.empty()) {
+    int64_t fixed = 0;
+    util::ParseInt64(flags.max_inflight, &fixed);
+    options.overload.fixed_limit = fixed;
+  }
+  options.overload.brownout.enabled = flags.brownout;
   options.score_cache_capacity = flags.score_cache;
   eval::ParseScoreEncoding(flags.encoding, &options.encoding);
   options.retrieval = retrieval;
@@ -446,12 +518,18 @@ int main(int argc, char** argv) {
   if (flags.random_requests > 0) {
     util::Rng rng(flags.seed);
     requests.reserve(static_cast<size_t>(flags.random_requests));
+    serve::Priority default_priority = serve::Priority::kInteractive;
+    serve::ParsePriority(flags.priority_default, &default_priority);
     for (int64_t i = 0; i < flags.random_requests; ++i) {
       PendingRequest pending;
       pending.req.user_id = static_cast<int32_t>(
           rng.NextBounded(static_cast<uint64_t>(snap->num_users())));
       pending.req.k = flags.topk;
       pending.req.budget_us = flags.deadline_us;
+      pending.req.priority =
+          flags.priority_mix
+              ? static_cast<serve::Priority>(i % serve::kNumPriorities)
+              : default_priority;
       requests.push_back(pending);
     }
   } else {
@@ -493,13 +571,13 @@ int main(int argc, char** argv) {
   auto drain_one = [&] {
     InFlight& front = window.front();
     const util::StatusOr<serve::RecommendResponse> r = front.future.get();
-    Count(r, &tally);
     serve::RequestContext& ctx = *front.ctx;
+    Count(r, ctx, &tally);
     {
       obs::TraceRequestScope serialize_scope(ctx.id);
       OBS_SPAN("serve.serialize");
       const uint64_t serialize_t0 = obs::NowMicros();
-      const std::string line = ResponseLine(front.req, r);
+      const std::string line = ResponseLine(front.req, r, ctx);
       if (!flags.quiet) std::printf("%s\n", line.c_str());
       ctx.done_us = obs::NowMicros();
       ctx.stage(serve::Stage::kSerialize) = ctx.done_us - serialize_t0;
@@ -530,6 +608,7 @@ int main(int argc, char** argv) {
       ctx->user = pending.req.user_id;
       ctx->k = pending.req.k;
       ctx->budget_us = pending.req.budget_us;
+      ctx->priority = pending.req.priority;
       ctx->code = util::StatusCode::kInvalidArgument;
       ctx->error = pending.parse_error;
       ctx->submit_us = obs::NowMicros();
@@ -557,17 +636,33 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "served %lld requests: %lld ok (%lld partial, %lld degraded), "
-               "%lld shed, %lld deadline, %lld invalid (%lld malformed), "
-               "%lld other\n",
+               "%lld shed, %lld expired-in-queue, %lld deadline, "
+               "%lld invalid (%lld malformed), %lld other\n",
                static_cast<long long>(tally.total),
                static_cast<long long>(tally.ok),
                static_cast<long long>(tally.partial),
                static_cast<long long>(tally.degraded),
                static_cast<long long>(tally.shed),
+               static_cast<long long>(tally.expired),
                static_cast<long long>(tally.deadline),
                static_cast<long long>(tally.invalid),
                static_cast<long long>(tally.malformed),
                static_cast<long long>(tally.other_error));
+  if (tally.shed > 0) {
+    std::fprintf(
+        stderr, "shed by class:%s\n",
+        [&tally] {
+          std::string out;
+          for (int cls = 0; cls < serve::kNumPriorities; ++cls) {
+            out += " " + std::string(serve::PriorityName(
+                             static_cast<serve::Priority>(cls))) +
+                   " " + std::to_string(tally.shed_by_class[cls]) + "/" +
+                   std::to_string(tally.offered_by_class[cls]);
+          }
+          return out;
+        }()
+            .c_str());
+  }
 
   // Stop() flushes one final health/prom write covering the whole sweep.
   health.Stop();

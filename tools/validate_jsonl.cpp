@@ -11,8 +11,11 @@
 //                    ids unique within the file and >= 1, status in the
 //                    util::StatusCode enum, encoding in {f32,int8,bf16},
 //                    retrieval in {exact,ivf} with a non-negative
-//                    candidates count, flag/status consistency (malformed =>
-//                    INVALID_ARGUMENT, shed => RESOURCE_EXHAUSTED), and
+//                    candidates count, priority in {interactive,batch,
+//                    background}, brownout_level in [0,3], flag/status
+//                    consistency (malformed => INVALID_ARGUMENT, shed =>
+//                    RESOURCE_EXHAUSTED with a retry_after_ms hint,
+//                    expired => DEADLINE_EXCEEDED, never both), and
 //                    per-stage micros summing to at most latency_us (the
 //                    stages time disjoint sub-intervals of the request).
 // Used by tools/check.sh to gate the CLI's --trace-out, --metrics-out,
@@ -86,8 +89,9 @@ bool ValidateEpochRecord(const layergcn::obs::JsonValue& value,
 const std::set<std::string>& AccessRequiredKeys() {
   static const std::set<std::string> keys = {
       "type",     "id",        "user",       "k",
-      "budget_us", "status",   "malformed",  "shed",
-      "cached",   "partial",   "degraded",   "encoding",
+      "budget_us", "priority", "status",     "malformed",  "shed",
+      "expired",  "cached",    "partial",    "degraded",
+      "brownout_level",        "retry_after_ms",           "encoding",
       "retrieval", "candidates",
       "snapshot_version",      "submit_us",  "done_us",
       "latency_us", "admission_us", "snapshot_us", "cache_us",
@@ -160,6 +164,22 @@ bool ValidateAccessRecord(const layergcn::obs::JsonValue& value,
     return complain("candidates must be a non-negative number");
   }
 
+  const layergcn::obs::JsonValue* priority = value.Find("priority");
+  if (!priority->is_string() ||
+      (priority->string != "interactive" && priority->string != "batch" &&
+       priority->string != "background")) {
+    return complain("priority must be interactive|batch|background");
+  }
+  const layergcn::obs::JsonValue* brownout = value.Find("brownout_level");
+  if (!brownout->is_number() || brownout->number < 0 ||
+      brownout->number > 3) {
+    return complain("brownout_level must be a number in [0, 3]");
+  }
+  const layergcn::obs::JsonValue* retry = value.Find("retry_after_ms");
+  if (!retry->is_number() || retry->number < 0) {
+    return complain("retry_after_ms must be a non-negative number");
+  }
+
   // Flag/status consistency.
   const auto flag = [&](const char* name) {
     const layergcn::obs::JsonValue* v = value.Find(name);
@@ -170,6 +190,15 @@ bool ValidateAccessRecord(const layergcn::obs::JsonValue& value,
   }
   if (flag("shed") && status->string != "RESOURCE_EXHAUSTED") {
     return complain("shed but status is not RESOURCE_EXHAUSTED");
+  }
+  if (flag("shed") && retry->number < 1) {
+    return complain("shed but retry_after_ms is missing a backoff hint");
+  }
+  if (flag("expired") && status->string != "DEADLINE_EXCEEDED") {
+    return complain("expired in queue but status is not DEADLINE_EXCEEDED");
+  }
+  if (flag("expired") && flag("shed")) {
+    return complain("expired and shed are mutually exclusive outcomes");
   }
 
   // Stage micros are disjoint sub-intervals of [submit_us, done_us], so
